@@ -1,0 +1,97 @@
+// Shared helpers for the experiment harness binaries. Each bench prints the
+// tables recorded in EXPERIMENTS.md; keep them deterministic (fixed seeds)
+// so reruns regenerate the same rows.
+
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algo/exact.h"
+#include "core/generators.h"
+#include "core/instance.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace lrb::bench {
+
+/// Named workload families reused across experiments.
+struct Family {
+  std::string name;
+  GeneratorOptions options;
+};
+
+/// Small-instance families (exact solver tractable).
+inline std::vector<Family> small_families() {
+  std::vector<Family> families;
+  GeneratorOptions base;
+  base.num_jobs = 10;
+  base.num_procs = 3;
+  base.min_size = 1;
+  base.max_size = 30;
+
+  Family uniform{"uniform", base};
+  families.push_back(uniform);
+
+  Family hotspot{"hotspot", base};
+  hotspot.options.placement = PlacementPolicy::kHotspot;
+  families.push_back(hotspot);
+
+  Family pile{"single-proc", base};
+  pile.options.placement = PlacementPolicy::kSingleProc;
+  families.push_back(pile);
+
+  Family zipf{"zipf-sizes", base};
+  zipf.options.size_dist = SizeDistribution::kZipf;
+  families.push_back(zipf);
+
+  Family bimodal{"bimodal", base};
+  bimodal.options.size_dist = SizeDistribution::kBimodal;
+  families.push_back(bimodal);
+
+  return families;
+}
+
+/// Large-instance families (compare against certified lower bounds).
+inline std::vector<Family> large_families(std::size_t n, ProcId m) {
+  auto families = small_families();
+  for (auto& family : families) {
+    family.options.num_jobs = n;
+    family.options.num_procs = m;
+    family.options.max_size = 1000;
+  }
+  return families;
+}
+
+/// Exact optimum with a move budget; asserts the search completed.
+inline Size exact_opt_moves(const Instance& instance, std::int64_t k) {
+  ExactOptions options;
+  options.max_moves = k;
+  const auto result = exact_rebalance(instance, options);
+  if (!result.proven_optimal) {
+    std::cerr << "warning: exact solver hit the node limit\n";
+  }
+  return result.best.makespan;
+}
+
+inline double ratio(Size achieved, Size optimum) {
+  if (optimum == 0) return achieved == 0 ? 1.0 : 1e9;
+  return static_cast<double>(achieved) / static_cast<double>(optimum);
+}
+
+/// Prints the table to stdout and, when the LRB_CSV_DIR environment variable
+/// is set, also writes <LRB_CSV_DIR>/<name>.csv - the "figure data" export
+/// used to regenerate plots outside the harness.
+inline void emit_table(const Table& table, const std::string& name) {
+  table.print(std::cout);
+  if (const char* dir = std::getenv("LRB_CSV_DIR")) {
+    std::ofstream file(std::string(dir) + "/" + name + ".csv");
+    if (file) table.print_csv(file);
+  }
+}
+
+}  // namespace lrb::bench

@@ -1,0 +1,52 @@
+// Experiment E10: head-to-head with the prior art. The paper's claim: the
+// generic Shmoys-Tardos GAP rounding [14] gives 2x; this paper's GREEDY
+// matches that 2x with a trivial algorithm, and PARTITION improves it to
+// 1.5x. Measured against exact optima on unit-cost instances (budget = k).
+
+#include <iostream>
+
+#include "algo/greedy.h"
+#include "algo/m_partition.h"
+#include "bench_common.h"
+#include "lp/gap.h"
+
+int main() {
+  using namespace lrb;
+  using namespace lrb::bench;
+
+  std::cout << "E10: Shmoys-Tardos [14] vs GREEDY vs M-PARTITION "
+               "(unit costs, 30 seeds per row)\n\n";
+  Table table({"family", "k", "ST mean", "ST max", "greedy mean", "greedy max",
+               "mp mean", "mp max"});
+  for (const auto& family : small_families()) {
+    for (std::int64_t k : {1, 3, 6}) {
+      std::vector<double> st_ratios, greedy_ratios, mp_ratios;
+      for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        const auto inst = random_instance(family.options, seed);
+        const Size opt = exact_opt_moves(inst, k);
+        const auto st = st_rebalance(inst, k);
+        st_ratios.push_back(ratio(st.makespan, opt));
+        greedy_ratios.push_back(ratio(greedy_rebalance(inst, k).makespan, opt));
+        mp_ratios.push_back(ratio(m_partition_rebalance(inst, k).makespan, opt));
+      }
+      const auto st_summary = summarize(st_ratios);
+      const auto greedy_summary = summarize(greedy_ratios);
+      const auto mp_summary = summarize(mp_ratios);
+      table.row()
+          .add(family.name)
+          .add(k)
+          .add(st_summary.mean, 4)
+          .add(st_summary.max, 4)
+          .add(greedy_summary.mean, 4)
+          .add(greedy_summary.max, 4)
+          .add(mp_summary.mean, 4)
+          .add(mp_summary.max, 4);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: every max column respects its theoretical "
+               "bound (ST and greedy <= 2, m-partition <= 1.5); the "
+               "specialized algorithms dominate the generic LP baseline "
+               "while avoiding an LP solve entirely.\n";
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Experiment E13: google-benchmark microbenchmarks of the core data paths -
+// load accounting, lower bounds, threshold generation, the two rebalancers,
+// and the knapsack kernels that power the cost variants.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/greedy.h"
+#include "algo/m_partition.h"
+#include "algo/thresholds.h"
+#include "core/assignment.h"
+#include "core/generators.h"
+#include "core/lower_bounds.h"
+#include "algo/two_proc_exact.h"
+#include "core/plan.h"
+#include "diffusion/graph.h"
+#include "diffusion/local_exchange.h"
+#include "knapsack/knapsack.h"
+#include "online/scheduler.h"
+#include "online/trace.h"
+
+namespace {
+
+using namespace lrb;
+
+Instance bench_instance(std::int64_t n) {
+  GeneratorOptions gen;
+  gen.num_jobs = static_cast<std::size_t>(n);
+  gen.num_procs = 32;
+  gen.max_size = 5000;
+  gen.placement = PlacementPolicy::kHotspot;
+  return random_instance(gen, 99);
+}
+
+void BM_Makespan(benchmark::State& state) {
+  const auto inst = bench_instance(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(makespan(inst, inst.initial));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Makespan)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_KRemovalBound(benchmark::State& state) {
+  const auto inst = bench_instance(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k_removal_bound(inst, state.range(0) / 50));
+  }
+}
+BENCHMARK(BM_KRemovalBound)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_CandidateThresholds(benchmark::State& state) {
+  const auto inst = bench_instance(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(candidate_thresholds(inst));
+  }
+}
+BENCHMARK(BM_CandidateThresholds)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_Greedy(benchmark::State& state) {
+  const auto inst = bench_instance(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_rebalance(inst, state.range(0) / 50));
+  }
+}
+BENCHMARK(BM_Greedy)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_MPartition(benchmark::State& state) {
+  const auto inst = bench_instance(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m_partition_rebalance(inst, state.range(0) / 50));
+  }
+}
+BENCHMARK(BM_MPartition)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_KnapsackExact(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<KnapsackItem> items(static_cast<std::size_t>(state.range(0)));
+  for (auto& item : items) {
+    item.size = rng.uniform_int(1, 100);
+    item.value = rng.uniform_int(1, 50);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knapsack_exact(items, 500));
+  }
+}
+BENCHMARK(BM_KnapsackExact)->Arg(32)->Arg(256);
+
+void BM_KnapsackSizeRelaxed(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<KnapsackItem> items(static_cast<std::size_t>(state.range(0)));
+  for (auto& item : items) {
+    item.size = rng.uniform_int(1, 1'000'000);
+    item.value = rng.uniform_int(1, 50);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knapsack_size_relaxed(items, 5'000'000, 0.1));
+  }
+}
+BENCHMARK(BM_KnapsackSizeRelaxed)->Arg(32)->Arg(256);
+
+void BM_TwoProcExactDp(benchmark::State& state) {
+  GeneratorOptions gen;
+  gen.num_jobs = static_cast<std::size_t>(state.range(0));
+  gen.num_procs = 2;
+  gen.max_size = 500;
+  gen.placement = PlacementPolicy::kHotspot;
+  const auto inst = random_instance(gen, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(two_proc_exact_rebalance(inst, state.range(0) / 4));
+  }
+}
+BENCHMARK(BM_TwoProcExactDp)->Arg(32)->Arg(128);
+
+void BM_MakePlanMonotone(benchmark::State& state) {
+  GeneratorOptions gen;
+  gen.num_jobs = static_cast<std::size_t>(state.range(0));
+  gen.num_procs = 16;
+  gen.placement = PlacementPolicy::kHotspot;
+  const auto inst = random_instance(gen, 5);
+  const auto result = greedy_rebalance(inst, state.range(0) / 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        make_plan(inst, result.assignment, PlanOrder::kMonotone));
+  }
+}
+BENCHMARK(BM_MakePlanMonotone)->Arg(256)->Arg(1024);
+
+void BM_LocalExchangeRing(benchmark::State& state) {
+  GeneratorOptions gen;
+  gen.num_jobs = static_cast<std::size_t>(state.range(0));
+  gen.num_procs = 16;
+  gen.placement = PlacementPolicy::kHotspot;
+  const auto inst = random_instance(gen, 7);
+  const auto graph = diffusion::ring_graph(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diffusion::local_exchange_rebalance(inst, graph));
+  }
+}
+BENCHMARK(BM_LocalExchangeRing)->Arg(256)->Arg(1024);
+
+void BM_OnlineArriveDepart(benchmark::State& state) {
+  online::TraceOptions opt;
+  opt.num_events = static_cast<std::size_t>(state.range(0));
+  opt.departure_fraction = 0.4;
+  const auto trace = online::random_trace(opt, 9);
+  for (auto _ : state) {
+    online::OnlineScheduler scheduler(16);
+    std::vector<std::size_t> handles;
+    for (const auto& event : trace) {
+      if (event.kind == online::EventKind::kArrive) {
+        handles.push_back(scheduler.on_arrive(event.size, event.move_cost));
+      } else {
+        scheduler.on_depart(handles[event.arrival_index]);
+      }
+    }
+    benchmark::DoNotOptimize(scheduler.makespan());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OnlineArriveDepart)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Experiment E3 (Lemmas 3-4): at the true optimum threshold, PARTITION never
+// removes more jobs than the cheapest optimal schedule moves.
+//
+// For each random instance we compute the exact optimum OPT(k), the minimum
+// number of moves of ANY schedule achieving it, and PARTITION's removal
+// count at threshold OPT. The lemma predicts removals <= min-moves in every
+// single case.
+
+#include <iostream>
+
+#include "algo/move_min.h"
+#include "algo/partition.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace lrb;
+  using namespace lrb::bench;
+
+  std::cout << "E3 / Lemmas 3-4: PARTITION move-optimality at T = OPT\n\n";
+  Table table({"family", "k", "cases", "removals<=minmoves", "mean slack",
+               "max saving"});
+  for (const auto& family : small_families()) {
+    for (std::int64_t k : {1, 2, 4, 8}) {
+      int cases = 0, held = 0;
+      std::vector<double> slack;
+      std::int64_t max_saving = 0;
+      for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        const auto inst = random_instance(family.options, seed);
+        const Size opt = exact_opt_moves(inst, k);
+        const auto min_moves = minimize_moves_exact(inst, opt);
+        if (!min_moves.feasible || !min_moves.proven_optimal) continue;
+        const auto outcome = partition_rebalance_at(inst, opt);
+        if (!outcome.feasible) continue;
+        ++cases;
+        if (outcome.removals <= min_moves.best.moves) ++held;
+        slack.push_back(
+            static_cast<double>(min_moves.best.moves - outcome.removals));
+        max_saving =
+            std::max(max_saving, min_moves.best.moves - outcome.removals);
+      }
+      const auto s = summarize(slack);
+      table.row()
+          .add(family.name)
+          .add(k)
+          .add(static_cast<std::int64_t>(cases))
+          .add(std::to_string(held) + "/" + std::to_string(cases))
+          .add(s.mean, 3)
+          .add(max_saving);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: the lemma column is always cases/cases; "
+               "slack >= 0 (PARTITION sometimes moves strictly less than an "
+               "optimal schedule would, because its target configuration is "
+               "only half-optimal).\n";
+  return 0;
+}

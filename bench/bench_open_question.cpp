@@ -1,0 +1,74 @@
+// Experiment E15: empirical color on the paper's open question (§5):
+// "whether the relocation cost is hard to approximate even when the target
+// load is strictly above the minimum load achievable."
+//
+// For random instances we compute the true minimum achievable makespan
+// L_min (unbounded moves), then sweep the move-minimization target
+// T = ceil((1+slack) * L_min). Measured per slack level:
+//   - how often the greedy move minimizer (provably optimal when it
+//     succeeds) solves the instance outright,
+//   - how often its move count matches the exact optimum,
+//   - how much work the exact branch-and-bound needs (nodes).
+// The observed shape - failures and search effort concentrate at slack 0
+// and vanish with a few percent of headroom - is consistent with the
+// conjecture that the hardness lives at tight targets.
+
+#include <cmath>
+#include <iostream>
+
+#include "algo/exact.h"
+#include "algo/move_min.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace lrb;
+  using namespace lrb::bench;
+
+  std::cout << "E15 / open question: move minimization vs target slack "
+               "(n = 12, m = 4, 40 seeds per row)\n\n";
+  GeneratorOptions gen;
+  gen.num_jobs = 12;
+  gen.num_procs = 4;
+  gen.max_size = 40;
+  gen.placement = PlacementPolicy::kHotspot;
+
+  Table table({"slack", "feasible", "greedy solves", "greedy optimal",
+               "mean exact nodes", "mean moves"});
+  for (double slack : {0.0, 0.02, 0.05, 0.10, 0.25, 0.50}) {
+    int feasible = 0, greedy_ok = 0, greedy_optimal = 0;
+    std::vector<double> nodes, moves;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+      const auto inst = random_instance(gen, seed);
+      ExactOptions unbounded;
+      const auto best = exact_rebalance(inst, unbounded);
+      const auto l_min = best.best.makespan;
+      const auto target = static_cast<Size>(
+          std::ceil((1.0 + slack) * static_cast<double>(l_min)));
+
+      const auto exact = minimize_moves_exact(inst, target);
+      if (!exact.feasible) continue;  // cannot happen for target >= L_min
+      ++feasible;
+      nodes.push_back(static_cast<double>(exact.nodes));
+      moves.push_back(static_cast<double>(exact.best.moves));
+      const auto greedy = move_min_greedy(inst, target);
+      if (greedy.has_value()) {
+        ++greedy_ok;
+        if (greedy->moves == exact.best.moves) ++greedy_optimal;
+      }
+    }
+    table.row()
+        .add(slack, 3)
+        .add(static_cast<std::int64_t>(feasible))
+        .add(std::to_string(greedy_ok) + "/" + std::to_string(feasible))
+        .add(std::to_string(greedy_optimal) + "/" + std::to_string(feasible))
+        .add(summarize(nodes).mean, 5)
+        .add(summarize(moves).mean, 4);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: at slack 0 the greedy minimizer sometimes "
+               "gets stuck and the exact search works hardest; a few percent "
+               "of headroom makes greedy (which is optimal whenever it "
+               "completes) solve essentially everything - the hardness "
+               "concentrates at tight targets.\n";
+  return 0;
+}

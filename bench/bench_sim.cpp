@@ -1,0 +1,91 @@
+// Experiment E11: the motivating web-farm scenario. Policies compared over
+// drifting + flash-crowd workloads across seeds and move budgets: bounded-
+// move rebalancing tracks the fractional optimum at a tiny fraction of full
+// rebalancing's migration traffic.
+
+#include <iostream>
+
+#include "algo/rebalancer.h"
+#include "bench_common.h"
+#include "sim/policies.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace lrb;
+  using namespace lrb::bench;
+  using namespace lrb::sim;
+
+  std::cout << "E11: web-farm simulation (300 sites, 12 servers, 300 steps, "
+               "5 seeds per row)\n\n";
+
+  SimOptions base;
+  base.workload.num_sites = 300;
+  base.workload.max_initial_load = 1500;
+  base.workload.flash_prob = 0.003;
+  base.num_servers = 12;
+  base.steps = 300;
+  base.rebalance_every = 5;
+
+  Table table({"policy", "k", "mean imb", "p90 imb", "moves/round",
+               "GB moved"});
+  for (const auto& policy : standard_rebalancers()) {
+    for (std::int64_t k : {4, 12, 36}) {
+      if (policy.name == "none" && k != 4) continue;      // k is irrelevant
+      if (policy.name == "lpt-full" && k != 4) continue;  // budget ignored
+      std::vector<double> imbalances, p90s, moves, bytes;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        auto options = base;
+        options.move_budget = k;
+        options.seed = seed;
+        Simulator simulator(options, policy.run);
+        const auto result = simulator.run();
+        imbalances.push_back(result.imbalance.mean);
+        p90s.push_back(result.imbalance.p90);
+        const double rounds =
+            static_cast<double>(base.steps) /
+            static_cast<double>(base.rebalance_every);
+        moves.push_back(static_cast<double>(result.total_moves) / rounds);
+        bytes.push_back(static_cast<double>(result.total_bytes) / 1e6);
+      }
+      table.row()
+          .add(policy.name)
+          .add(policy.name == "none" || policy.name == "lpt-full" ? "-"
+                                                                  : std::to_string(k))
+          .add(summarize(imbalances).mean, 4)
+          .add(summarize(p90s).mean, 4)
+          .add(summarize(moves).mean, 4)
+          .add(summarize(bytes).mean, 4);
+    }
+  }
+  // Byte-budgeted policies (§3.2 in production terms: cap migration traffic
+  // per round rather than the migration count).
+  for (Cost bytes : {Cost{2000}, Cost{10000}}) {
+    std::vector<double> imbalances, p90s, moves, total_bytes;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      auto options = base;
+      options.byte_costs = true;
+      options.seed = seed;
+      Simulator simulator(options, cost_partition_policy(bytes));
+      const auto result = simulator.run();
+      imbalances.push_back(result.imbalance.mean);
+      p90s.push_back(result.imbalance.p90);
+      const double rounds = static_cast<double>(base.steps) /
+                            static_cast<double>(base.rebalance_every);
+      moves.push_back(static_cast<double>(result.total_moves) / rounds);
+      total_bytes.push_back(static_cast<double>(result.total_bytes) / 1e6);
+    }
+    table.row()
+        .add("cost-partition")
+        .add(std::to_string(bytes) + "B")
+        .add(summarize(imbalances).mean, 4)
+        .add(summarize(p90s).mean, 4)
+        .add(summarize(moves).mean, 4)
+        .add(summarize(total_bytes).mean, 4);
+  }
+  emit_table(table, "e11_sim");
+  std::cout << "\nExpected shape: 'none' drifts to the worst imbalance; "
+               "bounded-k policies close most of the gap to 'lpt-full' while "
+               "migrating orders of magnitude less; larger k helps with "
+               "diminishing returns.\n";
+  return 0;
+}

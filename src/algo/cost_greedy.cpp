@@ -1,0 +1,68 @@
+#include "algo/cost_greedy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace lrb {
+
+RebalanceResult cost_greedy_rebalance(const Instance& instance, Cost budget) {
+  assert(budget >= 0);
+  Assignment assignment = instance.initial;
+  std::vector<Size> load = instance.initial_loads();
+  Cost spent = 0;
+
+  // Bounded by n moves: each accepted move relocates a distinct job (moving
+  // a job twice is never chosen because the second move would have to
+  // strictly improve again from its new home, which the loop re-evaluates
+  // on fresh loads - still possible in principle, so cap iterations).
+  const std::size_t max_steps = 4 * instance.num_jobs() + 16;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const ProcId peak = static_cast<ProcId>(
+        std::max_element(load.begin(), load.end()) - load.begin());
+    const ProcId valley = static_cast<ProcId>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    if (peak == valley) break;
+
+    // Best affordable job on the peak: maximize size/cost; the move must
+    // leave the valley strictly below the old peak.
+    JobId best = 0;
+    bool found = false;
+    double best_leverage = -1.0;
+    for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+      if (assignment[j] != peak || instance.sizes[j] == 0) continue;
+      // Refund accounting: moving a job back toward its initial home can
+      // only happen if peak == initial, in which case cost is 0 already.
+      const Cost price =
+          valley == instance.initial[j] ? -instance.move_costs[j]
+          : assignment[j] == instance.initial[j] ? instance.move_costs[j]
+                                                 : 0;
+      if (spent + price > budget) continue;
+      if (load[valley] + instance.sizes[j] >= load[peak]) continue;
+      const double leverage =
+          static_cast<double>(instance.sizes[j]) /
+          static_cast<double>(std::max<Cost>(1, instance.move_costs[j]));
+      if (!found || leverage > best_leverage) {
+        best = static_cast<JobId>(j);
+        best_leverage = leverage;
+        found = true;
+      }
+    }
+    if (!found) break;
+    const Cost price =
+        valley == instance.initial[best] ? -instance.move_costs[best]
+        : assignment[best] == instance.initial[best] ? instance.move_costs[best]
+                                                     : 0;
+    spent += price;
+    load[peak] -= instance.sizes[best];
+    load[valley] += instance.sizes[best];
+    assignment[best] = valley;
+  }
+
+  auto result = finalize_result(instance, std::move(assignment));
+  assert(result.cost <= budget);
+  assert(result.cost == spent);
+  return result;
+}
+
+}  // namespace lrb

@@ -1,0 +1,21 @@
+// A natural cost-aware greedy baseline for the budgeted problem (§3.2's
+// setting): repeatedly move the job with the best size-per-cost leverage off
+// the heaviest processor onto the lightest one, while the budget lasts. No
+// worst-case guarantee (unlike cost-PARTITION's 1.5(1+eps)) - it exists so
+// the experiment tables can show what the sophisticated algorithm buys.
+
+#pragma once
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+/// Budgeted greedy: at each step, from the currently max-loaded processor,
+/// choose the affordable job maximizing size/cost whose relocation to the
+/// min-loaded processor strictly lowers that processor pair's peak; stop
+/// when no affordable improving move exists. Cost never exceeds `budget`.
+[[nodiscard]] RebalanceResult cost_greedy_rebalance(const Instance& instance,
+                                                    Cost budget);
+
+}  // namespace lrb

@@ -1,0 +1,221 @@
+#include "algo/cost_partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "core/lower_bounds.h"
+#include "knapsack/knapsack.h"
+
+namespace lrb {
+namespace {
+
+struct ProcPlan {
+  Cost a_cost = 0;
+  Cost b_cost = 0;
+  Cost c = 0;
+  bool has_large = false;
+  std::vector<JobId> a_remove;  ///< jobs the a-plan evicts
+  std::vector<JobId> b_remove;  ///< jobs the b-plan evicts
+};
+
+struct Attempt {
+  bool feasible = false;        ///< false iff L_T > m
+  Cost planned_cost = kInfCost;
+  Assignment assignment;
+};
+
+Attempt attempt_guess(const Instance& instance, Size A,
+                      const CostPartitionOptions& options) {
+  Attempt out;
+  const ProcId m = instance.num_procs;
+  auto is_large = [&](JobId j) { return 2 * instance.sizes[j] > A; };
+
+  auto by_proc = instance.jobs_by_proc();
+  std::int64_t large_total = 0;
+  for (const auto& jobs : by_proc) {
+    for (JobId j : jobs) large_total += is_large(j) ? 1 : 0;
+  }
+  if (large_total > static_cast<std::int64_t>(m)) return out;  // A < OPT
+
+  // The size-relaxed knapsack needs a strictly positive eps.
+  const double eps = options.eps > 0 ? options.eps : 0.01;
+
+  std::vector<ProcPlan> plans(m);
+  for (ProcId p = 0; p < m; ++p) {
+    auto& plan = plans[p];
+    std::vector<JobId> larges;
+    std::vector<JobId> smalls;
+    for (JobId j : by_proc[p]) (is_large(j) ? larges : smalls).push_back(j);
+    plan.has_large = !larges.empty();
+
+    // --- a-plan: keep the costliest large job, knapsack the smalls to A/2.
+    if (!larges.empty()) {
+      const JobId keep = *std::max_element(
+          larges.begin(), larges.end(), [&](JobId x, JobId y) {
+            if (instance.move_costs[x] != instance.move_costs[y]) {
+              return instance.move_costs[x] < instance.move_costs[y];
+            }
+            return x > y;  // deterministic: lowest id among equals kept
+          });
+      for (JobId j : larges) {
+        if (j != keep) {
+          plan.a_remove.push_back(j);
+          plan.a_cost += instance.move_costs[j];
+        }
+      }
+    }
+    {
+      std::vector<KnapsackItem> items(smalls.size());
+      Cost total_cost = 0;
+      for (std::size_t i = 0; i < smalls.size(); ++i) {
+        items[i] = {instance.sizes[smalls[i]], instance.move_costs[smalls[i]]};
+        total_cost += items[i].value;
+      }
+      const auto kept =
+          knapsack_auto(items, A / 2, eps, options.max_knapsack_cells);
+      plan.a_cost += total_cost - kept.value;
+      std::vector<char> keep_flag(smalls.size(), 0);
+      for (std::size_t i : kept.chosen) keep_flag[i] = 1;
+      for (std::size_t i = 0; i < smalls.size(); ++i) {
+        if (keep_flag[i] == 0) plan.a_remove.push_back(smalls[i]);
+      }
+    }
+
+    // --- b-plan: knapsack over ALL the processor's jobs to cap A.
+    {
+      const auto& jobs = by_proc[p];
+      std::vector<KnapsackItem> items(jobs.size());
+      Cost total_cost = 0;
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        items[i] = {instance.sizes[jobs[i]], instance.move_costs[jobs[i]]};
+        total_cost += items[i].value;
+      }
+      const auto kept = knapsack_auto(items, A, eps, options.max_knapsack_cells);
+      plan.b_cost = total_cost - kept.value;
+      std::vector<char> keep_flag(jobs.size(), 0);
+      for (std::size_t i : kept.chosen) keep_flag[i] = 1;
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (keep_flag[i] == 0) plan.b_remove.push_back(jobs[i]);
+      }
+    }
+    plan.c = plan.a_cost - plan.b_cost;
+  }
+
+  // Select the L_T processors with smallest c (ties prefer large-holders).
+  std::vector<ProcId> procs(m);
+  std::iota(procs.begin(), procs.end(), ProcId{0});
+  std::sort(procs.begin(), procs.end(), [&](ProcId x, ProcId y) {
+    if (plans[x].c != plans[y].c) return plans[x].c < plans[y].c;
+    if (plans[x].has_large != plans[y].has_large) return plans[x].has_large;
+    return x < y;
+  });
+  std::vector<char> selected(m, 0);
+  for (std::int64_t i = 0; i < large_total; ++i) {
+    selected[procs[static_cast<std::size_t>(i)]] = 1;
+  }
+
+  // Execute plans.
+  Assignment assignment = instance.initial;
+  std::vector<Size> load = instance.initial_loads();
+  std::vector<char> holds_large(m, 0);
+  for (ProcId p = 0; p < m; ++p) holds_large[p] = plans[p].has_large;
+  std::vector<JobId> pending_large;
+  std::vector<JobId> pending_small;
+  Cost planned = 0;
+  for (ProcId p = 0; p < m; ++p) {
+    const auto& remove = selected[p] != 0 ? plans[p].a_remove : plans[p].b_remove;
+    planned += selected[p] != 0 ? plans[p].a_cost : plans[p].b_cost;
+    bool large_kept = plans[p].has_large;
+    for (JobId j : remove) {
+      load[p] -= instance.sizes[j];
+      if (is_large(j)) {
+        pending_large.push_back(j);
+      } else {
+        pending_small.push_back(j);
+      }
+    }
+    if (selected[p] == 0) {
+      // The b-plan may have evicted this processor's only remaining large.
+      large_kept = false;
+      for (JobId j : by_proc[p]) {
+        if (is_large(j) &&
+            std::find(remove.begin(), remove.end(), j) == remove.end()) {
+          large_kept = true;
+        }
+      }
+    }
+    holds_large[p] = large_kept;
+  }
+
+  // Evicted large jobs go to distinct large-free SELECTED processors.
+  std::vector<ProcId> slots;
+  for (ProcId p = 0; p < m; ++p) {
+    if (selected[p] != 0 && holds_large[p] == 0) slots.push_back(p);
+  }
+  assert(pending_large.size() <= slots.size());
+  for (std::size_t i = 0; i < pending_large.size(); ++i) {
+    assignment[pending_large[i]] = slots[i];
+    load[slots[i]] += instance.sizes[pending_large[i]];
+  }
+
+  // Evicted small jobs: largest first onto the min-loaded processor.
+  std::sort(pending_small.begin(), pending_small.end(), [&](JobId x, JobId y) {
+    if (instance.sizes[x] != instance.sizes[y]) {
+      return instance.sizes[x] > instance.sizes[y];
+    }
+    return x < y;
+  });
+  using Entry = std::pair<Size, ProcId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (ProcId p = 0; p < m; ++p) heap.emplace(load[p], p);
+  for (JobId j : pending_small) {
+    auto [l, p] = heap.top();
+    heap.pop();
+    assignment[j] = p;
+    heap.emplace(l + instance.sizes[j], p);
+  }
+
+  out.feasible = true;
+  out.planned_cost = planned;
+  out.assignment = std::move(assignment);
+  return out;
+}
+
+}  // namespace
+
+RebalanceResult cost_partition_rebalance(const Instance& instance,
+                                         const CostPartitionOptions& options,
+                                         CostPartitionStats* stats) {
+  assert(options.budget >= 0);
+  assert(options.alpha > 0);
+  Size guess = std::max({max_job_bound(instance), average_load_bound(instance),
+                         budget_removal_bound(instance, options.budget),
+                         Size{1}});
+  std::size_t evaluated = 0;
+  for (;;) {
+    ++evaluated;
+    auto attempt = attempt_guess(instance, guess, options);
+    if (attempt.feasible && attempt.planned_cost <= options.budget) {
+      if (stats != nullptr) {
+        stats->accepted_guess = guess;
+        stats->planned_cost = attempt.planned_cost;
+        stats->guesses_evaluated = evaluated;
+      }
+      auto result = finalize_result(instance, std::move(attempt.assignment), guess);
+      assert(result.cost <= options.budget);
+      return result;
+    }
+    // Geometric step; guaranteed to terminate because at a sufficiently
+    // large guess no job is large and every processor already fits (zero
+    // planned cost).
+    const auto stepped = static_cast<Size>(
+        std::ceil(static_cast<double>(guess) * (1.0 + options.alpha)));
+    guess = std::max(guess + 1, stepped);
+  }
+}
+
+}  // namespace lrb

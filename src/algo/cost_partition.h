@@ -1,0 +1,47 @@
+// PARTITION for arbitrary relocation costs (SPAA'03 §3.2): minimize the
+// makespan subject to a total relocation budget B, achieving a factor of
+// 1.5 * (1 + eps) * (1 + alpha) where eps is the knapsack relaxation and
+// alpha the geometric guess step.
+//
+// At a makespan guess A, a_i / b_i become minimum-COST removals computed by
+// knapsack ("keep the maximum-cost subset under the load cap"):
+//   a_i: remove all large jobs except the single costliest one, plus small
+//        jobs so the remaining small total is <= A/2;
+//   b_i: remove any jobs so the remaining total is <= A (the kept set can
+//        contain at most one large job since two would exceed A).
+// The L_T processors with smallest c_i = a_i - b_i execute their a_i plan,
+// the rest their b_i plan; evicted large jobs go to distinct large-free
+// selected processors, evicted small jobs go to the min-loaded processor.
+// The guess is accepted once the planned removal cost is within B; at any
+// A >= OPT the plan never costs more than the optimal budget-B schedule
+// (Lemma 7), so the accepted guess is at most (1 + alpha) * OPT.
+
+#pragma once
+
+#include <cstddef>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+struct CostPartitionOptions {
+  Cost budget = 0;      ///< the paper's B
+  double eps = 0.05;    ///< knapsack size relaxation (0 => exact when small)
+  double alpha = 0.02;  ///< geometric step between makespan guesses
+  std::size_t max_knapsack_cells = std::size_t{1} << 22;
+};
+
+struct CostPartitionStats {
+  Size accepted_guess = 0;
+  Cost planned_cost = 0;  ///< sum of executed a_i / b_i plans (>= actual)
+  std::size_t guesses_evaluated = 0;
+};
+
+/// Runs the §3.2 algorithm. The returned solution always has
+/// relocation cost <= budget.
+[[nodiscard]] RebalanceResult cost_partition_rebalance(
+    const Instance& instance, const CostPartitionOptions& options,
+    CostPartitionStats* stats = nullptr);
+
+}  // namespace lrb

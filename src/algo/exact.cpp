@@ -1,0 +1,154 @@
+#include "algo/exact.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "algo/greedy.h"
+#include "algo/m_partition.h"
+#include "core/lower_bounds.h"
+
+namespace lrb {
+namespace {
+
+struct Searcher {
+  const Instance& inst;
+  const ExactOptions& opt;
+  std::vector<JobId> order;            // jobs, descending size
+  std::vector<Size> load;              // current partial loads
+  std::vector<std::int64_t> homes_left;  // #remaining jobs whose initial proc is p
+  Assignment current;
+  Assignment best_assignment;
+  Size best_makespan = kInfSize;
+  Size floor_bound = 0;  // ceil-average: cannot do better than this
+  std::int64_t moves = 0;
+  Cost cost = 0;
+  std::uint64_t nodes = 0;
+  bool aborted = false;
+
+  explicit Searcher(const Instance& instance, const ExactOptions& options)
+      : inst(instance), opt(options) {
+    order.resize(inst.num_jobs());
+    std::iota(order.begin(), order.end(), JobId{0});
+    std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+      if (inst.sizes[a] != inst.sizes[b]) return inst.sizes[a] > inst.sizes[b];
+      return a < b;
+    });
+    load.assign(inst.num_procs, 0);
+    homes_left.assign(inst.num_procs, 0);
+    for (ProcId p : inst.initial) ++homes_left[p];
+    current = inst.initial;
+    floor_bound = average_load_bound(inst);
+  }
+
+  void seed_incumbent(const RebalanceResult& candidate) {
+    if (candidate.moves <= opt.max_moves && candidate.cost <= opt.budget &&
+        candidate.makespan < best_makespan) {
+      best_makespan = candidate.makespan;
+      best_assignment = candidate.assignment;
+    }
+  }
+
+  [[nodiscard]] Size current_max() const {
+    Size mx = 0;
+    for (Size l : load) mx = std::max(mx, l);
+    return mx;
+  }
+
+  void dfs(std::size_t idx, Size cur_max) {
+    if (aborted) return;
+    if (++nodes > opt.node_limit) {
+      aborted = true;
+      return;
+    }
+    if (cur_max >= best_makespan) return;  // cannot strictly improve
+    if (idx == order.size()) {
+      best_makespan = cur_max;
+      best_assignment = current;
+      return;
+    }
+    const JobId j = order[idx];
+    const Size s = inst.sizes[j];
+    const ProcId home = inst.initial[j];
+    --homes_left[home];
+
+    // Candidate processors: home first (free), then others by ascending
+    // load, skipping duplicates among processors that are fully symmetric
+    // for the remaining jobs (equal load, no remaining job's home).
+    std::vector<ProcId> cands;
+    cands.reserve(inst.num_procs);
+    cands.push_back(home);
+    std::vector<ProcId> others;
+    others.reserve(inst.num_procs);
+    for (ProcId p = 0; p < inst.num_procs; ++p) {
+      if (p != home) others.push_back(p);
+    }
+    std::sort(others.begin(), others.end(), [&](ProcId x, ProcId y) {
+      if (load[x] != load[y]) return load[x] < load[y];
+      return x < y;
+    });
+    Size last_symmetric_load = -1;
+    for (ProcId p : others) {
+      if (homes_left[p] == 0) {
+        if (load[p] == last_symmetric_load) continue;  // interchangeable
+        last_symmetric_load = load[p];
+      }
+      cands.push_back(p);
+    }
+
+    for (ProcId p : cands) {
+      const bool is_move = p != home;
+      if (is_move && (moves + 1 > opt.max_moves || cost + inst.move_costs[j] > opt.budget)) {
+        continue;
+      }
+      if (load[p] + s >= best_makespan) continue;
+      load[p] += s;
+      current[j] = p;
+      if (is_move) {
+        ++moves;
+        cost += inst.move_costs[j];
+      }
+      dfs(idx + 1, std::max(cur_max, load[p]));
+      if (is_move) {
+        --moves;
+        cost -= inst.move_costs[j];
+      }
+      load[p] -= s;
+      current[j] = home;
+      if (best_makespan <= floor_bound) break;  // certified optimal already
+      if (aborted) break;
+    }
+    ++homes_left[home];
+  }
+};
+
+}  // namespace
+
+ExactResult exact_rebalance(const Instance& instance,
+                            const ExactOptions& options) {
+  assert(options.max_moves >= 0);
+  assert(options.budget >= 0);
+  Searcher searcher(instance, options);
+
+  // Warm starts keep the search shallow: identity, GREEDY and M-PARTITION
+  // (the latter two when the move budget is the binding constraint).
+  searcher.seed_incumbent(no_move_result(instance));
+  {
+    const auto k = std::min<std::int64_t>(
+        options.max_moves, static_cast<std::int64_t>(instance.num_jobs()));
+    searcher.seed_incumbent(greedy_rebalance(instance, k));
+    searcher.seed_incumbent(m_partition_rebalance(instance, k));
+  }
+
+  searcher.dfs(0, 0);
+
+  ExactResult result;
+  result.nodes = searcher.nodes;
+  result.proven_optimal = !searcher.aborted;
+  result.best = finalize_result(instance, std::move(searcher.best_assignment));
+  assert(result.best.makespan == searcher.best_makespan);
+  return result;
+}
+
+}  // namespace lrb

@@ -1,0 +1,39 @@
+// OPTIMAL: exact branch-and-bound for the load rebalancing problem, used as
+// ground truth in the approximation-ratio experiments (the problem is
+// NP-hard, so this is for small instances only; ~n <= 16).
+//
+// Minimizes makespan subject to (a) at most `max_moves` relocated jobs and
+// (b) total relocation cost at most `budget`. Either constraint may be left
+// unbounded.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+struct ExactOptions {
+  std::int64_t max_moves = kInfSize;  ///< the paper's k (unit-cost problem)
+  Cost budget = kInfCost;             ///< the paper's B (arbitrary costs)
+  std::uint64_t node_limit = 50'000'000;
+};
+
+struct ExactResult {
+  RebalanceResult best;
+  /// True iff the search space was exhausted within node_limit, i.e. `best`
+  /// is a certified optimum.
+  bool proven_optimal = false;
+  std::uint64_t nodes = 0;
+};
+
+/// Branch-and-bound over jobs in descending size order. Prunes on the
+/// incumbent makespan, the move/cost budgets, the ceil-average lower bound,
+/// and collapses processors that are symmetric for the remaining jobs
+/// (equal load and initial home of no remaining job).
+[[nodiscard]] ExactResult exact_rebalance(const Instance& instance,
+                                          const ExactOptions& options = {});
+
+}  // namespace lrb

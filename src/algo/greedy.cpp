@@ -1,0 +1,87 @@
+#include "algo/greedy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace lrb {
+
+RebalanceResult greedy_rebalance(const Instance& instance, std::int64_t k,
+                                 GreedyOrder order, GreedyStats* stats) {
+  assert(k >= 0);
+  Assignment assignment = instance.initial;
+  std::vector<Size> load = instance.initial_loads();
+
+  // Step 1: k removals, largest job off the heaviest processor. Jobs per
+  // processor are pre-sorted descending; `next[p]` walks that order.
+  auto by_proc = instance.jobs_by_proc();
+  for (auto& jobs : by_proc) {
+    std::sort(jobs.begin(), jobs.end(), [&](JobId a, JobId b) {
+      if (instance.sizes[a] != instance.sizes[b]) {
+        return instance.sizes[a] > instance.sizes[b];
+      }
+      return a < b;
+    });
+  }
+  std::vector<std::size_t> next(instance.num_procs, 0);
+  // Max-heap with lazy deletion: entries are (load, proc) snapshots.
+  std::priority_queue<std::pair<Size, ProcId>> max_heap;
+  for (ProcId p = 0; p < instance.num_procs; ++p) max_heap.emplace(load[p], p);
+
+  std::vector<JobId> removed;
+  removed.reserve(static_cast<std::size_t>(std::min<std::int64_t>(
+      k, static_cast<std::int64_t>(instance.num_jobs()))));
+  for (std::int64_t step = 0; step < k && !max_heap.empty();) {
+    const auto [snapshot, p] = max_heap.top();
+    if (snapshot != load[p]) {  // stale
+      max_heap.pop();
+      continue;
+    }
+    if (next[p] >= by_proc[p].size()) {
+      // The heaviest processor has no jobs left: every processor is empty
+      // of removable work at or above this load; stop early.
+      break;
+    }
+    max_heap.pop();
+    const JobId victim = by_proc[p][next[p]++];
+    load[p] -= instance.sizes[victim];
+    removed.push_back(victim);
+    max_heap.emplace(load[p], p);
+    ++step;
+  }
+
+  if (stats != nullptr) {
+    stats->removed = static_cast<std::int64_t>(removed.size());
+    stats->g1 = *std::max_element(load.begin(), load.end());
+  }
+
+  // Step 2: reinsert in the requested order onto the min-loaded processor.
+  switch (order) {
+    case GreedyOrder::kAsRemoved:
+      break;
+    case GreedyOrder::kLargestFirst:
+      std::stable_sort(removed.begin(), removed.end(), [&](JobId a, JobId b) {
+        return instance.sizes[a] > instance.sizes[b];
+      });
+      break;
+    case GreedyOrder::kSmallestFirst:
+      std::stable_sort(removed.begin(), removed.end(), [&](JobId a, JobId b) {
+        return instance.sizes[a] < instance.sizes[b];
+      });
+      break;
+  }
+  using Entry = std::pair<Size, ProcId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> min_heap;
+  for (ProcId p = 0; p < instance.num_procs; ++p) min_heap.emplace(load[p], p);
+  for (JobId j : removed) {
+    auto [l, p] = min_heap.top();
+    min_heap.pop();
+    assignment[j] = p;
+    min_heap.emplace(l + instance.sizes[j], p);
+  }
+  return finalize_result(instance, std::move(assignment));
+}
+
+}  // namespace lrb

@@ -1,0 +1,157 @@
+#include "algo/local_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "algo/m_partition.h"
+
+namespace lrb {
+namespace {
+
+struct State {
+  const Instance& inst;
+  Assignment assignment;
+  std::vector<Size> load;
+  std::int64_t moves;
+  Cost cost;
+
+  explicit State(const Instance& instance, const RebalanceResult& start)
+      : inst(instance),
+        assignment(start.assignment),
+        load(loads(instance, start.assignment)),
+        moves(start.moves),
+        cost(start.cost) {}
+
+  /// Move-count / cost deltas of rerouting job j to processor q.
+  [[nodiscard]] std::int64_t move_delta(JobId j, ProcId q) const {
+    const bool was_moved = assignment[j] != inst.initial[j];
+    const bool will_move = q != inst.initial[j];
+    return (will_move ? 1 : 0) - (was_moved ? 1 : 0);
+  }
+  [[nodiscard]] Cost cost_delta(JobId j, ProcId q) const {
+    return static_cast<Cost>(move_delta(j, q)) * inst.move_costs[j];
+  }
+
+  void apply(JobId j, ProcId q) {
+    moves += move_delta(j, q);
+    cost += cost_delta(j, q);
+    load[assignment[j]] -= inst.sizes[j];
+    load[q] += inst.sizes[j];
+    assignment[j] = q;
+  }
+};
+
+}  // namespace
+
+RebalanceResult local_search_improve(const Instance& instance,
+                                     const RebalanceResult& start,
+                                     const LocalSearchOptions& options,
+                                     LocalSearchStats* stats) {
+  assert(start.moves <= options.max_moves);
+  assert(start.cost <= options.budget);
+  State state(instance, start);
+  LocalSearchStats local;
+
+  // Jobs per current processor, maintained lazily (rebuilt each round; the
+  // round count is small and bounded).
+  for (int round = 0; round < options.max_rounds; ++round) {
+    const ProcId peak = static_cast<ProcId>(
+        std::max_element(state.load.begin(), state.load.end()) -
+        state.load.begin());
+    const Size peak_load = state.load[peak];
+    if (peak_load == 0) break;
+
+    std::vector<JobId> on_peak;
+    for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+      if (state.assignment[j] == peak && instance.sizes[j] > 0) {
+        on_peak.push_back(static_cast<JobId>(j));
+      }
+    }
+
+    // --- single-job relocations: j leaves the peak, lands strictly below
+    // the old peak load, budgets permitting. Choose the lowest landing.
+    JobId best_job = 0;
+    ProcId best_target = kNoProc;
+    Size best_landing = peak_load;
+    for (JobId j : on_peak) {
+      for (ProcId q = 0; q < instance.num_procs; ++q) {
+        if (q == peak) continue;
+        const Size landing = state.load[q] + instance.sizes[j];
+        if (landing >= peak_load) continue;
+        if (state.moves + state.move_delta(j, q) > options.max_moves) continue;
+        if (state.cost + state.cost_delta(j, q) > options.budget) continue;
+        if (landing < best_landing ||
+            (landing == best_landing && best_target != kNoProc &&
+             state.move_delta(j, q) < state.move_delta(best_job, best_target))) {
+          best_job = j;
+          best_target = q;
+          best_landing = landing;
+        }
+      }
+    }
+    if (best_target != kNoProc) {
+      state.apply(best_job, best_target);
+      ++local.relocations;
+      ++local.rounds;
+      continue;
+    }
+
+    // --- swaps: big job off the peak for a smaller one from elsewhere;
+    // both ends must finish strictly below the old peak.
+    JobId swap_a = 0, swap_b = 0;
+    ProcId swap_q = kNoProc;
+    Size best_worst = peak_load;
+    for (JobId a : on_peak) {
+      for (std::size_t b = 0; b < instance.num_jobs(); ++b) {
+        const ProcId q = state.assignment[b];
+        if (q == peak) continue;
+        const JobId jb = static_cast<JobId>(b);
+        if (instance.sizes[a] <= instance.sizes[jb]) continue;
+        const Size new_peak =
+            peak_load - instance.sizes[a] + instance.sizes[jb];
+        const Size new_other =
+            state.load[q] - instance.sizes[jb] + instance.sizes[a];
+        const Size worst = std::max(new_peak, new_other);
+        if (worst >= peak_load) continue;
+        const std::int64_t dm =
+            state.move_delta(a, q) + state.move_delta(jb, peak);
+        const Cost dc = state.cost_delta(a, q) + state.cost_delta(jb, peak);
+        if (state.moves + dm > options.max_moves) continue;
+        if (state.cost + dc > options.budget) continue;
+        if (worst < best_worst) {
+          best_worst = worst;
+          swap_a = a;
+          swap_b = jb;
+          swap_q = q;
+        }
+      }
+    }
+    if (swap_q != kNoProc) {
+      state.apply(swap_a, swap_q);
+      state.apply(swap_b, peak);
+      ++local.swaps;
+      ++local.rounds;
+      continue;
+    }
+    break;  // no improving step
+  }
+
+  if (stats != nullptr) *stats = local;
+  auto result = finalize_result(instance, std::move(state.assignment),
+                                start.threshold);
+  assert(result.makespan <= start.makespan);
+  assert(result.moves <= options.max_moves);
+  assert(result.cost <= options.budget);
+  return result;
+}
+
+RebalanceResult m_partition_ls_rebalance(const Instance& instance,
+                                         std::int64_t k) {
+  const auto base = m_partition_rebalance(instance, k);
+  LocalSearchOptions options;
+  options.max_moves = k;
+  return local_search_improve(instance, base, options);
+}
+
+}  // namespace lrb

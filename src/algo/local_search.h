@@ -1,0 +1,45 @@
+// Budget-aware local search: a post-optimization pass over any rebalancing
+// solution. The paper's algorithms stop once their guarantee is met
+// (M-PARTITION in particular often leaves budget unused - see the tight
+// example, where it provably makes no moves at ratio 1.5); this pass spends
+// the remaining budget on strictly-improving relocations and swaps.
+//
+// Move accounting is against the ORIGINAL initial assignment: re-routing an
+// already-moved job costs nothing extra, and sending a moved job home
+// refunds its move/cost. The search only ever reduces the makespan and
+// never exceeds the budgets, so "algorithm + local search" inherits the
+// algorithm's approximation guarantee.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+struct LocalSearchOptions {
+  std::int64_t max_moves = kInfSize;  ///< total moves allowed (vs initial)
+  Cost budget = kInfCost;             ///< total relocation cost allowed
+  int max_rounds = 256;               ///< hard cap on improvement rounds
+};
+
+struct LocalSearchStats {
+  int rounds = 0;           ///< improving rounds applied
+  std::int64_t relocations = 0;  ///< single-job improving steps
+  std::int64_t swaps = 0;        ///< pairwise improving steps
+};
+
+/// Improves `start` in place-semantics (returns a new result). The returned
+/// makespan is <= start.makespan, moves <= max_moves, cost <= budget.
+/// `start` must itself satisfy the budgets.
+[[nodiscard]] RebalanceResult local_search_improve(
+    const Instance& instance, const RebalanceResult& start,
+    const LocalSearchOptions& options, LocalSearchStats* stats = nullptr);
+
+/// Convenience: M-PARTITION followed by local search under the same k.
+[[nodiscard]] RebalanceResult m_partition_ls_rebalance(const Instance& instance,
+                                                       std::int64_t k);
+
+}  // namespace lrb

@@ -1,0 +1,41 @@
+#include "algo/lpt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+namespace lrb {
+
+RebalanceResult list_schedule(const Instance& instance,
+                              std::span<const JobId> order) {
+  assert(order.size() == instance.num_jobs());
+  Assignment assignment(instance.num_jobs(), 0);
+  // Min-heap of (load, proc); ties resolve to the lowest processor id so the
+  // result is deterministic.
+  using Entry = std::pair<Size, ProcId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (ProcId p = 0; p < instance.num_procs; ++p) heap.emplace(0, p);
+  for (JobId j : order) {
+    auto [load, p] = heap.top();
+    heap.pop();
+    assignment[j] = p;
+    heap.emplace(load + instance.sizes[j], p);
+  }
+  return finalize_result(instance, std::move(assignment));
+}
+
+RebalanceResult lpt_schedule(const Instance& instance) {
+  std::vector<JobId> order(instance.num_jobs());
+  std::iota(order.begin(), order.end(), JobId{0});
+  std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    if (instance.sizes[a] != instance.sizes[b]) {
+      return instance.sizes[a] > instance.sizes[b];
+    }
+    return a < b;
+  });
+  return list_schedule(instance, order);
+}
+
+}  // namespace lrb

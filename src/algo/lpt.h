@@ -1,0 +1,25 @@
+// Graham's list scheduling / LPT [Graham 1966], the classical makespan
+// heuristics the paper builds on. These ignore the initial assignment (they
+// solve the k = n "full rebalance" problem) and serve as the unconstrained
+// baseline in the experiment suite.
+
+#pragma once
+
+#include <span>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+/// Longest Processing Time first: sort jobs descending, place each on the
+/// currently least-loaded processor. 4/3 - 1/(3m) approximation for
+/// unconstrained makespan; O(n log n).
+[[nodiscard]] RebalanceResult lpt_schedule(const Instance& instance);
+
+/// Graham's online list scheduling in the given order (2 - 1/m approx).
+/// `order` must be a permutation of all job ids.
+[[nodiscard]] RebalanceResult list_schedule(const Instance& instance,
+                                            std::span<const JobId> order);
+
+}  // namespace lrb

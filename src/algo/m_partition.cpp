@@ -1,0 +1,260 @@
+#include "algo/m_partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "algo/thresholds.h"
+#include "core/lower_bounds.h"
+
+namespace lrb {
+namespace {
+
+/// Fenwick tree over c-values (c = a_i - b_i, in [-max_abs, max_abs]),
+/// answering "sum of the t smallest stored values" in O(log n).
+class CSelector {
+ public:
+  explicit CSelector(std::int64_t max_abs)
+      : offset_(max_abs),
+        size_(static_cast<std::size_t>(2 * max_abs + 2)),
+        cnt_(size_ + 1, 0),
+        sum_(size_ + 1, 0) {
+    log_ = 0;
+    while ((std::size_t{1} << (log_ + 1)) <= size_) ++log_;
+  }
+
+  void add(std::int64_t c, std::int64_t delta) {
+    for (std::size_t i = index(c); i <= size_; i += i & (~i + 1)) {
+      cnt_[i] += delta;
+      sum_[i] += delta * c;
+    }
+  }
+
+  /// Sum of the t smallest values currently stored; t must not exceed the
+  /// stored count.
+  [[nodiscard]] std::int64_t smallest_sum(std::int64_t t) const {
+    if (t <= 0) return 0;
+    std::size_t pos = 0;
+    std::int64_t cnt = 0;
+    std::int64_t sum = 0;
+    for (int b = static_cast<int>(log_); b >= 0; --b) {
+      const std::size_t next = pos + (std::size_t{1} << b);
+      if (next <= size_ && cnt + cnt_[next] < t) {
+        pos = next;
+        cnt += cnt_[next];
+        sum += sum_[next];
+      }
+    }
+    // pos = largest index whose prefix holds < t values; the t-th smallest
+    // value is the one stored at index pos + 1.
+    const std::int64_t boundary_value =
+        static_cast<std::int64_t>(pos + 1) - offset_ - 1;
+    return sum + (t - cnt) * boundary_value;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::int64_t c) const {
+    const std::int64_t i = c + offset_ + 1;
+    assert(i >= 1 && static_cast<std::size_t>(i) <= size_);
+    return static_cast<std::size_t>(i);
+  }
+
+  std::int64_t offset_;
+  std::size_t size_;
+  std::size_t log_;
+  std::vector<std::int64_t> cnt_;
+  std::vector<std::int64_t> sum_;
+};
+
+/// Per-processor static data plus the (a_i, b_i) pair at the current guess.
+struct ProcState {
+  std::vector<Size> prefix;  ///< prefix[l-1] = sum of the l smallest jobs
+  std::int64_t num_jobs = 0;
+  std::int64_t num_large = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::vector<Size> sizes_asc;
+};
+
+/// Recomputes (num_large, a, b) of one processor at guess T via three
+/// binary searches; O(log n_p).
+void refresh(ProcState& ps, Size T) {
+  const auto& q = ps.sizes_asc;
+  // #small = #{ j : 2*q_j <= T }.
+  const auto small_end = std::upper_bound(
+      q.begin(), q.end(), T, [](Size t, Size s) { return t < 2 * s; });
+  const auto r = static_cast<std::int64_t>(small_end - q.begin());
+  ps.num_large = ps.num_jobs - r;
+  // a: longest small prefix with 2*sum <= T.
+  const auto small_keep = static_cast<std::int64_t>(
+      std::upper_bound(ps.prefix.begin(), ps.prefix.begin() + r, T,
+                       [](Size t, Size s) { return t < 2 * s; }) -
+      ps.prefix.begin());
+  ps.a = r - small_keep;
+  // b: the post-Step-1 job list is the small prefix plus (if any large) the
+  // smallest large job, i.e. the full ascending prefix of length r(+1).
+  const std::int64_t eff = r + (ps.num_large > 0 ? 1 : 0);
+  const auto all_keep = static_cast<std::int64_t>(
+      std::upper_bound(ps.prefix.begin(), ps.prefix.begin() + eff, T) -
+      ps.prefix.begin());
+  ps.b = eff - all_keep;
+}
+
+struct Acceptance {
+  Size threshold = 0;
+  std::int64_t removals = 0;
+  std::size_t guesses = 0;
+};
+
+RebalanceResult commit(const Instance& instance, const Acceptance& accepted,
+                       Size start, MPartitionStats* stats) {
+  auto outcome = partition_rebalance_at(instance, accepted.threshold);
+  assert(outcome.feasible);
+  assert(outcome.removals == accepted.removals);
+  if (stats != nullptr) {
+    stats->accepted_threshold = accepted.threshold;
+    stats->start_threshold = start;
+    stats->removals = outcome.removals;
+    stats->guesses_evaluated = accepted.guesses;
+  }
+  return std::move(outcome.result);
+}
+
+}  // namespace
+
+RebalanceResult m_partition_rebalance(const Instance& instance, std::int64_t k,
+                                      MPartitionStats* stats) {
+  assert(k >= 0);
+  const auto n = static_cast<std::int64_t>(instance.num_jobs());
+  const auto m = static_cast<std::int64_t>(instance.num_procs);
+  const Size start = combined_lower_bound(instance, k);
+
+  // Static per-processor data.
+  std::vector<ProcState> procs(instance.num_procs);
+  {
+    auto by_proc = instance.jobs_by_proc();
+    for (ProcId p = 0; p < instance.num_procs; ++p) {
+      auto& jobs = by_proc[p];
+      std::sort(jobs.begin(), jobs.end(), [&](JobId x, JobId y) {
+        return instance.sizes[x] < instance.sizes[y];
+      });
+      auto& ps = procs[p];
+      ps.num_jobs = static_cast<std::int64_t>(jobs.size());
+      ps.sizes_asc.reserve(jobs.size());
+      ps.prefix.reserve(jobs.size());
+      Size acc = 0;
+      for (JobId j : jobs) {
+        ps.sizes_asc.push_back(instance.sizes[j]);
+        acc += instance.sizes[j];
+        ps.prefix.push_back(acc);
+      }
+    }
+  }
+
+  // Events: any threshold at which one processor's state can change.
+  struct Event {
+    Size value;
+    ProcId proc;
+  };
+  std::vector<Event> events;
+  events.reserve(3 * static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < instance.num_procs; ++p) {
+    const auto& ps = procs[p];
+    for (std::size_t l = 0; l < ps.sizes_asc.size(); ++l) {
+      const Size flip = 2 * ps.sizes_asc[l];
+      const Size bstep = ps.prefix[l];
+      const Size astep = 2 * ps.prefix[l];
+      if (flip > start) events.push_back({flip, p});
+      if (bstep > start) events.push_back({bstep, p});
+      if (astep > start) events.push_back({astep, p});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& x, const Event& y) {
+    return x.value < y.value;
+  });
+
+  // Aggregate state at the current guess.
+  CSelector selector(n + 1);
+  std::int64_t large_total = 0;
+  std::int64_t procs_with_large = 0;
+  std::int64_t sum_b = 0;
+  for (auto& ps : procs) {
+    refresh(ps, start);
+    large_total += ps.num_large;
+    if (ps.num_large > 0) ++procs_with_large;
+    sum_b += ps.b;
+    selector.add(ps.a - ps.b, +1);
+  }
+
+  auto k_hat = [&]() -> std::int64_t {
+    if (large_total > m) return kInfSize;  // guess certainly below OPT
+    return (large_total - procs_with_large) + sum_b +
+           selector.smallest_sum(large_total);
+  };
+
+  std::size_t guesses = 1;
+  if (k_hat() <= k) {
+    return commit(instance, {start, k_hat(), guesses}, start, stats);
+  }
+
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const Size value = events[i].value;
+    // Apply every event at this threshold, touching each processor once.
+    while (i < events.size() && events[i].value == value) {
+      auto& ps = procs[events[i].proc];
+      large_total -= ps.num_large;
+      if (ps.num_large > 0) --procs_with_large;
+      sum_b -= ps.b;
+      selector.add(ps.a - ps.b, -1);
+      refresh(ps, value);
+      large_total += ps.num_large;
+      if (ps.num_large > 0) ++procs_with_large;
+      sum_b += ps.b;
+      selector.add(ps.a - ps.b, +1);
+      ++i;
+    }
+    ++guesses;
+    const std::int64_t kh = k_hat();
+    if (kh <= k) {
+      return commit(instance, {value, kh, guesses}, start, stats);
+    }
+  }
+  // Unreachable: at the largest candidate every processor fits within T and
+  // no job is large, so k_hat = 0 <= k.
+  assert(false && "M-PARTITION scan failed to terminate");
+  return no_move_result(instance);
+}
+
+RebalanceResult m_partition_rebalance_reference(const Instance& instance,
+                                                std::int64_t k,
+                                                MPartitionStats* stats) {
+  assert(k >= 0);
+  const Size start = combined_lower_bound(instance, k);
+  std::vector<Size> candidates = candidate_thresholds(instance);
+  // Evaluate at the lower bound first, then at every candidate above it.
+  std::vector<Size> guesses;
+  guesses.push_back(start);
+  for (Size c : candidates) {
+    if (c > start) guesses.push_back(c);
+  }
+  std::size_t evaluated = 0;
+  for (Size guess : guesses) {
+    ++evaluated;
+    auto outcome = partition_rebalance_at(instance, guess);
+    if (!outcome.feasible) continue;
+    if (outcome.removals <= k) {
+      if (stats != nullptr) {
+        stats->accepted_threshold = guess;
+        stats->start_threshold = start;
+        stats->removals = outcome.removals;
+        stats->guesses_evaluated = evaluated;
+      }
+      return std::move(outcome.result);
+    }
+  }
+  assert(false && "reference M-PARTITION scan failed to terminate");
+  return no_move_result(instance);
+}
+
+}  // namespace lrb

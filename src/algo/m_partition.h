@@ -1,0 +1,47 @@
+// Algorithm M-PARTITION from SPAA'03 §3.1: PARTITION without knowing OPT.
+//
+// The execution of PARTITION is piecewise-constant in the guess T between
+// the candidate thresholds of thresholds.h. M-PARTITION scans candidates
+// upward from a certified lower bound and commits to the first guess whose
+// implied removal count k-hat is within the move budget k. Because
+// k-hat(OPT) <= k (Lemmas 3-4: PARTITION never removes more jobs than an
+// optimal k-move schedule), the accepted guess is <= OPT and the resulting
+// makespan is <= 1.5 * OPT (Theorem 3).
+//
+// Two implementations are provided:
+//  - m_partition_rebalance: the paper's O(n log n) scheme. k-hat is
+//    maintained incrementally: each threshold event touches exactly one
+//    processor's (a_i, b_i) or one job's large/small classification, and
+//    "sum of the L_T smallest c_i" is answered by a Fenwick tree indexed by
+//    c-value. One full PARTITION run happens only at the accepted guess.
+//  - m_partition_rebalance_reference: re-runs PARTITION at every candidate
+//    (O(n^2 log n) worst case). Used for differential testing.
+
+#pragma once
+
+#include <cstdint>
+
+#include "algo/partition.h"
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+struct MPartitionStats {
+  Size accepted_threshold = 0;    ///< the committed OPT guess (<= OPT)
+  Size start_threshold = 0;       ///< scan start (certified lower bound)
+  std::int64_t removals = 0;      ///< k-hat at the accepted guess
+  std::size_t guesses_evaluated = 0;
+};
+
+/// The O(n log n) M-PARTITION. Relocates at most k jobs; makespan is at
+/// most 1.5 * OPT(k).
+[[nodiscard]] RebalanceResult m_partition_rebalance(const Instance& instance,
+                                                    std::int64_t k,
+                                                    MPartitionStats* stats = nullptr);
+
+/// Reference implementation: full PARTITION per candidate threshold.
+[[nodiscard]] RebalanceResult m_partition_rebalance_reference(
+    const Instance& instance, std::int64_t k, MPartitionStats* stats = nullptr);
+
+}  // namespace lrb

@@ -1,0 +1,207 @@
+#include "algo/move_min.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+namespace lrb {
+namespace {
+
+/// Per-processor minimal evictions: keeping the longest ascending-size
+/// prefix with sum <= max_load is the unique minimum-cardinality choice.
+/// Returns evicted job ids (empty per processor when it already fits).
+std::vector<std::vector<JobId>> minimal_evictions(const Instance& instance,
+                                                  Size max_load) {
+  auto by_proc = instance.jobs_by_proc();
+  std::vector<std::vector<JobId>> evicted(instance.num_procs);
+  for (ProcId p = 0; p < instance.num_procs; ++p) {
+    auto& jobs = by_proc[p];
+    std::sort(jobs.begin(), jobs.end(), [&](JobId a, JobId b) {
+      if (instance.sizes[a] != instance.sizes[b]) {
+        return instance.sizes[a] < instance.sizes[b];
+      }
+      return a < b;
+    });
+    Size kept = 0;
+    std::size_t l = 0;
+    while (l < jobs.size() && kept + instance.sizes[jobs[l]] <= max_load) {
+      kept += instance.sizes[jobs[l]];
+      ++l;
+    }
+    evicted[p].assign(jobs.begin() + static_cast<std::ptrdiff_t>(l), jobs.end());
+  }
+  return evicted;
+}
+
+}  // namespace
+
+std::int64_t move_min_lower_bound(const Instance& instance, Size max_load) {
+  const auto evicted = minimal_evictions(instance, max_load);
+  std::int64_t total = 0;
+  for (const auto& e : evicted) total += static_cast<std::int64_t>(e.size());
+  return total;
+}
+
+std::optional<RebalanceResult> move_min_greedy(const Instance& instance,
+                                               Size max_load) {
+  const auto evicted_by_proc = minimal_evictions(instance, max_load);
+  Assignment assignment = instance.initial;
+  std::vector<Size> load = instance.initial_loads();
+  std::vector<JobId> homeless;
+  for (ProcId p = 0; p < instance.num_procs; ++p) {
+    for (JobId j : evicted_by_proc[p]) {
+      load[p] -= instance.sizes[j];
+      homeless.push_back(j);
+    }
+  }
+  // First-fit decreasing into residual capacity max_load - load[p].
+  std::sort(homeless.begin(), homeless.end(), [&](JobId a, JobId b) {
+    if (instance.sizes[a] != instance.sizes[b]) {
+      return instance.sizes[a] > instance.sizes[b];
+    }
+    return a < b;
+  });
+  for (JobId j : homeless) {
+    bool placed = false;
+    for (ProcId p = 0; p < instance.num_procs; ++p) {
+      if (p == instance.initial[j]) continue;  // never fits back (see header)
+      if (load[p] + instance.sizes[j] <= max_load) {
+        load[p] += instance.sizes[j];
+        assignment[j] = p;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return std::nullopt;
+  }
+  return finalize_result(instance, std::move(assignment));
+}
+
+namespace {
+
+struct MoveSearcher {
+  const Instance& inst;
+  Size cap;
+  bool minimize_cost;
+  std::uint64_t node_limit;
+
+  std::vector<JobId> order;
+  std::vector<Size> load;
+  std::vector<std::int64_t> homes_left;
+  Assignment current;
+  Assignment best_assignment;
+  Cost best_objective = kInfCost;  // moves or cost, per minimize_cost
+  Cost objective = 0;
+  std::uint64_t nodes = 0;
+  bool aborted = false;
+  bool found = false;
+
+  MoveSearcher(const Instance& instance, Size max_load, bool by_cost,
+               std::uint64_t limit)
+      : inst(instance), cap(max_load), minimize_cost(by_cost),
+        node_limit(limit) {
+    order.resize(inst.num_jobs());
+    std::iota(order.begin(), order.end(), JobId{0});
+    std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+      if (inst.sizes[a] != inst.sizes[b]) return inst.sizes[a] > inst.sizes[b];
+      return a < b;
+    });
+    load.assign(inst.num_procs, 0);
+    homes_left.assign(inst.num_procs, 0);
+    for (ProcId p : inst.initial) ++homes_left[p];
+    current = inst.initial;
+  }
+
+  [[nodiscard]] Cost price(JobId j) const {
+    return minimize_cost ? inst.move_costs[j] : Cost{1};
+  }
+
+  void dfs(std::size_t idx) {
+    if (aborted) return;
+    if (++nodes > node_limit) {
+      aborted = true;
+      return;
+    }
+    if (objective >= best_objective) return;
+    if (idx == order.size()) {
+      best_objective = objective;
+      best_assignment = current;
+      found = true;
+      return;
+    }
+    const JobId j = order[idx];
+    const Size s = inst.sizes[j];
+    const ProcId home = inst.initial[j];
+    --homes_left[home];
+
+    std::vector<ProcId> cands;
+    cands.reserve(inst.num_procs);
+    if (load[home] + s <= cap) cands.push_back(home);
+    std::vector<ProcId> others;
+    for (ProcId p = 0; p < inst.num_procs; ++p) {
+      if (p != home && load[p] + s <= cap) others.push_back(p);
+    }
+    std::sort(others.begin(), others.end(), [&](ProcId x, ProcId y) {
+      if (load[x] != load[y]) return load[x] < load[y];
+      return x < y;
+    });
+    Size last_symmetric_load = -1;
+    for (ProcId p : others) {
+      if (homes_left[p] == 0) {
+        if (load[p] == last_symmetric_load) continue;
+        last_symmetric_load = load[p];
+      }
+      cands.push_back(p);
+    }
+
+    for (ProcId p : cands) {
+      const bool is_move = p != home;
+      if (is_move && objective + price(j) >= best_objective) continue;
+      load[p] += s;
+      current[j] = p;
+      if (is_move) objective += price(j);
+      dfs(idx + 1);
+      if (is_move) objective -= price(j);
+      load[p] -= s;
+      current[j] = home;
+      if (aborted) break;
+    }
+    ++homes_left[home];
+  }
+};
+
+}  // namespace
+
+MoveMinResult minimize_moves_exact(const Instance& instance, Size max_load,
+                                   bool minimize_cost,
+                                   std::uint64_t node_limit) {
+  MoveMinResult result;
+  MoveSearcher searcher(instance, max_load, minimize_cost, node_limit);
+
+  // Warm start: when the greedy construction succeeds it is optimal for the
+  // move-count objective and an upper bound for the cost objective.
+  if (auto greedy = move_min_greedy(instance, max_load)) {
+    searcher.best_objective = minimize_cost ? greedy->cost : greedy->moves;
+    searcher.best_assignment = greedy->assignment;
+    searcher.found = true;
+    if (!minimize_cost) {
+      // Matches move_min_lower_bound, so it is already certified optimal.
+      result.feasible = true;
+      result.proven_optimal = true;
+      result.best = std::move(*greedy);
+      return result;
+    }
+  }
+
+  searcher.dfs(0);
+  result.nodes = searcher.nodes;
+  result.proven_optimal = !searcher.aborted;
+  result.feasible = searcher.found;
+  if (searcher.found) {
+    result.best = finalize_result(instance, std::move(searcher.best_assignment));
+  }
+  return result;
+}
+
+}  // namespace lrb

@@ -1,0 +1,46 @@
+// The move minimization problem (SPAA'03 §5, Theorem 5): given a target
+// load L, find the minimum number of relocations (or minimum relocation
+// cost) that brings every processor's load to at most L. Deciding whether
+// ANY finite answer exists is NP-hard (reduction from PARTITION), so the
+// greedy routine may fail on feasible instances; the exact routine is
+// branch-and-bound for small instances.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+/// Sum over processors of the minimum number of jobs that must leave each
+/// processor for its load to reach <= max_load. A certified lower bound on
+/// the move count of ANY solution (and on OPT's moves when OPT <= max_load).
+[[nodiscard]] std::int64_t move_min_lower_bound(const Instance& instance,
+                                                Size max_load);
+
+/// Greedy upper bound: per-processor minimal eviction (keep the largest
+/// fitting ascending prefix), then first-fit-decreasing placement into
+/// residual capacities. On success the answer equals move_min_lower_bound,
+/// i.e. it is PROVABLY optimal; on failure returns nullopt (the instance
+/// may or may not be feasible - that is exactly the hard question).
+[[nodiscard]] std::optional<RebalanceResult> move_min_greedy(
+    const Instance& instance, Size max_load);
+
+struct MoveMinResult {
+  bool feasible = false;
+  RebalanceResult best;        ///< valid only when feasible
+  bool proven_optimal = false;
+  std::uint64_t nodes = 0;
+};
+
+/// Exact minimum-move solution via branch-and-bound (small instances).
+/// When minimize_cost is true the objective is total relocation cost
+/// instead of the move count.
+[[nodiscard]] MoveMinResult minimize_moves_exact(
+    const Instance& instance, Size max_load, bool minimize_cost = false,
+    std::uint64_t node_limit = 50'000'000);
+
+}  // namespace lrb

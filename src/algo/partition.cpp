@@ -1,0 +1,192 @@
+#include "algo/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+namespace lrb {
+namespace {
+
+/// Longest prefix of `prefix_sums` (1-based cumulative sums) whose value,
+/// scaled by `scale`, stays within `cap`. Returns the number of kept items.
+std::size_t longest_fitting_prefix(const std::vector<Size>& prefix_sums,
+                                   Size cap, Size scale) {
+  // prefix_sums[l-1] = sum of the l smallest items; find max l with
+  // scale * sum <= cap. Sums are nondecreasing, so binary search applies.
+  std::size_t lo = 0, hi = prefix_sums.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    if (scale * prefix_sums[mid - 1] <= cap) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+PartitionOutcome partition_rebalance_at(const Instance& instance,
+                                        Size threshold) {
+  assert(threshold >= 0);
+  const Size T = threshold;
+  const ProcId m = instance.num_procs;
+
+  PartitionOutcome out;
+  out.threshold = T;
+
+  // Per-processor jobs ascending by size; the small set at T is a prefix.
+  auto by_proc = instance.jobs_by_proc();
+  for (auto& jobs : by_proc) {
+    std::sort(jobs.begin(), jobs.end(), [&](JobId a, JobId b) {
+      if (instance.sizes[a] != instance.sizes[b]) {
+        return instance.sizes[a] < instance.sizes[b];
+      }
+      return a < b;
+    });
+  }
+  auto is_large = [&](JobId j) { return 2 * instance.sizes[j] > T; };
+
+  Assignment assignment = instance.initial;
+  std::vector<JobId> pending_large;  // removed large jobs awaiting placement
+  std::vector<JobId> pending_small;  // removed small jobs for Step 6
+  std::int64_t removals = 0;
+
+  // ---- Step 1: keep only the smallest large job per processor. ----
+  std::int64_t large_total = 0;
+  std::vector<char> has_large(m, 0);
+  for (ProcId p = 0; p < m; ++p) {
+    auto& jobs = by_proc[p];
+    // Large jobs are the ascending suffix starting at first_large.
+    std::size_t first_large = jobs.size();
+    while (first_large > 0 && is_large(jobs[first_large - 1])) --first_large;
+    const std::size_t num_large = jobs.size() - first_large;
+    large_total += static_cast<std::int64_t>(num_large);
+    has_large[p] = num_large > 0;
+    // Evict every large job beyond the smallest one.
+    for (std::size_t i = first_large + 1; i < jobs.size(); ++i) {
+      pending_large.push_back(jobs[i]);
+      ++removals;
+    }
+    if (num_large > 1) jobs.resize(first_large + 1);
+  }
+  out.large_total = large_total;
+  out.large_extra = static_cast<std::int64_t>(pending_large.size());
+
+  if (large_total > static_cast<std::int64_t>(m)) {
+    // More large jobs than processors: no assignment has makespan <= T.
+    out.feasible = false;
+    return out;
+  }
+
+  // ---- Step 2: a_i, b_i, c_i from ascending prefix sums. ----
+  out.a.assign(m, 0);
+  out.b.assign(m, 0);
+  std::vector<std::int64_t> c(m, 0);
+  std::vector<std::size_t> small_count(m, 0);
+  for (ProcId p = 0; p < m; ++p) {
+    const auto& jobs = by_proc[p];
+    std::vector<Size> sums;
+    sums.reserve(jobs.size());
+    Size acc = 0;
+    for (JobId j : jobs) {
+      acc += instance.sizes[j];
+      sums.push_back(acc);
+    }
+    const std::size_t n_small = jobs.size() - (has_large[p] ? 1 : 0);
+    small_count[p] = n_small;
+    // a_i: over the small prefix only, cap T/2 (compare 2*sum <= T).
+    std::vector<Size> small_sums(sums.begin(),
+                                 sums.begin() + static_cast<std::ptrdiff_t>(n_small));
+    const std::size_t keep_small = longest_fitting_prefix(small_sums, T, 2);
+    out.a[p] = static_cast<std::int64_t>(n_small - keep_small);
+    // b_i: over all jobs (including the kept large one), cap T.
+    const std::size_t keep_all = longest_fitting_prefix(sums, T, 1);
+    out.b[p] = static_cast<std::int64_t>(jobs.size() - keep_all);
+    c[p] = out.a[p] - out.b[p];
+  }
+
+  // ---- Step 3: pick the L_T processors with smallest c_i. ----
+  std::vector<ProcId> procs(m);
+  std::iota(procs.begin(), procs.end(), ProcId{0});
+  std::sort(procs.begin(), procs.end(), [&](ProcId x, ProcId y) {
+    if (c[x] != c[y]) return c[x] < c[y];
+    if (has_large[x] != has_large[y]) return has_large[x] > has_large[y];
+    return x < y;
+  });
+  std::vector<char> selected(m, 0);
+  for (std::int64_t i = 0; i < large_total; ++i) selected[procs[static_cast<std::size_t>(i)]] = 1;
+
+  std::vector<ProcId> free_slots;  // selected, currently large-free
+  for (ProcId p = 0; p < m; ++p) {
+    if (selected[p] != 0) {
+      if (has_large[p] == 0) free_slots.push_back(p);
+      // Drop the a_i largest small jobs (suffix of the small prefix).
+      auto& jobs = by_proc[p];
+      const std::size_t n_small = small_count[p];
+      const auto drop = static_cast<std::size_t>(out.a[p]);
+      for (std::size_t i = n_small - drop; i < n_small; ++i) {
+        pending_small.push_back(jobs[i]);
+        ++removals;
+      }
+      jobs.erase(jobs.begin() + static_cast<std::ptrdiff_t>(n_small - drop),
+                 jobs.begin() + static_cast<std::ptrdiff_t>(n_small));
+    }
+  }
+
+  // ---- Step 4: trim non-selected processors to <= T. ----
+  for (ProcId p = 0; p < m; ++p) {
+    if (selected[p] != 0) continue;
+    auto& jobs = by_proc[p];
+    const auto drop = static_cast<std::size_t>(out.b[p]);
+    for (std::size_t i = jobs.size() - drop; i < jobs.size(); ++i) {
+      const JobId j = jobs[i];
+      if (is_large(j)) {
+        pending_large.push_back(j);
+      } else {
+        pending_small.push_back(j);
+      }
+      ++removals;
+    }
+    jobs.resize(jobs.size() - drop);
+  }
+
+  // ---- Steps 4b & 5: place all pending large jobs on distinct slots. ----
+  assert(pending_large.size() <= free_slots.size());
+  std::vector<Size> load(m, 0);
+  for (ProcId p = 0; p < m; ++p) {
+    for (JobId j : by_proc[p]) load[p] += instance.sizes[j];
+    for (JobId j : by_proc[p]) assignment[j] = p;  // unchanged, re-stamped
+  }
+  for (std::size_t i = 0; i < pending_large.size(); ++i) {
+    const ProcId slot = free_slots[i];
+    assignment[pending_large[i]] = slot;
+    load[slot] += instance.sizes[pending_large[i]];
+  }
+
+  // ---- Step 6: min-load greedy for the removed small jobs, largest first.
+  std::sort(pending_small.begin(), pending_small.end(), [&](JobId x, JobId y) {
+    if (instance.sizes[x] != instance.sizes[y]) {
+      return instance.sizes[x] > instance.sizes[y];
+    }
+    return x < y;
+  });
+  using Entry = std::pair<Size, ProcId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> min_heap;
+  for (ProcId p = 0; p < m; ++p) min_heap.emplace(load[p], p);
+  for (JobId j : pending_small) {
+    auto [l, p] = min_heap.top();
+    min_heap.pop();
+    assignment[j] = p;
+    min_heap.emplace(l + instance.sizes[j], p);
+  }
+
+  out.feasible = true;
+  out.removals = removals;
+  out.result = finalize_result(instance, std::move(assignment), T);
+  return out;
+}
+
+}  // namespace lrb

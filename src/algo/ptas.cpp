@@ -1,0 +1,406 @@
+#include "algo/ptas.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/lower_bounds.h"
+
+namespace lrb {
+namespace {
+
+/// delta chosen so that (1 + 3*delta) * (1 + delta) <= 1 + eps, i.e. the
+/// construction slack times the guess granularity stays within the target.
+double delta_for(double eps) {
+  const double delta = (std::sqrt(16.0 + 12.0 * eps) - 4.0) / 6.0;
+  return std::min(delta, 1.0);
+}
+
+struct Discretization {
+  Size guess = 0;       // the makespan guess A-hat
+  double delta = 0.0;
+  Size u = 1;           // small-load rounding unit
+  Size w = 0;           // per-processor DP load cap, floor((1+2delta)*A)
+  std::vector<Size> class_size;  // L_t (rounded-up class ceilings)
+
+  /// Class of a job size, or -1 when small (size <= delta * guess).
+  [[nodiscard]] int class_of(Size size) const {
+    if (static_cast<double>(size) <= delta * static_cast<double>(guess)) {
+      return -1;
+    }
+    for (std::size_t t = 0; t < class_size.size(); ++t) {
+      if (size <= class_size[t]) return static_cast<int>(t);
+    }
+    return -2;  // larger than the guess itself: guess below max job
+  }
+};
+
+Discretization make_discretization(Size guess, double delta) {
+  Discretization d;
+  d.guess = guess;
+  d.delta = delta;
+  d.u = std::max<Size>(1, static_cast<Size>(std::floor(
+                              delta * static_cast<double>(guess))));
+  d.w = static_cast<Size>(
+      std::floor((1.0 + 2.0 * delta) * static_cast<double>(guess)));
+  double boundary = delta * static_cast<double>(guess);
+  while (boundary < static_cast<double>(guess)) {
+    boundary *= (1.0 + delta);
+    d.class_size.push_back(
+        std::min<Size>(guess, static_cast<Size>(std::ceil(boundary))));
+  }
+  return d;
+}
+
+struct ProcData {
+  std::vector<std::int64_t> x;  // current large-class counts
+  // Per class: this processor's class-t job ids sorted by ascending cost,
+  // plus cost prefix sums (prefix[r] = cost of evicting the r cheapest).
+  std::vector<std::vector<JobId>> class_jobs;
+  std::vector<std::vector<Cost>> class_cost_prefix;
+  // Small jobs sorted by ascending cost/size ratio with size/cost prefixes.
+  std::vector<JobId> smalls;
+  std::vector<Size> small_size_prefix;  // prefix[r] = size of r cheapest-ratio
+  std::vector<Cost> small_cost_prefix;
+  Size small_total = 0;
+
+  /// Cost of evicting small jobs (ascending ratio) until the remaining
+  /// small load is <= cap; also reports how many jobs go.
+  [[nodiscard]] std::pair<Cost, std::size_t> small_trim(Size cap) const {
+    const Size need = small_total - cap;
+    if (need <= 0) return {0, 0};
+    const auto it = std::lower_bound(small_size_prefix.begin(),
+                                     small_size_prefix.end(), need);
+    assert(it != small_size_prefix.end());
+    const auto r = static_cast<std::size_t>(it - small_size_prefix.begin()) + 1;
+    return {small_cost_prefix[r - 1], r};
+  }
+};
+
+struct DpNode {
+  Cost cost = kInfCost;
+  std::string prev;                  // key in the previous layer
+  std::vector<std::int32_t> choice;  // the x' vector used for this processor
+  Size vmax = 0;                     // small capacity (in units) granted
+};
+
+std::string encode(const std::vector<std::int64_t>& counts, std::int64_t need) {
+  std::string key;
+  key.resize((counts.size() + 1) * sizeof(std::int64_t));
+  std::memcpy(key.data(), counts.data(), counts.size() * sizeof(std::int64_t));
+  std::memcpy(key.data() + counts.size() * sizeof(std::int64_t), &need,
+              sizeof(std::int64_t));
+  return key;
+}
+
+struct GuessOutcome {
+  bool representable = false;  // guess >= max job and DP stayed in limits
+  bool within_limit = true;
+  bool constructed = false;    // assignment successfully reconstructed
+  Cost cost = kInfCost;
+  Assignment assignment;
+  std::size_t states = 0;
+};
+
+GuessOutcome run_guess(const Instance& instance, Size guess, double delta,
+                       Cost budget, std::size_t state_limit) {
+  GuessOutcome out;
+  const Discretization d = make_discretization(guess, delta);
+  const ProcId m = instance.num_procs;
+  const auto s = d.class_size.size();
+
+  // Classify jobs; bail out if any job exceeds the guess entirely.
+  std::vector<int> job_class(instance.num_jobs());
+  std::vector<std::int64_t> totals(s, 0);
+  Size small_total_all = 0;
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    const int t = d.class_of(instance.sizes[j]);
+    if (t == -2) return out;  // guess < max job: certainly below OPT
+    job_class[j] = t;
+    if (t >= 0) {
+      ++totals[static_cast<std::size_t>(t)];
+    } else {
+      small_total_all += instance.sizes[j];
+    }
+  }
+  const std::int64_t v_need = (small_total_all + d.u - 1) / d.u;
+
+  // Per-processor removal bookkeeping.
+  std::vector<ProcData> procs(m);
+  {
+    auto by_proc = instance.jobs_by_proc();
+    for (ProcId p = 0; p < m; ++p) {
+      auto& pd = procs[p];
+      pd.x.assign(s, 0);
+      pd.class_jobs.assign(s, {});
+      for (JobId j : by_proc[p]) {
+        const int t = job_class[j];
+        if (t >= 0) {
+          ++pd.x[static_cast<std::size_t>(t)];
+          pd.class_jobs[static_cast<std::size_t>(t)].push_back(j);
+        } else {
+          pd.smalls.push_back(j);
+          pd.small_total += instance.sizes[j];
+        }
+      }
+      pd.class_cost_prefix.assign(s, {});
+      for (std::size_t t = 0; t < s; ++t) {
+        auto& jobs = pd.class_jobs[t];
+        std::sort(jobs.begin(), jobs.end(), [&](JobId a, JobId b) {
+          if (instance.move_costs[a] != instance.move_costs[b]) {
+            return instance.move_costs[a] < instance.move_costs[b];
+          }
+          return a < b;
+        });
+        auto& prefix = pd.class_cost_prefix[t];
+        prefix.reserve(jobs.size() + 1);
+        prefix.push_back(0);
+        for (JobId j : jobs) {
+          prefix.push_back(prefix.back() + instance.move_costs[j]);
+        }
+      }
+      std::sort(pd.smalls.begin(), pd.smalls.end(), [&](JobId a, JobId b) {
+        // ascending cost/size; zero-size jobs last (never worth evicting).
+        const Size sa = instance.sizes[a], sb = instance.sizes[b];
+        const Cost ca = instance.move_costs[a], cb = instance.move_costs[b];
+        if ((sa == 0) != (sb == 0)) return sb == 0;
+        const double ra = sa == 0 ? 0.0
+                                  : static_cast<double>(ca) / static_cast<double>(sa);
+        const double rb = sb == 0 ? 0.0
+                                  : static_cast<double>(cb) / static_cast<double>(sb);
+        if (ra != rb) return ra < rb;
+        return a < b;
+      });
+      pd.small_size_prefix.reserve(pd.smalls.size());
+      pd.small_cost_prefix.reserve(pd.smalls.size());
+      Size acc_size = 0;
+      Cost acc_cost = 0;
+      for (JobId j : pd.smalls) {
+        acc_size += instance.sizes[j];
+        acc_cost += instance.move_costs[j];
+        pd.small_size_prefix.push_back(acc_size);
+        pd.small_cost_prefix.push_back(acc_cost);
+      }
+    }
+  }
+
+  // Forward sparse DP over processors.
+  using Layer = std::unordered_map<std::string, DpNode>;
+  std::vector<Layer> layers(m + 1);
+  {
+    DpNode root;
+    root.cost = 0;
+    layers[0].emplace(encode(totals, v_need), std::move(root));
+  }
+  std::size_t total_states = 1;
+
+  for (ProcId p = 0; p < m; ++p) {
+    const auto& pd = procs[p];
+    for (const auto& [key, node] : layers[p]) {
+      // Decode the state.
+      std::vector<std::int64_t> rem(s);
+      std::int64_t need = 0;
+      std::memcpy(rem.data(), key.data(), s * sizeof(std::int64_t));
+      std::memcpy(&need, key.data() + s * sizeof(std::int64_t),
+                  sizeof(std::int64_t));
+
+      // Enumerate x' vectors with x'_t <= rem_t and sum x'_t L_t <= W.
+      std::vector<std::int32_t> xprime(s, 0);
+      auto emit = [&](Size load_used) {
+        const Size vmax = (d.w - load_used) / d.u;
+        // Removal cost: per class evict the cheapest surplus, then trim
+        // smalls to vmax*u + u.
+        Cost cost = node.cost;
+        for (std::size_t t = 0; t < s; ++t) {
+          const auto have = pd.x[t];
+          const auto want = static_cast<std::int64_t>(xprime[t]);
+          if (have > want) {
+            cost += pd.class_cost_prefix[t][static_cast<std::size_t>(have - want)];
+          }
+        }
+        cost += pd.small_trim(vmax * d.u + d.u).first;
+        if (cost >= kInfCost || cost > budget) return;
+
+        std::vector<std::int64_t> next_rem(s);
+        for (std::size_t t = 0; t < s; ++t) {
+          next_rem[t] = rem[t] - static_cast<std::int64_t>(xprime[t]);
+        }
+        const std::int64_t next_need = std::max<std::int64_t>(0, need - vmax);
+        const std::string next_key = encode(next_rem, next_need);
+        auto [it, inserted] = layers[p + 1].try_emplace(next_key);
+        if (inserted) ++total_states;
+        if (cost < it->second.cost) {
+          it->second.cost = cost;
+          it->second.prev = key;
+          it->second.choice = xprime;
+          it->second.vmax = vmax;
+        }
+      };
+      // Recursive enumeration over classes (iterative via explicit lambda).
+      auto enumerate = [&](auto&& self, std::size_t t, Size load_used) -> void {
+        if (total_states > state_limit) return;
+        if (t == s) {
+          emit(load_used);
+          return;
+        }
+        for (std::int64_t cnt = 0;; ++cnt) {
+          if (cnt > rem[t]) break;
+          const Size load = load_used + static_cast<Size>(cnt) * d.class_size[t];
+          if (load > d.w) break;
+          xprime[t] = static_cast<std::int32_t>(cnt);
+          self(self, t + 1, load);
+        }
+        xprime[t] = 0;
+      };
+      enumerate(enumerate, 0, 0);
+      if (total_states > state_limit) {
+        out.within_limit = false;
+        out.states = total_states;
+        return out;
+      }
+    }
+  }
+  out.states = total_states;
+
+  // Accept iff the all-consumed state was reached within budget.
+  const std::string final_key =
+      encode(std::vector<std::int64_t>(s, 0), std::int64_t{0});
+  const auto final_it = layers[m].find(final_key);
+  if (final_it == layers[m].end()) return out;
+  out.representable = true;
+  out.cost = final_it->second.cost;
+  if (out.cost > budget) return out;
+
+  // ---- Reconstruct the assignment. ----
+  // Walk layers backward to recover each processor's choice.
+  std::vector<std::vector<std::int32_t>> choice(m);
+  std::vector<Size> vmax(m, 0);
+  {
+    std::string key = final_key;
+    for (ProcId p = m; p-- > 0;) {
+      const auto& node = layers[p + 1].at(key);
+      choice[p] = node.choice;
+      vmax[p] = node.vmax;
+      key = node.prev;
+    }
+  }
+
+  Assignment assignment = instance.initial;
+  std::vector<std::vector<JobId>> evicted_by_class(s);
+  std::vector<JobId> evicted_smalls;
+  std::vector<Size> small_load(m, 0);
+  // Phase 1: evictions per the DP plan.
+  for (ProcId p = 0; p < m; ++p) {
+    const auto& pd = procs[p];
+    for (std::size_t t = 0; t < s; ++t) {
+      const auto surplus =
+          pd.x[t] - static_cast<std::int64_t>(choice[p][t]);
+      for (std::int64_t i = 0; i < surplus; ++i) {
+        evicted_by_class[t].push_back(pd.class_jobs[t][static_cast<std::size_t>(i)]);
+      }
+    }
+    const auto [trim_cost, trim_count] = pd.small_trim(vmax[p] * d.u + d.u);
+    (void)trim_cost;
+    for (std::size_t i = 0; i < trim_count; ++i) {
+      evicted_smalls.push_back(pd.smalls[i]);
+    }
+    small_load[p] = pd.small_total -
+                    (trim_count == 0 ? 0 : pd.small_size_prefix[trim_count - 1]);
+  }
+  // Phase 2: fill large-class deficits from the per-class pools.
+  std::vector<std::size_t> pool_next(s, 0);
+  for (ProcId p = 0; p < m; ++p) {
+    const auto& pd = procs[p];
+    for (std::size_t t = 0; t < s; ++t) {
+      const auto deficit = static_cast<std::int64_t>(choice[p][t]) - pd.x[t];
+      for (std::int64_t i = 0; i < deficit; ++i) {
+        assert(pool_next[t] < evicted_by_class[t].size());
+        assignment[evicted_by_class[t][pool_next[t]++]] = p;
+      }
+    }
+  }
+  for (std::size_t t = 0; t < s; ++t) {
+    assert(pool_next[t] == evicted_by_class[t].size());
+  }
+  // Phase 3: evicted smalls go to any processor below its granted small
+  // capacity vmax*u (one always exists; see header).
+  std::sort(evicted_smalls.begin(), evicted_smalls.end(), [&](JobId a, JobId b) {
+    if (instance.sizes[a] != instance.sizes[b]) {
+      return instance.sizes[a] > instance.sizes[b];
+    }
+    return a < b;
+  });
+  for (JobId j : evicted_smalls) {
+    if (instance.sizes[j] == 0) {
+      assignment[j] = instance.initial[j];  // zero-size: place back, free
+      continue;
+    }
+    bool placed = false;
+    for (ProcId p = 0; p < m; ++p) {
+      if (small_load[p] < vmax[p] * d.u) {
+        small_load[p] += instance.sizes[j];
+        assignment[j] = p;
+        placed = true;
+        break;
+      }
+    }
+    assert(placed);
+    if (!placed) return out;  // defensive; cannot happen per the invariant
+  }
+  out.assignment = std::move(assignment);
+  out.constructed = true;
+  return out;
+}
+
+}  // namespace
+
+PtasResult ptas_rebalance(const Instance& instance, const PtasOptions& options) {
+  assert(options.eps > 0);
+  assert(options.budget >= 0);
+  const double delta = delta_for(options.eps);
+
+  PtasResult result;
+  result.result = no_move_result(instance);
+  if (instance.num_jobs() == 0) {
+    result.success = true;
+    return result;
+  }
+
+  Size guess = std::max({max_job_bound(instance), average_load_bound(instance),
+                         budget_removal_bound(instance, options.budget),
+                         Size{1}});
+  const Size hard_stop =
+      2 * std::max<Size>(instance.initial_makespan(), Size{1}) + 2;
+  while (guess <= hard_stop) {
+    ++result.guesses_evaluated;
+    auto outcome =
+        run_guess(instance, guess, delta, options.budget, options.state_limit);
+    result.states = outcome.states;
+    if (!outcome.within_limit) {
+      result.success = false;
+      return result;
+    }
+    if (outcome.constructed && outcome.cost <= options.budget) {
+      result.success = true;
+      result.accepted_guess = guess;
+      result.result = finalize_result(instance, std::move(outcome.assignment), guess);
+      assert(result.result.cost <= options.budget);
+      return result;
+    }
+    const auto stepped = static_cast<Size>(std::ceil(
+        static_cast<double>(guess) * (1.0 + delta)));
+    guess = std::max(guess + 1, stepped);
+  }
+  // The identity plan is representable at guess >= the initial makespan, so
+  // reaching here indicates a logic error for sane inputs.
+  assert(false && "PTAS guess scan exhausted");
+  return result;
+}
+
+}  // namespace lrb

@@ -1,0 +1,57 @@
+// The PTAS for load rebalancing with arbitrary relocation costs and budget B
+// (SPAA'03 §4): returns a solution of relocation cost <= B whose makespan is
+// at most (1 + eps) * OPT(B), in time polynomial for fixed eps (but heavily
+// exponential in 1/eps - use small instances or coarse eps).
+//
+// Implementation follows the paper's discretized dynamic program with one
+// exact simplification: the paper's DP chooses each processor's rounded
+// small-load capacity V' explicitly and threads an exact global budget V
+// through the state. Since removal cost is non-increasing in V' and larger
+// capacity only helps the final small-job placement, the maximal feasible
+// capacity V'max = (W - sum of large class sizes) / u dominates every other
+// choice; the V dimension therefore collapses to a saturating "small-load
+// still to cover" counter. This changes no guarantee (our DP cost is <= the
+// paper's DP cost, which is <= the optimal budget-B cost at a guess
+// >= OPT-hat) and shrinks the state space considerably.
+//
+//   guess Â (geometric scan, step 1+delta, from certified lower bounds)
+//   delta = eps / 5, u = max(1, floor(delta * Â)), W = (1 + 2*delta) * Â
+//   large jobs (> delta * Â) round UP into classes L_t = ceil(delta*(1+delta)^t * Â)
+//   DP over processors: state = (remaining class counts, remaining small
+//   cover need); per processor enumerate class vectors with sum L <= W,
+//   charge greedy removal cost (cheapest jobs per class; small jobs by
+//   ascending cost/size ratio down to V'max*u + u).
+//
+// Final loads are <= W + u = (1 + 3*delta) * Â <= (1 + eps) * OPT for the
+// accepted guess (Lemma 11 plus the guess granularity).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+struct PtasOptions {
+  Cost budget = kInfCost;  ///< the paper's B; kInfCost = unconstrained
+  double eps = 1.0;        ///< target guarantee (1 + eps)
+  std::size_t state_limit = 2'000'000;  ///< sparse-DP safety valve
+};
+
+struct PtasResult {
+  /// False iff the state limit was exceeded (instance too large for the
+  /// chosen eps); `result` is then the best fallback (identity).
+  bool success = false;
+  RebalanceResult result;
+  Size accepted_guess = 0;
+  std::size_t states = 0;         ///< DP states materialized (last guess)
+  std::size_t guesses_evaluated = 0;
+};
+
+[[nodiscard]] PtasResult ptas_rebalance(const Instance& instance,
+                                        const PtasOptions& options);
+
+}  // namespace lrb

@@ -1,0 +1,37 @@
+#include "algo/rebalancer.h"
+
+#include "algo/greedy.h"
+#include "algo/lpt.h"
+#include "algo/m_partition.h"
+
+namespace lrb {
+
+RebalanceResult best_of_rebalance(const Instance& instance, std::int64_t k) {
+  auto greedy = greedy_rebalance(instance, k);
+  auto partition = m_partition_rebalance(instance, k);
+  return partition.makespan <= greedy.makespan ? std::move(partition)
+                                               : std::move(greedy);
+}
+
+std::vector<NamedRebalancer> standard_rebalancers() {
+  return {
+      {"none",
+       [](const Instance& inst, std::int64_t) { return no_move_result(inst); }},
+      {"greedy",
+       [](const Instance& inst, std::int64_t k) {
+         return greedy_rebalance(inst, k);
+       }},
+      {"m-partition",
+       [](const Instance& inst, std::int64_t k) {
+         return m_partition_rebalance(inst, k);
+       }},
+      {"best-of",
+       [](const Instance& inst, std::int64_t k) {
+         return best_of_rebalance(inst, k);
+       }},
+      {"lpt-full",
+       [](const Instance& inst, std::int64_t) { return lpt_schedule(inst); }},
+  };
+}
+
+}  // namespace lrb

@@ -1,0 +1,35 @@
+// A uniform facade over the unit-cost rebalancing algorithms, plus a
+// registry used by the quality benches and the simulator's policy layer.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+/// A named k-move rebalancer: produces a solution relocating at most k jobs.
+struct NamedRebalancer {
+  std::string name;
+  std::function<RebalanceResult(const Instance&, std::int64_t k)> run;
+};
+
+/// The library's standard algorithm roster:
+///   "none"        - identity (k ignored)
+///   "greedy"      - §2 GREEDY, 2 - 1/m approximation
+///   "m-partition" - §3.1 M-PARTITION, 1.5 approximation
+///   "best-of"     - better of greedy and m-partition
+///   "lpt-full"    - Graham LPT ignoring the move budget (quality ceiling,
+///                   moves unbounded; included for reference curves only)
+[[nodiscard]] std::vector<NamedRebalancer> standard_rebalancers();
+
+/// Better makespan of GREEDY and M-PARTITION (both within the k budget).
+[[nodiscard]] RebalanceResult best_of_rebalance(const Instance& instance,
+                                                std::int64_t k);
+
+}  // namespace lrb

@@ -1,0 +1,31 @@
+#include "algo/thresholds.h"
+
+#include <algorithm>
+
+namespace lrb {
+
+std::vector<Size> candidate_thresholds(const Instance& instance) {
+  std::vector<Size> candidates;
+  candidates.reserve(3 * instance.num_jobs() + 1);
+  auto by_proc = instance.jobs_by_proc();
+  for (auto& jobs : by_proc) {
+    std::sort(jobs.begin(), jobs.end(), [&](JobId a, JobId b) {
+      return instance.sizes[a] < instance.sizes[b];
+    });
+    Size prefix = 0;
+    for (JobId j : jobs) {
+      const Size s = instance.sizes[j];
+      prefix += s;
+      candidates.push_back(2 * s);      // classification flip
+      candidates.push_back(prefix);     // b_i step
+      candidates.push_back(2 * prefix); // a_i step
+    }
+  }
+  candidates.push_back(0);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+}  // namespace lrb

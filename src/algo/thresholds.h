@@ -1,0 +1,30 @@
+// Candidate OPT thresholds for M-PARTITION (SPAA'03 §3.1, Lemma 5).
+//
+// PARTITION's behaviour at a guess T depends only on:
+//   - which jobs are large (size strictly > T/2),
+//   - each processor's a_i (small jobs to drop so the remaining small total
+//     is <= T/2),
+//   - each processor's b_i (jobs to drop so the remaining total is <= T).
+//
+// With per-processor sizes q_1 <= ... <= q_r and prefix sums S_l, the small
+// set at T is exactly an ascending-size prefix, so every change point of
+// (L_T, a_i, b_i) is one of:
+//   2*q_j   (job j flips small <-> large),
+//   S_l     (b_i steps: the longest prefix with sum <= T grows),
+//   2*S_l   (a_i steps: the longest small prefix with sum <= T/2 grows).
+// That is at most 3n values (Lemma 5 gives the same bound).
+
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace lrb {
+
+/// All candidate thresholds, sorted ascending and deduplicated.
+/// PARTITION's execution is constant for T between consecutive candidates.
+[[nodiscard]] std::vector<Size> candidate_thresholds(const Instance& instance);
+
+}  // namespace lrb

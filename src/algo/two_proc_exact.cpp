@@ -1,0 +1,83 @@
+#include "algo/two_proc_exact.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+namespace lrb {
+
+std::optional<RebalanceResult> two_proc_exact_rebalance(
+    const Instance& instance, std::int64_t k, std::size_t max_cells) {
+  assert(k >= 0);
+  if (instance.num_procs != 2) return std::nullopt;
+  const std::size_t n = instance.num_jobs();
+  const Size total = instance.total_size();
+  const auto width = static_cast<std::size_t>(total) + 1;
+  if (n > 0 && width * n > max_cells) return std::nullopt;
+
+  constexpr std::int32_t kUnreachable = std::numeric_limits<std::int32_t>::max();
+  // moves_to[x]: min #moves so that the processed prefix of jobs
+  // contributes exactly x to processor 0's load.
+  std::vector<std::int32_t> moves_to(width, kUnreachable);
+  moves_to[0] = 0;
+  // choice[j * width + x] = 1 iff job j goes to processor 0 on the optimal
+  // path reaching prefix-load x after processing job j.
+  std::vector<char> choice(n * width, 0);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto s = static_cast<std::size_t>(instance.sizes[j]);
+    const std::int32_t stay0 = instance.initial[j] == 0 ? 0 : 1;
+    const std::int32_t stay1 = instance.initial[j] == 1 ? 0 : 1;
+    std::vector<std::int32_t> next(width, kUnreachable);
+    char* row = choice.data() + j * width;
+    for (std::size_t x = 0; x < width; ++x) {
+      if (moves_to[x] == kUnreachable) continue;
+      // Option A: job j on processor 1 (prefix load unchanged).
+      if (moves_to[x] + stay1 < next[x]) {
+        next[x] = moves_to[x] + stay1;
+        row[x] = 0;
+      }
+      // Option B: job j on processor 0.
+      const std::size_t y = x + s;
+      if (y < width && moves_to[x] + stay0 < next[y]) {
+        next[y] = moves_to[x] + stay0;
+        row[y] = 1;
+      }
+    }
+    moves_to.swap(next);
+  }
+
+  // Best reachable X within the move budget.
+  Size best_makespan = kInfSize;
+  std::size_t best_x = 0;
+  for (std::size_t x = 0; x < width; ++x) {
+    if (moves_to[x] == kUnreachable || moves_to[x] > k) continue;
+    const Size makespan =
+        std::max<Size>(static_cast<Size>(x), total - static_cast<Size>(x));
+    if (makespan < best_makespan) {
+      best_makespan = makespan;
+      best_x = x;
+    }
+  }
+  assert(best_makespan < kInfSize);  // the identity is always reachable
+
+  // Reconstruct the assignment by walking the choice rows backwards.
+  Assignment assignment(n, 0);
+  std::size_t x = best_x;
+  for (std::size_t j = n; j-- > 0;) {
+    if (choice[j * width + x] != 0) {
+      assignment[j] = 0;
+      x -= static_cast<std::size_t>(instance.sizes[j]);
+    } else {
+      assignment[j] = 1;
+    }
+  }
+  assert(x == 0);
+  auto result = finalize_result(instance, std::move(assignment));
+  assert(result.makespan == best_makespan);
+  assert(result.moves <= k);
+  return result;
+}
+
+}  // namespace lrb

@@ -1,0 +1,27 @@
+// Exact load rebalancing on TWO processors in pseudo-polynomial time.
+//
+// With m = 2 the makespan is max(X, total - X) where X is processor 0's
+// final load, so the problem reduces to: which values of X are reachable
+// with at most k moves? A subset-sum style DP computes, for every X, the
+// MINIMUM number of moves realizing it - O(n * total) time, O(n * total)
+// bits for reconstruction. Practical to n in the hundreds with moderate
+// sizes, i.e. far beyond the branch-and-bound's reach; used to push the
+// approximation-ratio experiments to larger instances.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+/// Exact optimum for instances with exactly 2 processors; nullopt otherwise
+/// (or when the DP table would exceed max_cells).
+[[nodiscard]] std::optional<RebalanceResult> two_proc_exact_rebalance(
+    const Instance& instance, std::int64_t k,
+    std::size_t max_cells = std::size_t{1} << 28);
+
+}  // namespace lrb

@@ -1,0 +1,77 @@
+#include "algo/unit_exact.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace lrb {
+
+std::optional<RebalanceResult> equal_size_exact_rebalance(
+    const Instance& instance, std::int64_t k) {
+  assert(k >= 0);
+  if (instance.num_jobs() == 0) return no_move_result(instance);
+  const Size s = instance.sizes.front();
+  for (Size size : instance.sizes) {
+    if (size != s) return std::nullopt;
+  }
+  const auto m = static_cast<std::int64_t>(instance.num_procs);
+  const auto n = static_cast<std::int64_t>(instance.num_jobs());
+
+  std::vector<std::int64_t> count(instance.num_procs, 0);
+  for (ProcId p : instance.initial) ++count[p];
+
+  // feasible(t): can all counts be brought to <= t with at most k moves?
+  auto moves_needed = [&](std::int64_t t) {
+    std::int64_t excess = 0;
+    std::int64_t deficit = 0;
+    for (std::int64_t c : count) {
+      excess += std::max<std::int64_t>(0, c - t);
+      deficit += std::max<std::int64_t>(0, t - c);
+    }
+    return std::pair(excess, deficit);
+  };
+  auto feasible = [&](std::int64_t t) {
+    const auto [excess, deficit] = moves_needed(t);
+    return excess <= k && excess <= deficit;
+  };
+
+  // The fractional floor ceil(n/m) is always reachable capacity-wise; binary
+  // search the smallest feasible cap in [ceil(n/m), max count].
+  std::int64_t lo = (n + m - 1) / m;
+  std::int64_t hi = *std::max_element(count.begin(), count.end());
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const std::int64_t t = lo;
+  assert(feasible(t));
+
+  // Construct: shed arbitrary jobs from processors above t into processors
+  // below t.
+  Assignment assignment = instance.initial;
+  std::vector<std::int64_t> over = count;  // mutable working counts
+  std::vector<JobId> evicted;
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    const ProcId p = instance.initial[j];
+    if (over[p] > t) {
+      --over[p];
+      evicted.push_back(static_cast<JobId>(j));
+    }
+  }
+  ProcId receiver = 0;
+  for (JobId j : evicted) {
+    while (over[receiver] >= t) ++receiver;
+    assignment[j] = receiver;
+    ++over[receiver];
+  }
+  auto result = finalize_result(instance, std::move(assignment));
+  assert(result.makespan == s * t || instance.num_jobs() == 0);
+  assert(result.moves <= k);
+  return result;
+}
+
+}  // namespace lrb

@@ -1,0 +1,22 @@
+// Polynomial-time exact rebalancing for equal-size jobs (the unit-size model
+// of Rudolph et al. [13] and Ghosh et al. [4] that the paper generalizes
+// away from). With all sizes equal the makespan is size * (max job count),
+// so the optimum is the smallest count cap t such that the total excess
+// above t fits both within the move budget k and within the total deficit
+// below t. O(n + m log m).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+/// Exact optimum when every job has the same size; std::nullopt otherwise.
+[[nodiscard]] std::optional<RebalanceResult> equal_size_exact_rebalance(
+    const Instance& instance, std::int64_t k);
+
+}  // namespace lrb

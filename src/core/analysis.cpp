@@ -1,0 +1,69 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/lower_bounds.h"
+#include "util/stats.h"
+
+namespace lrb {
+
+LoadReport analyze(const Instance& instance,
+                   std::span<const ProcId> assignment) {
+  LoadReport report;
+  report.loads = loads(instance, assignment);
+  if (report.loads.empty()) return report;
+
+  OnlineStats stats;
+  for (Size l : report.loads) stats.add(static_cast<double>(l));
+  report.makespan = *std::max_element(report.loads.begin(), report.loads.end());
+  report.min_load = *std::min_element(report.loads.begin(), report.loads.end());
+  report.mean_load = stats.mean();
+  report.stddev = stats.stddev();
+
+  const Size fractional_opt =
+      std::max(average_load_bound(instance), max_job_bound(instance));
+  report.imbalance = fractional_opt > 0
+                         ? static_cast<double>(report.makespan) /
+                               static_cast<double>(fractional_opt)
+                         : 1.0;
+
+  // Gini via the sorted-loads closed form:
+  //   G = (2 * sum_i i*x_(i) / (n * sum x)) - (n + 1) / n,  i = 1..n.
+  std::vector<Size> sorted = report.loads;
+  std::sort(sorted.begin(), sorted.end());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(sorted[i]);
+    total += static_cast<double>(sorted[i]);
+  }
+  const auto n = static_cast<double>(sorted.size());
+  report.gini =
+      total > 0 ? (2.0 * weighted) / (n * total) - (n + 1.0) / n : 0.0;
+  return report;
+}
+
+LoadReport analyze_initial(const Instance& instance) {
+  return analyze(instance, instance.initial);
+}
+
+std::string load_histogram(const LoadReport& report, int width) {
+  assert(width > 0);
+  std::string out;
+  const double peak =
+      std::max(1.0, static_cast<double>(report.makespan));
+  for (std::size_t p = 0; p < report.loads.size(); ++p) {
+    const auto bars = static_cast<int>(std::llround(
+        static_cast<double>(report.loads[p]) / peak * width));
+    out += "P" + std::to_string(p);
+    out += std::string(p < 10 ? 2 : 1, ' ');
+    out += "|";
+    out += std::string(static_cast<std::size_t>(bars), '#');
+    out += " " + std::to_string(report.loads[p]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace lrb

@@ -1,0 +1,40 @@
+// Descriptive statistics of a placement: the quantities operators actually
+// look at (imbalance factor, load spread, Gini coefficient, histogram) -
+// used by the CLI tools and the simulator reports.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+struct LoadReport {
+  std::vector<Size> loads;     ///< per-processor
+  Size makespan = 0;
+  Size min_load = 0;
+  double mean_load = 0.0;
+  double stddev = 0.0;
+  /// makespan / max(ceil-average, max job): 1.0 = fractionally optimal.
+  double imbalance = 1.0;
+  /// Gini coefficient of the load distribution in [0, 1): 0 = perfectly even.
+  double gini = 0.0;
+};
+
+/// Report for an arbitrary assignment.
+[[nodiscard]] LoadReport analyze(const Instance& instance,
+                                 std::span<const ProcId> assignment);
+
+/// Report for the instance's initial assignment.
+[[nodiscard]] LoadReport analyze_initial(const Instance& instance);
+
+/// A fixed-width ASCII bar chart of per-processor loads (one line per
+/// processor), for terminal inspection.
+[[nodiscard]] std::string load_histogram(const LoadReport& report,
+                                         int width = 50);
+
+}  // namespace lrb

@@ -1,0 +1,76 @@
+#include "core/assignment.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lrb {
+
+std::vector<Size> loads(const Instance& instance,
+                        std::span<const ProcId> assignment) {
+  assert(assignment.size() == instance.num_jobs());
+  std::vector<Size> result(instance.num_procs, 0);
+  for (std::size_t j = 0; j < assignment.size(); ++j) {
+    assert(assignment[j] < instance.num_procs);
+    result[assignment[j]] += instance.sizes[j];
+  }
+  return result;
+}
+
+Size makespan(const Instance& instance, std::span<const ProcId> assignment) {
+  const auto l = loads(instance, assignment);
+  if (l.empty()) return 0;
+  return *std::max_element(l.begin(), l.end());
+}
+
+std::int64_t moves_used(const Instance& instance,
+                        std::span<const ProcId> assignment) {
+  assert(assignment.size() == instance.num_jobs());
+  std::int64_t moves = 0;
+  for (std::size_t j = 0; j < assignment.size(); ++j) {
+    if (assignment[j] != instance.initial[j]) ++moves;
+  }
+  return moves;
+}
+
+Cost relocation_cost(const Instance& instance,
+                     std::span<const ProcId> assignment) {
+  assert(assignment.size() == instance.num_jobs());
+  Cost cost = 0;
+  for (std::size_t j = 0; j < assignment.size(); ++j) {
+    if (assignment[j] != instance.initial[j]) cost += instance.move_costs[j];
+  }
+  return cost;
+}
+
+std::optional<std::string> validate(const Instance& instance,
+                                    std::span<const ProcId> assignment) {
+  if (assignment.size() != instance.num_jobs()) {
+    return "assignment length (" + std::to_string(assignment.size()) +
+           ") != number of jobs (" + std::to_string(instance.num_jobs()) + ")";
+  }
+  for (std::size_t j = 0; j < assignment.size(); ++j) {
+    if (assignment[j] >= instance.num_procs) {
+      return "job " + std::to_string(j) + " assigned to out-of-range processor " +
+             std::to_string(assignment[j]);
+    }
+  }
+  return std::nullopt;
+}
+
+RebalanceResult finalize_result(const Instance& instance, Assignment assignment,
+                                Size threshold) {
+  assert(!validate(instance, assignment));
+  RebalanceResult result;
+  result.makespan = makespan(instance, assignment);
+  result.moves = moves_used(instance, assignment);
+  result.cost = relocation_cost(instance, assignment);
+  result.threshold = threshold;
+  result.assignment = std::move(assignment);
+  return result;
+}
+
+RebalanceResult no_move_result(const Instance& instance) {
+  return finalize_result(instance, instance.initial);
+}
+
+}  // namespace lrb

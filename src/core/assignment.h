@@ -1,0 +1,57 @@
+// Assignments (solutions) and their exact accounting: loads, makespan,
+// moves, relocation cost, and validation against an Instance.
+
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace lrb {
+
+/// A complete solution: final processor of every job.
+using Assignment = std::vector<ProcId>;
+
+/// Per-processor loads under `assignment`.
+[[nodiscard]] std::vector<Size> loads(const Instance& instance,
+                                      std::span<const ProcId> assignment);
+
+/// Maximum processor load under `assignment`.
+[[nodiscard]] Size makespan(const Instance& instance,
+                            std::span<const ProcId> assignment);
+
+/// Number of jobs whose final processor differs from their initial one.
+[[nodiscard]] std::int64_t moves_used(const Instance& instance,
+                                      std::span<const ProcId> assignment);
+
+/// Total relocation cost: sum of move_costs[j] over relocated jobs j.
+[[nodiscard]] Cost relocation_cost(const Instance& instance,
+                                   std::span<const ProcId> assignment);
+
+/// Structural validation of a solution: one entry per job, all in range.
+[[nodiscard]] std::optional<std::string> validate(
+    const Instance& instance, std::span<const ProcId> assignment);
+
+/// Result of any rebalancing algorithm in this library, with the exact
+/// quantities the paper's guarantees speak about.
+struct RebalanceResult {
+  Assignment assignment;
+  Size makespan = 0;         ///< max processor load of `assignment`
+  std::int64_t moves = 0;    ///< #jobs relocated (final != initial)
+  Cost cost = 0;             ///< total relocation cost
+  Size threshold = 0;        ///< OPT-guess the algorithm committed to (0 if n/a)
+};
+
+/// Fills in makespan / moves / cost for `assignment` and returns the result.
+[[nodiscard]] RebalanceResult finalize_result(const Instance& instance,
+                                              Assignment assignment,
+                                              Size threshold = 0);
+
+/// The identity solution (no job moves): the k = 0 / B = 0 answer.
+[[nodiscard]] RebalanceResult no_move_result(const Instance& instance);
+
+}  // namespace lrb

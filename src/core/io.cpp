@@ -1,0 +1,147 @@
+#include "core/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace lrb {
+namespace {
+
+constexpr const char* kInstanceMagic = "lrb-instance";
+constexpr const char* kAssignmentMagic = "lrb-assignment";
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Token stream that skips '#'-to-end-of-line comments.
+class TokenReader {
+ public:
+  explicit TokenReader(std::istream& is) : is_(is) {}
+
+  bool next(std::string& token) {
+    while (is_ >> token) {
+      if (token[0] == '#') {
+        std::string rest;
+        std::getline(is_, rest);
+        continue;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  template <typename Int>
+  bool next_int(Int& out) {
+    std::string token;
+    if (!next(token)) return false;
+    std::int64_t value = 0;
+    std::size_t pos = 0;
+    try {
+      value = std::stoll(token, &pos);
+    } catch (...) {
+      return false;
+    }
+    if (pos != token.size()) return false;
+    out = static_cast<Int>(value);
+    return static_cast<std::int64_t>(out) == value;
+  }
+
+ private:
+  std::istream& is_;
+};
+
+}  // namespace
+
+void write_instance(std::ostream& os, const Instance& instance) {
+  os << kInstanceMagic << " 1\n";
+  os << "procs " << instance.num_procs << '\n';
+  os << "jobs " << instance.num_jobs() << '\n';
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    os << instance.sizes[j] << ' ' << instance.move_costs[j] << ' '
+       << instance.initial[j] << '\n';
+  }
+}
+
+std::string instance_to_string(const Instance& instance) {
+  std::ostringstream oss;
+  write_instance(oss, instance);
+  return oss.str();
+}
+
+std::optional<Instance> read_instance(std::istream& is, std::string* error) {
+  TokenReader reader(is);
+  std::string token;
+  int version = 0;
+  if (!reader.next(token) || token != kInstanceMagic ||
+      !reader.next_int(version) || version != 1) {
+    fail(error, "bad instance header (want 'lrb-instance 1')");
+    return std::nullopt;
+  }
+  Instance inst;
+  std::size_t n = 0;
+  if (!reader.next(token) || token != "procs" ||
+      !reader.next_int(inst.num_procs)) {
+    fail(error, "bad 'procs' line");
+    return std::nullopt;
+  }
+  if (!reader.next(token) || token != "jobs" || !reader.next_int(n)) {
+    fail(error, "bad 'jobs' line");
+    return std::nullopt;
+  }
+  inst.sizes.resize(n);
+  inst.move_costs.resize(n);
+  inst.initial.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!reader.next_int(inst.sizes[j]) || !reader.next_int(inst.move_costs[j]) ||
+        !reader.next_int(inst.initial[j])) {
+      fail(error, "bad job line " + std::to_string(j));
+      return std::nullopt;
+    }
+  }
+  if (auto problem = validate(inst)) {
+    fail(error, *problem);
+    return std::nullopt;
+  }
+  return inst;
+}
+
+std::optional<Instance> instance_from_string(const std::string& text,
+                                             std::string* error) {
+  std::istringstream iss(text);
+  return read_instance(iss, error);
+}
+
+void write_assignment(std::ostream& os, const Assignment& assignment) {
+  os << kAssignmentMagic << " 1\n";
+  os << "jobs " << assignment.size() << '\n';
+  for (ProcId p : assignment) os << p << '\n';
+}
+
+std::optional<Assignment> read_assignment(std::istream& is,
+                                          std::string* error) {
+  TokenReader reader(is);
+  std::string token;
+  int version = 0;
+  if (!reader.next(token) || token != kAssignmentMagic ||
+      !reader.next_int(version) || version != 1) {
+    fail(error, "bad assignment header (want 'lrb-assignment 1')");
+    return std::nullopt;
+  }
+  std::size_t n = 0;
+  if (!reader.next(token) || token != "jobs" || !reader.next_int(n)) {
+    fail(error, "bad 'jobs' line");
+    return std::nullopt;
+  }
+  Assignment assignment(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!reader.next_int(assignment[j])) {
+      fail(error, "bad assignment entry " + std::to_string(j));
+      return std::nullopt;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace lrb

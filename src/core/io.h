@@ -1,0 +1,38 @@
+// Plain-text serialization of instances and assignments, so experiment
+// inputs can be checked in, diffed, and replayed.
+//
+// Format (whitespace-separated, '#' comments allowed):
+//
+//   lrb-instance 1
+//   procs <m>
+//   jobs <n>
+//   <size> <move_cost> <initial_proc>     # one line per job
+//
+// Assignments: "lrb-assignment 1", "jobs <n>", then one processor per line.
+
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+void write_instance(std::ostream& os, const Instance& instance);
+[[nodiscard]] std::string instance_to_string(const Instance& instance);
+
+/// Parses an instance; returns nullopt (and sets *error if non-null) on
+/// malformed input.
+[[nodiscard]] std::optional<Instance> read_instance(std::istream& is,
+                                                    std::string* error = nullptr);
+[[nodiscard]] std::optional<Instance> instance_from_string(
+    const std::string& text, std::string* error = nullptr);
+
+void write_assignment(std::ostream& os, const Assignment& assignment);
+[[nodiscard]] std::optional<Assignment> read_assignment(
+    std::istream& is, std::string* error = nullptr);
+
+}  // namespace lrb

@@ -1,0 +1,116 @@
+#include "core/plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace lrb {
+namespace {
+
+std::vector<Migration> collect_migrations(const Instance& instance,
+                                          std::span<const ProcId> target) {
+  std::vector<Migration> migrations;
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    if (target[j] != instance.initial[j]) {
+      migrations.push_back({static_cast<JobId>(j), instance.initial[j],
+                            target[j], instance.sizes[j],
+                            instance.move_costs[j]});
+    }
+  }
+  return migrations;
+}
+
+/// Greedy monotone ordering: repeatedly apply the pending migration that
+/// minimizes the makespan after its application (ties: larger size first,
+/// then job id). O(steps^2 * log m) with a running load vector.
+std::vector<Migration> monotone_order(const Instance& instance,
+                                      std::vector<Migration> pending) {
+  std::vector<Size> load = instance.initial_loads();
+  std::vector<Migration> ordered;
+  ordered.reserve(pending.size());
+  while (!pending.empty()) {
+    std::size_t best = 0;
+    Size best_makespan = kInfSize;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const auto& mig = pending[i];
+      load[mig.from] -= mig.size;
+      load[mig.to] += mig.size;
+      const Size makespan = *std::max_element(load.begin(), load.end());
+      load[mig.from] += mig.size;
+      load[mig.to] -= mig.size;
+      if (makespan < best_makespan ||
+          (makespan == best_makespan &&
+           (pending[i].size > pending[best].size ||
+            (pending[i].size == pending[best].size &&
+             pending[i].job < pending[best].job)))) {
+        best_makespan = makespan;
+        best = i;
+      }
+    }
+    const Migration chosen = pending[best];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best));
+    load[chosen.from] -= chosen.size;
+    load[chosen.to] += chosen.size;
+    ordered.push_back(chosen);
+  }
+  return ordered;
+}
+
+}  // namespace
+
+MigrationPlan make_plan(const Instance& instance,
+                        std::span<const ProcId> target, PlanOrder order) {
+  assert(!validate(instance, target));
+  MigrationPlan plan;
+  plan.steps = collect_migrations(instance, target);
+  switch (order) {
+    case PlanOrder::kArbitrary:
+      break;  // job-id order by construction
+    case PlanOrder::kLargestFirst:
+      std::stable_sort(plan.steps.begin(), plan.steps.end(),
+                       [](const Migration& x, const Migration& y) {
+                         return x.size > y.size;
+                       });
+      break;
+    case PlanOrder::kCheapestFirst:
+      std::stable_sort(plan.steps.begin(), plan.steps.end(),
+                       [](const Migration& x, const Migration& y) {
+                         return x.cost < y.cost;
+                       });
+      break;
+    case PlanOrder::kMonotone:
+      plan.steps = monotone_order(instance, std::move(plan.steps));
+      break;
+  }
+
+  // Replay once to fill in the metrics.
+  std::vector<Size> load = instance.initial_loads();
+  plan.initial_makespan =
+      load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+  plan.peak_makespan = plan.initial_makespan;
+  for (const auto& mig : plan.steps) {
+    load[mig.from] -= mig.size;
+    load[mig.to] += mig.size;
+    plan.peak_makespan = std::max(
+        plan.peak_makespan, *std::max_element(load.begin(), load.end()));
+    plan.total_cost += mig.cost;
+  }
+  plan.final_makespan =
+      load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+  assert(plan.final_makespan == makespan(instance, target));
+  return plan;
+}
+
+std::vector<Size> replay_loads(const Instance& instance,
+                               const MigrationPlan& plan, std::size_t prefix) {
+  assert(prefix <= plan.steps.size());
+  std::vector<Size> load = instance.initial_loads();
+  for (std::size_t i = 0; i < prefix; ++i) {
+    const auto& mig = plan.steps[i];
+    load[mig.from] -= mig.size;
+    load[mig.to] += mig.size;
+  }
+  return load;
+}
+
+}  // namespace lrb

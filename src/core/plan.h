@@ -1,0 +1,60 @@
+// Migration plans: the executable form of a rebalancing solution. A
+// RebalanceResult says WHERE jobs end up; an orchestrator needs the ordered
+// list of individual migrations, and cares how bad the intermediate states
+// get while the plan drains (migrations are not instantaneous in practice).
+//
+// The kMonotone order greedily picks, at each step, the pending migration
+// whose application minimizes the resulting makespan - keeping the
+// intermediate peak as low as the plan allows. (A peak above the initial
+// makespan can be unavoidable when the plan encodes a swap chain through a
+// loaded processor; peak_makespan reports what will actually happen.)
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+struct Migration {
+  JobId job = 0;
+  ProcId from = 0;
+  ProcId to = 0;
+  Size size = 0;
+  Cost cost = 0;
+};
+
+struct MigrationPlan {
+  std::vector<Migration> steps;
+  Size initial_makespan = 0;
+  Size final_makespan = 0;
+  /// Max over all intermediate states (after each step, plus the start)
+  /// when the steps run in order.
+  Size peak_makespan = 0;
+  Cost total_cost = 0;
+};
+
+enum class PlanOrder {
+  kArbitrary,      ///< job-id order
+  kLargestFirst,   ///< biggest relief first
+  kCheapestFirst,  ///< cheapest migrations first
+  kMonotone,       ///< greedy minimal intermediate makespan
+};
+
+/// Builds the plan turning the instance's initial assignment into `target`.
+/// `target` must be a valid assignment for the instance.
+[[nodiscard]] MigrationPlan make_plan(const Instance& instance,
+                                      std::span<const ProcId> target,
+                                      PlanOrder order = PlanOrder::kMonotone);
+
+/// Loads after executing the first `prefix` steps of the plan (prefix may
+/// equal steps.size() for the final state). Used by tests and the
+/// simulator's gradual executor.
+[[nodiscard]] std::vector<Size> replay_loads(const Instance& instance,
+                                             const MigrationPlan& plan,
+                                             std::size_t prefix);
+
+}  // namespace lrb

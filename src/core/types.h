@@ -1,0 +1,33 @@
+// Fundamental scalar types shared across the lrb library.
+//
+// Sizes, loads, makespans and relocation costs are exact 64-bit integers so
+// that every approximation-ratio experiment compares exact quantities;
+// floating point is confined to the discretization layers of the PTAS/FPTAS.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lrb {
+
+/// Job size / processor load / makespan.
+using Size = std::int64_t;
+
+/// Relocation cost. The unit-cost problem uses cost 1 per job.
+using Cost = std::int64_t;
+
+/// Index of a job within an Instance: [0, num_jobs).
+using JobId = std::uint32_t;
+
+/// Index of a processor within an Instance: [0, num_procs).
+using ProcId = std::uint32_t;
+
+/// Sentinel for "no processor" (used by partial configurations).
+inline constexpr ProcId kNoProc = std::numeric_limits<ProcId>::max();
+
+/// "Effectively infinite" size/cost used by solvers for infeasible states.
+inline constexpr Size kInfSize = std::numeric_limits<Size>::max() / 4;
+inline constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 4;
+
+}  // namespace lrb

@@ -1,0 +1,70 @@
+#include "diffusion/diffusion.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lrb::diffusion {
+
+DiffusionResult diffuse(const ProcessorGraph& graph,
+                        const std::vector<Size>& loads,
+                        const DiffusionOptions& options) {
+  assert(!validate(graph));
+  assert(loads.size() == graph.neighbors.size());
+  DiffusionResult result;
+  result.loads.assign(loads.begin(), loads.end());
+  if (loads.empty()) {
+    result.converged = true;
+    return result;
+  }
+
+  const double alpha =
+      options.alpha > 0
+          ? options.alpha
+          : 1.0 / (static_cast<double>(graph.max_degree()) + 1.0);
+  const double total =
+      std::accumulate(result.loads.begin(), result.loads.end(), 0.0);
+  const double average = total / static_cast<double>(result.loads.size());
+
+  std::vector<double> next(result.loads.size());
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double residual = 0.0;
+    for (std::size_t i = 0; i < result.loads.size(); ++i) {
+      residual = std::max(residual, std::abs(result.loads[i] - average));
+    }
+    result.residual = residual;
+    if (residual <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    // One synchronous step; record the per-edge flows it implies.
+    for (std::size_t i = 0; i < result.loads.size(); ++i) {
+      double delta = 0.0;
+      for (ProcId j : graph.neighbors[i]) {
+        delta += result.loads[j] - result.loads[i];
+      }
+      next[i] = result.loads[i] + alpha * delta;
+    }
+    for (ProcId u = 0; u < graph.num_procs(); ++u) {
+      for (ProcId v : graph.neighbors[u]) {
+        if (u >= v) continue;
+        // Flow u -> v this step: alpha * (x_u - x_v).
+        result.net_flow[{u, v}] += alpha * (result.loads[u] - result.loads[v]);
+      }
+    }
+    result.loads.swap(next);
+    result.iterations = iter + 1;
+  }
+  if (!result.converged) {
+    double residual = 0.0;
+    for (double x : result.loads) {
+      residual = std::max(residual, std::abs(x - average));
+    }
+    result.residual = residual;
+    result.converged = residual <= options.tolerance;
+  }
+  return result;
+}
+
+}  // namespace lrb::diffusion

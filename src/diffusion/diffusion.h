@@ -1,0 +1,43 @@
+// First-order diffusive load balancing (Hu et al. [7], cited in the paper's
+// introduction): continuous loads relax toward the average via
+//   x_i(t+1) = x_i(t) + alpha * sum_{j in N(i)} (x_j(t) - x_i(t)).
+// Converges to the uniform average for 0 < alpha < 1/max_degree on any
+// connected graph. The accumulated per-edge net flow is the migration plan
+// a job-granular scheme then has to realize - which is exactly where the
+// k-move formulation of the SPAA'03 paper bites: flow is fractional, jobs
+// are not.
+
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "diffusion/graph.h"
+
+namespace lrb::diffusion {
+
+struct DiffusionOptions {
+  /// Step size; <= 0 means "auto": 1 / (max_degree + 1).
+  double alpha = 0.0;
+  int max_iterations = 10'000;
+  /// Stop when max |x_i - avg| <= tolerance.
+  double tolerance = 1e-6;
+};
+
+struct DiffusionResult {
+  std::vector<double> loads;  ///< continuous loads after the last iteration
+  int iterations = 0;
+  bool converged = false;
+  /// Net flow over each edge (u < v); positive = u sent load to v.
+  std::map<std::pair<ProcId, ProcId>, double> net_flow;
+  double residual = 0.0;  ///< final max |x_i - avg|
+};
+
+/// Runs first-order diffusion from the given integral loads.
+[[nodiscard]] DiffusionResult diffuse(const ProcessorGraph& graph,
+                                      const std::vector<Size>& loads,
+                                      const DiffusionOptions& options = {});
+
+}  // namespace lrb::diffusion

@@ -1,0 +1,121 @@
+#include "diffusion/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lrb::diffusion {
+
+std::size_t ProcessorGraph::num_edges() const {
+  std::size_t total = 0;
+  for (const auto& adj : neighbors) total += adj.size();
+  return total / 2;
+}
+
+std::size_t ProcessorGraph::max_degree() const {
+  std::size_t degree = 0;
+  for (const auto& adj : neighbors) degree = std::max(degree, adj.size());
+  return degree;
+}
+
+std::vector<std::pair<ProcId, ProcId>> ProcessorGraph::edges() const {
+  std::vector<std::pair<ProcId, ProcId>> out;
+  for (ProcId u = 0; u < num_procs(); ++u) {
+    for (ProcId v : neighbors[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> validate(const ProcessorGraph& graph) {
+  const ProcId m = graph.num_procs();
+  for (ProcId u = 0; u < m; ++u) {
+    const auto& adj = graph.neighbors[u];
+    if (!std::is_sorted(adj.begin(), adj.end())) {
+      return "neighbors of " + std::to_string(u) + " not sorted";
+    }
+    if (std::adjacent_find(adj.begin(), adj.end()) != adj.end()) {
+      return "parallel edge at " + std::to_string(u);
+    }
+    for (ProcId v : adj) {
+      if (v >= m) return "out-of-range neighbor of " + std::to_string(u);
+      if (v == u) return "self-loop at " + std::to_string(u);
+      const auto& back = graph.neighbors[v];
+      if (!std::binary_search(back.begin(), back.end(), u)) {
+        return "asymmetric edge " + std::to_string(u) + "-" + std::to_string(v);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+void add_edge(ProcessorGraph& graph, ProcId u, ProcId v) {
+  if (u == v) return;
+  auto& a = graph.neighbors[u];
+  if (!std::binary_search(a.begin(), a.end(), v)) {
+    a.insert(std::upper_bound(a.begin(), a.end(), v), v);
+    auto& b = graph.neighbors[v];
+    b.insert(std::upper_bound(b.begin(), b.end(), u), u);
+  }
+}
+
+}  // namespace
+
+ProcessorGraph ring_graph(ProcId m) {
+  assert(m >= 1);
+  ProcessorGraph graph;
+  graph.neighbors.resize(m);
+  for (ProcId u = 0; u < m; ++u) {
+    add_edge(graph, u, static_cast<ProcId>((u + 1) % m));
+  }
+  assert(!validate(graph));
+  return graph;
+}
+
+ProcessorGraph complete_graph(ProcId m) {
+  assert(m >= 1);
+  ProcessorGraph graph;
+  graph.neighbors.resize(m);
+  for (ProcId u = 0; u < m; ++u) {
+    for (ProcId v = static_cast<ProcId>(u + 1); v < m; ++v) {
+      add_edge(graph, u, v);
+    }
+  }
+  assert(!validate(graph));
+  return graph;
+}
+
+ProcessorGraph torus_graph(ProcId rows, ProcId cols) {
+  assert(rows >= 1 && cols >= 1);
+  ProcessorGraph graph;
+  graph.neighbors.resize(static_cast<std::size_t>(rows) * cols);
+  auto id = [cols](ProcId r, ProcId c) {
+    return static_cast<ProcId>(r * cols + c);
+  };
+  for (ProcId r = 0; r < rows; ++r) {
+    for (ProcId c = 0; c < cols; ++c) {
+      add_edge(graph, id(r, c), id(r, static_cast<ProcId>((c + 1) % cols)));
+      add_edge(graph, id(r, c), id(static_cast<ProcId>((r + 1) % rows), c));
+    }
+  }
+  assert(!validate(graph));
+  return graph;
+}
+
+ProcessorGraph hypercube_graph(int dimensions) {
+  assert(dimensions >= 0 && dimensions < 20);
+  const auto m = static_cast<ProcId>(1u << dimensions);
+  ProcessorGraph graph;
+  graph.neighbors.resize(m);
+  for (ProcId u = 0; u < m; ++u) {
+    for (int bit = 0; bit < dimensions; ++bit) {
+      add_edge(graph, u, static_cast<ProcId>(u ^ (1u << bit)));
+    }
+  }
+  assert(!validate(graph));
+  return graph;
+}
+
+}  // namespace lrb::diffusion

@@ -1,0 +1,41 @@
+// Processor proximity graphs for the neighborhood-constrained balancing
+// schemes the paper's introduction cites (Hu et al. [7] diffusion, Ghosh et
+// al. [4] local balancing): processes may only migrate to NEARBY processors.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace lrb::diffusion {
+
+/// An undirected processor graph as adjacency lists (no self-loops, no
+/// parallel edges; neighbor lists kept sorted).
+struct ProcessorGraph {
+  std::vector<std::vector<ProcId>> neighbors;
+
+  [[nodiscard]] ProcId num_procs() const {
+    return static_cast<ProcId>(neighbors.size());
+  }
+  [[nodiscard]] std::size_t num_edges() const;
+  [[nodiscard]] std::size_t max_degree() const;
+  /// Sorted unique (u, v) pairs with u < v.
+  [[nodiscard]] std::vector<std::pair<ProcId, ProcId>> edges() const;
+};
+
+/// Structural validation: symmetric, sorted, in-range, loop-free.
+[[nodiscard]] std::optional<std::string> validate(const ProcessorGraph& graph);
+
+[[nodiscard]] ProcessorGraph ring_graph(ProcId m);
+[[nodiscard]] ProcessorGraph complete_graph(ProcId m);
+/// rows x cols torus (wrap-around grid); degenerate dimensions collapse to
+/// rings/paths correctly.
+[[nodiscard]] ProcessorGraph torus_graph(ProcId rows, ProcId cols);
+/// d-dimensional hypercube (2^d processors).
+[[nodiscard]] ProcessorGraph hypercube_graph(int dimensions);
+
+}  // namespace lrb::diffusion

@@ -1,0 +1,94 @@
+#include "diffusion/local_exchange.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace lrb::diffusion {
+
+LocalExchangeResult local_exchange_rebalance(
+    const Instance& instance, const ProcessorGraph& graph,
+    const LocalExchangeOptions& options) {
+  assert(!lrb::validate(instance));
+  assert(!validate(graph));
+  assert(graph.num_procs() == instance.num_procs);
+
+  Assignment assignment = instance.initial;
+  std::vector<Size> load = instance.initial_loads();
+  // Jobs per processor, kept sorted descending by size so transfers try the
+  // biggest movable job first (fewer migrations for the same relief).
+  std::vector<std::vector<JobId>> on_proc(instance.num_procs);
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    on_proc[instance.initial[j]].push_back(static_cast<JobId>(j));
+  }
+  for (auto& jobs : on_proc) {
+    std::sort(jobs.begin(), jobs.end(), [&](JobId a, JobId b) {
+      if (instance.sizes[a] != instance.sizes[b]) {
+        return instance.sizes[a] > instance.sizes[b];
+      }
+      return a < b;
+    });
+  }
+  std::int64_t moves = 0;  // #jobs currently away from home
+
+  const auto edges = graph.edges();
+  LocalExchangeResult out;
+  // Every transfer strictly decreases sum(load^2), so the dynamics are
+  // finite even without the round cap; the cap guards pathological inputs.
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool any_transfer = false;
+    for (const auto& [a, b] : edges) {
+      for (;;) {
+        const ProcId heavy = load[a] >= load[b] ? a : b;
+        const ProcId light = heavy == a ? b : a;
+        if (load[heavy] == load[light]) break;
+        // Largest job on `heavy` that strictly lowers max(pair) and fits
+        // the move budget.
+        bool transferred = false;
+        auto& jobs = on_proc[heavy];
+        for (std::size_t idx = 0; idx < jobs.size(); ++idx) {
+          const JobId j = jobs[idx];
+          const Size s = instance.sizes[j];
+          if (s == 0 || load[light] + s >= load[heavy]) continue;
+          const std::int64_t delta =
+              (light != instance.initial[j] ? 1 : 0) -
+              (heavy != instance.initial[j] ? 1 : 0);
+          if (moves + delta > options.max_moves) continue;
+          // Apply.
+          jobs.erase(jobs.begin() + static_cast<std::ptrdiff_t>(idx));
+          auto& dest = on_proc[light];
+          dest.insert(std::lower_bound(dest.begin(), dest.end(), j,
+                                       [&](JobId x, JobId y) {
+                                         if (instance.sizes[x] !=
+                                             instance.sizes[y]) {
+                                           return instance.sizes[x] >
+                                                  instance.sizes[y];
+                                         }
+                                         return x < y;
+                                       }),
+                      j);
+          load[heavy] -= s;
+          load[light] += s;
+          assignment[j] = light;
+          moves += delta;
+          transferred = true;
+          any_transfer = true;
+          break;
+        }
+        if (!transferred) break;
+      }
+    }
+    out.rounds = round + 1;
+    if (!any_transfer) {
+      out.quiescent = true;
+      break;
+    }
+  }
+
+  out.result = finalize_result(instance, std::move(assignment));
+  assert(out.result.moves == moves);
+  assert(out.result.moves <= options.max_moves);
+  return out;
+}
+
+}  // namespace lrb::diffusion

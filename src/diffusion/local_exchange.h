@@ -1,0 +1,41 @@
+// Job-granular local balancing on a proximity graph, in the spirit of Ghosh
+// et al. [4] (and Rudolph et al. [13] for unit jobs), cited by the paper as
+// the local/few-moves predecessors of its global k-move formulation.
+//
+// Rounds proceed over the graph's edges in a fixed order; across each edge
+// the heavier endpoint sends jobs to the lighter one whenever that strictly
+// lowers the pair's maximum. With unit jobs this is exactly the classic
+// local balancing dynamics (converges to neighboring loads differing by at
+// most 1, i.e. max within diameter of the average); with arbitrary sizes it
+// is a heuristic whose residual imbalance the bench compares against the
+// paper's global algorithms.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+#include "diffusion/graph.h"
+
+namespace lrb::diffusion {
+
+struct LocalExchangeOptions {
+  int max_rounds = 1000;
+  /// Optional cap on total migrations (the paper's k); kInfSize = unbounded.
+  std::int64_t max_moves = kInfSize;
+};
+
+struct LocalExchangeResult {
+  RebalanceResult result;
+  int rounds = 0;       ///< rounds until quiescent (or the cap)
+  bool quiescent = false;  ///< no edge had an improving transfer
+};
+
+/// Runs local exchange from the instance's initial assignment. The final
+/// assignment moves at most options.max_moves jobs.
+[[nodiscard]] LocalExchangeResult local_exchange_rebalance(
+    const Instance& instance, const ProcessorGraph& graph,
+    const LocalExchangeOptions& options = {});
+
+}  // namespace lrb::diffusion

@@ -1,0 +1,202 @@
+#include "ext/conflict.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace lrb {
+namespace {
+
+std::vector<std::vector<JobId>> adjacency(const ConflictInstance& instance) {
+  std::vector<std::vector<JobId>> adj(instance.num_jobs());
+  for (const auto& [x, y] : instance.conflicts) {
+    assert(x < instance.num_jobs() && y < instance.num_jobs() && x != y);
+    adj[x].push_back(y);
+    adj[y].push_back(x);
+  }
+  return adj;
+}
+
+}  // namespace
+
+bool respects_conflicts(const ConflictInstance& instance,
+                        const std::vector<ProcId>& assignment) {
+  if (assignment.size() != instance.num_jobs()) return false;
+  for (const auto& [x, y] : instance.conflicts) {
+    if (assignment[x] == assignment[y]) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<ProcId>> conflict_first_fit(
+    const ConflictInstance& instance) {
+  const auto adj = adjacency(instance);
+  std::vector<JobId> order(instance.num_jobs());
+  std::iota(order.begin(), order.end(), JobId{0});
+  std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    if (adj[a].size() != adj[b].size()) return adj[a].size() > adj[b].size();
+    if (instance.sizes[a] != instance.sizes[b]) {
+      return instance.sizes[a] > instance.sizes[b];
+    }
+    return a < b;
+  });
+  std::vector<ProcId> assignment(instance.num_jobs(), kNoProc);
+  std::vector<Size> load(instance.num_machines, 0);
+  for (JobId j : order) {
+    ProcId best = kNoProc;
+    for (ProcId p = 0; p < instance.num_machines; ++p) {
+      bool clash = false;
+      for (JobId other : adj[j]) {
+        if (assignment[other] == p) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash && (best == kNoProc || load[p] < load[best])) best = p;
+    }
+    if (best == kNoProc) return std::nullopt;
+    assignment[j] = best;
+    load[best] += instance.sizes[j];
+  }
+  return assignment;
+}
+
+ConflictExactResult conflict_exact(const ConflictInstance& instance,
+                                   std::uint64_t node_limit) {
+  ConflictExactResult result;
+  const auto adj = adjacency(instance);
+  std::vector<JobId> order(instance.num_jobs());
+  std::iota(order.begin(), order.end(), JobId{0});
+  std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    if (adj[a].size() != adj[b].size()) return adj[a].size() > adj[b].size();
+    return a < b;
+  });
+  std::vector<ProcId> current(instance.num_jobs(), kNoProc);
+  std::vector<Size> load(instance.num_machines, 0);
+  Size best = kInfSize;
+  std::vector<ProcId> best_assignment;
+  std::uint64_t nodes = 0;
+  bool aborted = false;
+
+  auto dfs = [&](auto&& self, std::size_t idx, Size cur_max) -> void {
+    if (aborted) return;
+    if (++nodes > node_limit) {
+      aborted = true;
+      return;
+    }
+    if (cur_max >= best) return;
+    if (idx == order.size()) {
+      best = cur_max;
+      best_assignment = current;
+      return;
+    }
+    const JobId j = order[idx];
+    // Machines in ascending-load order; among empty machines only try the
+    // first (they are interchangeable for the remaining jobs because
+    // conflicts reference jobs, not machines).
+    std::vector<ProcId> machines(instance.num_machines);
+    std::iota(machines.begin(), machines.end(), ProcId{0});
+    std::sort(machines.begin(), machines.end(), [&](ProcId x, ProcId y) {
+      if (load[x] != load[y]) return load[x] < load[y];
+      return x < y;
+    });
+    bool tried_untouched = false;
+    for (ProcId p : machines) {
+      // An untouched machine: zero load and hosting nothing (size-0 jobs
+      // make "zero load" alone insufficient).
+      const bool untouched =
+          load[p] == 0 &&
+          std::none_of(current.begin(), current.end(),
+                       [&](ProcId q) { return q == p; });
+      if (untouched) {
+        if (tried_untouched) continue;
+        tried_untouched = true;
+      }
+      bool clash = false;
+      for (JobId other : adj[j]) {
+        if (current[other] == p) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) continue;
+      if (load[p] + instance.sizes[j] >= best) continue;
+      load[p] += instance.sizes[j];
+      current[j] = p;
+      self(self, idx + 1, std::max(cur_max, load[p]));
+      current[j] = kNoProc;
+      load[p] -= instance.sizes[j];
+      if (aborted) return;
+    }
+  };
+  dfs(dfs, 0, 0);
+
+  result.nodes = nodes;
+  result.proven = !aborted;
+  result.feasible = best < kInfSize;
+  if (result.feasible) {
+    result.makespan = best;
+    result.assignment = std::move(best_assignment);
+    assert(respects_conflicts(instance, result.assignment));
+  }
+  return result;
+}
+
+ConflictGadget conflict_gadget(const ThreeDmInstance& source) {
+  const int n = source.n;
+  const auto m = source.triples.size();
+  assert(m >= static_cast<std::size_t>(n));
+
+  // Job ids: [0, m) triple jobs; [m, m+3n) element jobs (A block, then B,
+  // then C); [m+3n, 2m+2n) dummy jobs.
+  ConflictGadget gadget;
+  auto& inst = gadget.instance;
+  inst.num_machines = static_cast<ProcId>(m);
+  const std::size_t elements_start = m;
+  const std::size_t dummies_start = m + 3 * static_cast<std::size_t>(n);
+  const std::size_t total = dummies_start + (m - static_cast<std::size_t>(n));
+  inst.sizes.assign(total, 1);
+
+  auto element_job = [&](int kind, int index) {
+    return static_cast<JobId>(elements_start +
+                              static_cast<std::size_t>(kind) *
+                                  static_cast<std::size_t>(n) +
+                              static_cast<std::size_t>(index));
+  };
+
+  // Triple jobs pairwise conflict.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      inst.conflicts.emplace_back(static_cast<JobId>(i), static_cast<JobId>(j));
+    }
+  }
+  // Element u conflicts with triple job T_i unless u is in T_i.
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& triple = source.triples[i];
+    for (int kind = 0; kind < 3; ++kind) {
+      for (int e = 0; e < n; ++e) {
+        const bool member = (kind == 0 && triple.a == e) ||
+                            (kind == 1 && triple.b == e) ||
+                            (kind == 2 && triple.c == e);
+        if (!member) {
+          inst.conflicts.emplace_back(static_cast<JobId>(i),
+                                      element_job(kind, e));
+        }
+      }
+    }
+  }
+  // Dummies pairwise conflict and conflict with every element job.
+  for (std::size_t d1 = dummies_start; d1 < total; ++d1) {
+    for (std::size_t d2 = d1 + 1; d2 < total; ++d2) {
+      inst.conflicts.emplace_back(static_cast<JobId>(d1),
+                                  static_cast<JobId>(d2));
+    }
+    for (std::size_t e = elements_start; e < dummies_start; ++e) {
+      inst.conflicts.emplace_back(static_cast<JobId>(d1),
+                                  static_cast<JobId>(e));
+    }
+  }
+  return gadget;
+}
+
+}  // namespace lrb

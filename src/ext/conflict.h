@@ -1,0 +1,63 @@
+// The Conflict Scheduling problem (SPAA'03 §5, Theorem 7): makespan
+// minimization where specified pairs of jobs may not share a processor.
+// Even FEASIBILITY is NP-hard (3DM reduction), so no approximation ratio is
+// achievable in polynomial time. The module provides an exact backtracking
+// feasibility/optimization oracle, a first-fit heuristic, and the gadget.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "ext/threedm.h"
+
+namespace lrb {
+
+struct ConflictInstance {
+  std::vector<Size> sizes;
+  ProcId num_machines = 0;
+  /// Unordered conflicting pairs (j1, j2): the two jobs may not share a
+  /// machine.
+  std::vector<std::pair<JobId, JobId>> conflicts;
+
+  [[nodiscard]] std::size_t num_jobs() const { return sizes.size(); }
+};
+
+/// True iff `assignment` places no conflicting pair together.
+[[nodiscard]] bool respects_conflicts(const ConflictInstance& instance,
+                                      const std::vector<ProcId>& assignment);
+
+/// First-fit heuristic in descending conflict-degree order; each job goes to
+/// the least-loaded conflict-free machine. Returns nullopt when it gets
+/// stuck (which NP-hardness says must sometimes happen on feasible inputs).
+[[nodiscard]] std::optional<std::vector<ProcId>> conflict_first_fit(
+    const ConflictInstance& instance);
+
+struct ConflictExactResult {
+  bool feasible = false;
+  Size makespan = 0;  ///< min makespan over conflict-respecting assignments
+  std::vector<ProcId> assignment;
+  bool proven = false;  ///< search exhausted within the node limit
+  std::uint64_t nodes = 0;
+};
+
+/// Exact backtracking: minimum makespan subject to the conflicts (reports
+/// infeasible when no valid assignment exists at all).
+[[nodiscard]] ConflictExactResult conflict_exact(
+    const ConflictInstance& instance, std::uint64_t node_limit = 20'000'000);
+
+/// Theorem 7's gadget: m machines; m pairwise-conflicting triple jobs;
+/// 3n element jobs, each conflicting with every triple job whose triple
+/// does NOT contain it; m - n pairwise-conflicting dummy jobs that also
+/// conflict with every element job. A conflict-respecting assignment exists
+/// iff the 3DM instance has a perfect matching.
+struct ConflictGadget {
+  ConflictInstance instance;
+};
+
+[[nodiscard]] ConflictGadget conflict_gadget(const ThreeDmInstance& source);
+
+}  // namespace lrb

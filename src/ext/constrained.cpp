@@ -1,0 +1,248 @@
+#include "ext/constrained.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+#include "lp/gap.h"
+
+namespace lrb {
+
+std::optional<std::string> validate(const ConstrainedInstance& instance) {
+  if (auto base_problem = validate(instance.base)) return base_problem;
+  if (instance.allowed.size() != instance.base.num_jobs()) {
+    return "allowed rows (" + std::to_string(instance.allowed.size()) +
+           ") != number of jobs";
+  }
+  for (const auto& row : instance.allowed) {
+    if (row.size() != instance.base.num_procs) {
+      return "allowed row width != number of processors";
+    }
+  }
+  return std::nullopt;
+}
+
+RebalanceResult constrained_greedy(const ConstrainedInstance& instance,
+                                   std::int64_t k) {
+  assert(!validate(instance));
+  const Instance& base = instance.base;
+  Assignment assignment = base.initial;
+  std::vector<Size> load = base.initial_loads();
+
+  // Step 1 (same as GREEDY): k removals of the largest job off the heaviest
+  // processor.
+  auto by_proc = base.jobs_by_proc();
+  for (auto& jobs : by_proc) {
+    std::sort(jobs.begin(), jobs.end(), [&](JobId a, JobId b) {
+      return base.sizes[a] > base.sizes[b];
+    });
+  }
+  std::vector<std::size_t> next(base.num_procs, 0);
+  std::priority_queue<std::pair<Size, ProcId>> max_heap;
+  for (ProcId p = 0; p < base.num_procs; ++p) max_heap.emplace(load[p], p);
+  std::vector<JobId> removed;
+  for (std::int64_t step = 0; step < k && !max_heap.empty();) {
+    const auto [snapshot, p] = max_heap.top();
+    if (snapshot != load[p]) {
+      max_heap.pop();
+      continue;
+    }
+    if (next[p] >= by_proc[p].size()) break;
+    max_heap.pop();
+    const JobId victim = by_proc[p][next[p]++];
+    load[p] -= base.sizes[victim];
+    removed.push_back(victim);
+    max_heap.emplace(load[p], p);
+    ++step;
+  }
+
+  // Step 2: largest-first, each onto its least-loaded allowed processor.
+  std::sort(removed.begin(), removed.end(), [&](JobId a, JobId b) {
+    if (base.sizes[a] != base.sizes[b]) return base.sizes[a] > base.sizes[b];
+    return a < b;
+  });
+  for (JobId j : removed) {
+    ProcId best = base.initial[j];
+    for (ProcId p = 0; p < base.num_procs; ++p) {
+      if (instance.job_allowed_on(j, p) && load[p] < load[best]) best = p;
+    }
+    assignment[j] = best;
+    load[best] += base.sizes[j];
+  }
+  return finalize_result(base, std::move(assignment));
+}
+
+namespace {
+
+struct ConstrainedSearcher {
+  const ConstrainedInstance& inst;
+  std::int64_t max_moves;
+  std::uint64_t node_limit;
+
+  std::vector<JobId> order;
+  std::vector<Size> load;
+  Assignment current;
+  Assignment best_assignment;
+  Size best = kInfSize;
+  std::int64_t moves = 0;
+  std::uint64_t nodes = 0;
+  bool aborted = false;
+
+  ConstrainedSearcher(const ConstrainedInstance& instance, std::int64_t k,
+                      std::uint64_t limit)
+      : inst(instance), max_moves(k), node_limit(limit) {
+    const Instance& base = inst.base;
+    order.resize(base.num_jobs());
+    std::iota(order.begin(), order.end(), JobId{0});
+    std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+      if (base.sizes[a] != base.sizes[b]) return base.sizes[a] > base.sizes[b];
+      return a < b;
+    });
+    load.assign(base.num_procs, 0);
+    current = base.initial;
+    best_assignment = base.initial;
+    best = base.initial_makespan() + 1;  // identity is always feasible
+  }
+
+  void dfs(std::size_t idx, Size cur_max) {
+    if (aborted) return;
+    if (++nodes > node_limit) {
+      aborted = true;
+      return;
+    }
+    if (cur_max >= best) return;
+    const Instance& base = inst.base;
+    if (idx == order.size()) {
+      best = cur_max;
+      best_assignment = current;
+      return;
+    }
+    const JobId j = order[idx];
+    const ProcId home = base.initial[j];
+    std::vector<ProcId> cands;
+    cands.push_back(home);
+    std::vector<ProcId> others;
+    for (ProcId p = 0; p < base.num_procs; ++p) {
+      if (p != home && inst.job_allowed_on(j, p)) others.push_back(p);
+    }
+    std::sort(others.begin(), others.end(), [&](ProcId x, ProcId y) {
+      if (load[x] != load[y]) return load[x] < load[y];
+      return x < y;
+    });
+    cands.insert(cands.end(), others.begin(), others.end());
+    for (ProcId p : cands) {
+      const bool is_move = p != home;
+      if (is_move && moves + 1 > max_moves) continue;
+      if (load[p] + base.sizes[j] >= best) continue;
+      load[p] += base.sizes[j];
+      current[j] = p;
+      if (is_move) ++moves;
+      dfs(idx + 1, std::max(cur_max, load[p]));
+      if (is_move) --moves;
+      load[p] -= base.sizes[j];
+      current[j] = home;
+      if (aborted) return;
+    }
+  }
+};
+
+}  // namespace
+
+ConstrainedExactResult constrained_exact(const ConstrainedInstance& instance,
+                                         std::int64_t k,
+                                         std::uint64_t node_limit) {
+  assert(!validate(instance));
+  ConstrainedSearcher searcher(instance, k, node_limit);
+  searcher.dfs(0, 0);
+  ConstrainedExactResult result;
+  result.nodes = searcher.nodes;
+  result.proven_optimal = !searcher.aborted;
+  result.best =
+      finalize_result(instance.base, std::move(searcher.best_assignment));
+  return result;
+}
+
+RebalanceResult constrained_st_rebalance(const ConstrainedInstance& instance,
+                                         Cost budget) {
+  assert(!validate(instance));
+  const Instance& base = instance.base;
+  const std::size_t n = base.num_jobs();
+  const std::size_t m = base.num_procs;
+
+  GapInstance gap;
+  gap.processing.assign(n, std::vector<Size>(m, kInfSize));
+  gap.cost.assign(n, std::vector<Cost>(m, kInfCost));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto job = static_cast<JobId>(i);
+      const auto proc = static_cast<ProcId>(j);
+      if (!instance.job_allowed_on(job, proc)) continue;  // no variable
+      gap.processing[i][j] = base.sizes[i];
+      gap.cost[i][j] = proc == base.initial[i] ? 0 : base.move_costs[i];
+    }
+  }
+  const auto result = gap_shmoys_tardos(gap, budget);
+  if (!result.feasible) return no_move_result(base);
+  Assignment assignment(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    assignment[i] = static_cast<ProcId>(result.rounded.machine_of_job[i]);
+  }
+  auto out = finalize_result(base, std::move(assignment), result.lp_target);
+  assert(out.cost <= budget);
+  return out;
+}
+
+ConstrainedGadget constrained_gadget(const ThreeDmInstance& source) {
+  const int n = source.n;
+  const auto m = static_cast<ProcId>(source.triples.size());
+  std::vector<std::int64_t> type_count(static_cast<std::size_t>(n), 0);
+  for (const auto& triple : source.triples) {
+    ++type_count[static_cast<std::size_t>(triple.a)];
+  }
+
+  struct JobDesc {
+    Size size;
+    int kind;   // 0 = B element, 1 = C element, 2 = dummy
+    int index;  // element id or dummy type
+  };
+  std::vector<JobDesc> jobs;
+  for (int b = 0; b < n; ++b) jobs.push_back({1, 0, b});
+  for (int c = 0; c < n; ++c) jobs.push_back({1, 1, c});
+  for (int j = 0; j < n; ++j) {
+    for (std::int64_t d = 1; d < type_count[static_cast<std::size_t>(j)]; ++d) {
+      jobs.push_back({2, 2, j});
+    }
+  }
+
+  // Machines 0..m-1 are the triples; machine m is the "source" everything
+  // starts on. Because not moving is always legal in the rebalancing
+  // framing, the source carries a pinned blocker job of size 2 (allowed only
+  // there): any gadget job that stays home pushes the source above 2, so a
+  // makespan-2 solution must place every gadget job on one of its allowed
+  // triple machines - exactly the Theorem 6 structure.
+  ConstrainedGadget gadget;
+  std::vector<Size> sizes;
+  std::vector<ProcId> initial(jobs.size() + 1, m);  // all on the source
+  sizes.reserve(jobs.size() + 1);
+  for (const auto& job : jobs) sizes.push_back(job.size);
+  sizes.push_back(2);  // the blocker
+  gadget.instance.base = make_instance(
+      std::move(sizes), std::move(initial), static_cast<ProcId>(m + 1));
+  gadget.instance.allowed.assign(jobs.size() + 1,
+                                 std::vector<char>(m + 1, 0));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    for (ProcId machine = 0; machine < m; ++machine) {
+      const auto& triple = source.triples[machine];
+      const bool ok = (jobs[i].kind == 0 && triple.b == jobs[i].index) ||
+                      (jobs[i].kind == 1 && triple.c == jobs[i].index) ||
+                      (jobs[i].kind == 2 && triple.a == jobs[i].index);
+      gadget.instance.allowed[i][machine] = ok ? 1 : 0;
+    }
+  }
+  gadget.instance.allowed[jobs.size()][m] = 1;  // blocker pinned to source
+  gadget.yes_makespan = 2;
+  return gadget;
+}
+
+}  // namespace lrb

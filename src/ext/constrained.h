@@ -1,0 +1,72 @@
+// The Constrained Load Rebalancing problem (SPAA'03 §5, Corollary 1): load
+// rebalancing where each job may only be reassigned to a specified subset of
+// machines. No rho < 1.5 approximation exists unless P=NP; the module
+// provides a restricted GREEDY heuristic, an exact branch-and-bound oracle,
+// and the 3DM gadget realizing the hardness gap.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+#include "ext/threedm.h"
+
+namespace lrb {
+
+struct ConstrainedInstance {
+  Instance base;
+  /// allowed[j][p] != 0 iff job j may run on processor p. A job's initial
+  /// processor is always implicitly allowed (not moving is always legal).
+  std::vector<std::vector<char>> allowed;
+
+  [[nodiscard]] bool job_allowed_on(JobId j, ProcId p) const {
+    return allowed[j][p] != 0 || base.initial[j] == p;
+  }
+};
+
+/// Structural validation (shapes and ranges).
+[[nodiscard]] std::optional<std::string> validate(
+    const ConstrainedInstance& instance);
+
+/// GREEDY restricted to allowed sets: k removals of the largest job from the
+/// heaviest processor, then each removed job goes to its least-loaded
+/// ALLOWED processor. Always succeeds (home remains allowed).
+[[nodiscard]] RebalanceResult constrained_greedy(
+    const ConstrainedInstance& instance, std::int64_t k);
+
+struct ConstrainedExactResult {
+  RebalanceResult best;
+  bool proven_optimal = false;
+  std::uint64_t nodes = 0;
+};
+
+/// Exact minimum makespan under a move budget and the allowed sets.
+[[nodiscard]] ConstrainedExactResult constrained_exact(
+    const ConstrainedInstance& instance, std::int64_t k,
+    std::uint64_t node_limit = 20'000'000);
+
+/// The best upper bound known for Constrained Load Rebalancing (the paper
+/// notes a 1.5-approximation is open; Shmoys-Tardos [14] gives 2): LP
+/// rounding on the GAP encoding where a job only has variables on its
+/// allowed machines (cost 0 at home, its move cost elsewhere). Returns a
+/// solution of relocation cost <= budget and makespan <= 2 * OPT(budget).
+[[nodiscard]] RebalanceResult constrained_st_rebalance(
+    const ConstrainedInstance& instance, Cost budget);
+
+/// Corollary 1's gadget: machines are the triples, all jobs start on
+/// machine 0, and allowed sets mirror Theorem 6's cheap positions (element
+/// jobs may go to machines of triples naming them, type-j dummies to type-j
+/// machines). Makespan 2 is reachable iff the 3DM instance has a perfect
+/// matching; otherwise the optimum is >= 3.
+struct ConstrainedGadget {
+  ConstrainedInstance instance;
+  Size yes_makespan = 2;
+};
+
+[[nodiscard]] ConstrainedGadget constrained_gadget(const ThreeDmInstance& source);
+
+}  // namespace lrb

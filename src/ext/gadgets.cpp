@@ -1,0 +1,164 @@
+#include "ext/gadgets.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace lrb {
+
+MoveMinGadget move_min_gadget(const std::vector<Size>& numbers) {
+  MoveMinGadget gadget;
+  std::vector<Size> sizes = numbers;
+  std::vector<ProcId> initial(sizes.size(), 0);
+  const Size total = std::accumulate(sizes.begin(), sizes.end(), Size{0});
+  gadget.instance = make_instance(std::move(sizes), std::move(initial), 2);
+  gadget.target_load = total / 2;  // meaningful when total is even
+  return gadget;
+}
+
+TwoCostGadget two_cost_gadget(const ThreeDmInstance& source, Cost p, Cost q) {
+  assert(p >= 1 && q > p);
+  const int n = source.n;
+  const auto m = source.triples.size();  // one machine per triple
+
+  // t_j = number of triples of type j (type = the A element they contain).
+  std::vector<std::int64_t> type_count(static_cast<std::size_t>(n), 0);
+  for (const auto& triple : source.triples) {
+    ++type_count[static_cast<std::size_t>(triple.a)];
+  }
+
+  // Jobs: element jobs for B (ids 0..n-1) and C (ids n..2n-1), unit size;
+  // then for each type j, t_j - 1 dummy jobs of size 2.
+  struct JobDesc {
+    Size size;
+    int kind;   // 0 = B element, 1 = C element, 2 = dummy
+    int index;  // element id or dummy's type j
+  };
+  std::vector<JobDesc> jobs;
+  for (int b = 0; b < n; ++b) jobs.push_back({1, 0, b});
+  for (int c = 0; c < n; ++c) jobs.push_back({1, 1, c});
+  for (int j = 0; j < n; ++j) {
+    for (std::int64_t d = 1; d < type_count[static_cast<std::size_t>(j)]; ++d) {
+      jobs.push_back({2, 2, j});
+    }
+  }
+
+  TwoCostGadget gadget;
+  gadget.gap.processing.assign(jobs.size(), std::vector<Size>(m, 0));
+  gadget.gap.cost.assign(jobs.size(), std::vector<Cost>(m, q));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    for (std::size_t machine = 0; machine < m; ++machine) {
+      gadget.gap.processing[i][machine] = jobs[i].size;
+      const auto& triple = source.triples[machine];
+      const bool cheap =
+          (jobs[i].kind == 0 && triple.b == jobs[i].index) ||
+          (jobs[i].kind == 1 && triple.c == jobs[i].index) ||
+          (jobs[i].kind == 2 && triple.a == jobs[i].index);
+      if (cheap) gadget.gap.cost[i][machine] = p;
+    }
+  }
+  gadget.budget = (static_cast<Cost>(m) + static_cast<Cost>(n)) * p;
+  gadget.yes_makespan = 2;
+  return gadget;
+}
+
+namespace {
+
+struct GapSearcher {
+  const GapInstance& gap;
+  Cost budget;
+  std::uint64_t node_limit;
+
+  std::vector<std::size_t> order;  // jobs by descending min processing time
+  std::vector<Size> load;
+  Size best = kInfSize;
+  Cost cost = 0;
+  std::uint64_t nodes = 0;
+  bool aborted = false;
+
+  GapSearcher(const GapInstance& g, Cost b, std::uint64_t limit)
+      : gap(g), budget(b), node_limit(limit) {
+    order.resize(gap.num_jobs());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    auto weight = [&](std::size_t i) {
+      Size w = kInfSize;
+      for (std::size_t j = 0; j < gap.num_machines(); ++j) {
+        w = std::min(w, gap.processing[i][j]);
+      }
+      return w;
+    };
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      return weight(x) > weight(y);
+    });
+    load.assign(gap.num_machines(), 0);
+  }
+
+  [[nodiscard]] Cost cheapest_completion(std::size_t idx) const {
+    // Admissible bound: every remaining job pays at least its cheapest cost.
+    Cost sum = 0;
+    for (std::size_t r = idx; r < order.size(); ++r) {
+      Cost c = kInfCost;
+      for (std::size_t j = 0; j < gap.num_machines(); ++j) {
+        c = std::min(c, gap.cost[order[r]][j]);
+      }
+      sum += c;
+    }
+    return sum;
+  }
+
+  void dfs(std::size_t idx, Size cur_max) {
+    if (aborted) return;
+    if (++nodes > node_limit) {
+      aborted = true;
+      return;
+    }
+    if (cur_max >= best) return;
+    if (idx == order.size()) {
+      best = cur_max;
+      return;
+    }
+    if (cost + cheapest_completion(idx) > budget) return;
+    const std::size_t i = order[idx];
+    // Try machines cheapest-first, then by load.
+    std::vector<std::size_t> machines(gap.num_machines());
+    std::iota(machines.begin(), machines.end(), std::size_t{0});
+    std::sort(machines.begin(), machines.end(),
+              [&](std::size_t x, std::size_t y) {
+                if (gap.cost[i][x] != gap.cost[i][y]) {
+                  return gap.cost[i][x] < gap.cost[i][y];
+                }
+                return load[x] < load[y];
+              });
+    for (std::size_t j : machines) {
+      if (cost + gap.cost[i][j] > budget) continue;
+      if (load[j] + gap.processing[i][j] >= best) continue;
+      cost += gap.cost[i][j];
+      load[j] += gap.processing[i][j];
+      dfs(idx + 1, std::max(cur_max, load[j]));
+      load[j] -= gap.processing[i][j];
+      cost -= gap.cost[i][j];
+      if (aborted) return;
+    }
+  }
+};
+
+}  // namespace
+
+GapExactResult gap_exact_min_makespan(const GapInstance& gap, Cost budget,
+                                      std::uint64_t node_limit) {
+  GapExactResult result;
+  if (gap.num_machines() == 0) {
+    result.feasible = gap.num_jobs() == 0;
+    result.proven_optimal = true;
+    return result;
+  }
+  GapSearcher searcher(gap, budget, node_limit);
+  searcher.dfs(0, 0);
+  result.nodes = searcher.nodes;
+  result.proven_optimal = !searcher.aborted;
+  result.feasible = searcher.best < kInfSize;
+  result.makespan = result.feasible ? searcher.best : kInfSize;
+  return result;
+}
+
+}  // namespace lrb

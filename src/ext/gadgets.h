@@ -1,0 +1,63 @@
+// Instance transformers realizing the paper's §5 hardness reductions, plus a
+// small exact GAP solver so the reductions can be verified empirically:
+// yes-instances of the source problem map to gadgets with a small objective,
+// no-instances to gadgets where that objective is unachievable - exactly the
+// gap that rules out the corresponding approximation factors.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "ext/threedm.h"
+#include "lp/gap.h"
+
+namespace lrb {
+
+// ------------------------------------------------------- Theorem 5 (moves)
+
+/// The PARTITION-number reduction behind Theorem 5: all `numbers` start on
+/// processor 0 of 2; the move-minimization target is half their sum. A
+/// finite answer exists iff the numbers split evenly - approximating the
+/// move count to ANY factor would decide PARTITION.
+struct MoveMinGadget {
+  Instance instance;
+  Size target_load = 0;
+};
+
+[[nodiscard]] MoveMinGadget move_min_gadget(const std::vector<Size>& numbers);
+
+// -------------------------------------------------- Theorem 6 ({p,q} costs)
+
+/// The 3DM reduction behind Theorem 6 (no rho < 1.5 for makespan with
+/// assignment costs in {p, q}): machines are triples; element jobs for B and
+/// C (unit size) cost p exactly on the machines of triples naming them;
+/// t_j - 1 dummy jobs (size 2) per type j cost p exactly on type-j machines;
+/// everything else costs q. With budget (m + n) * p, makespan 2 is
+/// achievable iff the 3DM instance has a perfect matching (else >= 3).
+struct TwoCostGadget {
+  GapInstance gap;
+  Cost budget = 0;
+  Size yes_makespan = 2;  ///< achievable iff the source instance matches
+};
+
+[[nodiscard]] TwoCostGadget two_cost_gadget(const ThreeDmInstance& source,
+                                            Cost p, Cost q);
+
+// ------------------------------------------------------ exact GAP oracle
+
+struct GapExactResult {
+  bool feasible = false;       ///< some schedule fits within the budget
+  Size makespan = 0;           ///< min makespan subject to the budget
+  bool proven_optimal = false;
+  std::uint64_t nodes = 0;
+};
+
+/// Branch-and-bound over GAP: minimize makespan subject to total assignment
+/// cost <= budget. Ground truth for the Theorem 6 experiments.
+[[nodiscard]] GapExactResult gap_exact_min_makespan(
+    const GapInstance& gap, Cost budget,
+    std::uint64_t node_limit = 20'000'000);
+
+}  // namespace lrb

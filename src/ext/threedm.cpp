@@ -1,0 +1,129 @@
+#include "ext/threedm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace lrb {
+namespace {
+
+Triple random_triple(int n, Rng& rng, int min_a) {
+  return {static_cast<int>(rng.uniform_int(min_a, n - 1)),
+          static_cast<int>(rng.uniform_int(0, n - 1)),
+          static_cast<int>(rng.uniform_int(0, n - 1))};
+}
+
+void dedupe(std::vector<Triple>& triples) {
+  std::sort(triples.begin(), triples.end(), [](const Triple& x, const Triple& y) {
+    return std::tie(x.a, x.b, x.c) < std::tie(y.a, y.b, y.c);
+  });
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+}
+
+}  // namespace
+
+ThreeDmInstance random_matchable_3dm(int n, int extra_triples,
+                                     std::uint64_t seed) {
+  assert(n >= 1);
+  Rng rng(seed);
+  ThreeDmInstance instance;
+  instance.n = n;
+  // Hidden matching: a_i paired with pi_b(i), pi_c(i).
+  std::vector<int> perm_b(static_cast<std::size_t>(n));
+  std::vector<int> perm_c(static_cast<std::size_t>(n));
+  std::iota(perm_b.begin(), perm_b.end(), 0);
+  std::iota(perm_c.begin(), perm_c.end(), 0);
+  shuffle(std::span<int>(perm_b), rng);
+  shuffle(std::span<int>(perm_c), rng);
+  for (int i = 0; i < n; ++i) {
+    instance.triples.push_back({i, perm_b[static_cast<std::size_t>(i)],
+                                perm_c[static_cast<std::size_t>(i)]});
+  }
+  for (int e = 0; e < extra_triples; ++e) {
+    instance.triples.push_back(random_triple(n, rng, 0));
+  }
+  dedupe(instance.triples);
+  shuffle(std::span<Triple>(instance.triples), rng);
+  return instance;
+}
+
+ThreeDmInstance unmatchable_3dm(int n, int num_triples, std::uint64_t seed) {
+  assert(n >= 2);
+  Rng rng(seed);
+  ThreeDmInstance instance;
+  instance.n = n;
+  for (int e = 0; e < num_triples; ++e) {
+    instance.triples.push_back(random_triple(n, rng, 1));  // a = 0 never covered
+  }
+  dedupe(instance.triples);
+  return instance;
+}
+
+std::optional<std::vector<std::size_t>> solve_3dm(
+    const ThreeDmInstance& instance) {
+  const int n = instance.n;
+  // Triples grouped by their A element.
+  std::vector<std::vector<std::size_t>> by_a(static_cast<std::size_t>(n));
+  for (std::size_t t = 0; t < instance.triples.size(); ++t) {
+    const auto& triple = instance.triples[t];
+    if (triple.a < 0 || triple.a >= n || triple.b < 0 || triple.b >= n ||
+        triple.c < 0 || triple.c >= n) {
+      continue;  // malformed triples can never participate
+    }
+    by_a[static_cast<std::size_t>(triple.a)].push_back(t);
+  }
+  std::vector<char> used_b(static_cast<std::size_t>(n), 0);
+  std::vector<char> used_c(static_cast<std::size_t>(n), 0);
+  std::vector<std::size_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(n));
+
+  // Order A elements by ascending branching factor (fail fast).
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return by_a[static_cast<std::size_t>(x)].size() <
+           by_a[static_cast<std::size_t>(y)].size();
+  });
+
+  auto dfs = [&](auto&& self, std::size_t depth) -> bool {
+    if (depth == static_cast<std::size_t>(n)) return true;
+    const auto a = static_cast<std::size_t>(order[depth]);
+    for (std::size_t t : by_a[a]) {
+      const auto& triple = instance.triples[t];
+      const auto b = static_cast<std::size_t>(triple.b);
+      const auto c = static_cast<std::size_t>(triple.c);
+      if (used_b[b] || used_c[c]) continue;
+      used_b[b] = used_c[c] = 1;
+      chosen.push_back(t);
+      if (self(self, depth + 1)) return true;
+      chosen.pop_back();
+      used_b[b] = used_c[c] = 0;
+    }
+    return false;
+  };
+  if (dfs(dfs, 0)) return chosen;
+  return std::nullopt;
+}
+
+bool is_perfect_matching(const ThreeDmInstance& instance,
+                         const std::vector<std::size_t>& chosen) {
+  if (chosen.size() != static_cast<std::size_t>(instance.n)) return false;
+  std::vector<char> a(static_cast<std::size_t>(instance.n), 0);
+  std::vector<char> b(static_cast<std::size_t>(instance.n), 0);
+  std::vector<char> c(static_cast<std::size_t>(instance.n), 0);
+  for (std::size_t t : chosen) {
+    if (t >= instance.triples.size()) return false;
+    const auto& triple = instance.triples[t];
+    auto& ta = a[static_cast<std::size_t>(triple.a)];
+    auto& tb = b[static_cast<std::size_t>(triple.b)];
+    auto& tc = c[static_cast<std::size_t>(triple.c)];
+    if (ta || tb || tc) return false;
+    ta = tb = tc = 1;
+  }
+  return true;
+}
+
+}  // namespace lrb

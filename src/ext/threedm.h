@@ -1,0 +1,49 @@
+// 3-dimensional matching: the NP-complete source problem of the paper's §5
+// hardness reductions (Theorems 6 and 7). Instances here are small enough
+// to solve exactly, so the reductions can be exercised end to end.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace lrb {
+
+/// A triple (a, b, c) with each coordinate in [0, n).
+struct Triple {
+  int a = 0;
+  int b = 0;
+  int c = 0;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+/// Sets A, B, C each of size n, and a family of triples.
+struct ThreeDmInstance {
+  int n = 0;
+  std::vector<Triple> triples;
+};
+
+/// A matchable instance: a hidden perfect matching (random permutations of B
+/// and C against A) plus `extra_triples` random decoys. Deterministic in
+/// (n, extra_triples, seed).
+[[nodiscard]] ThreeDmInstance random_matchable_3dm(int n, int extra_triples,
+                                                   std::uint64_t seed);
+
+/// An instance that is certainly NOT matchable: generated like the random
+/// decoys but with every triple avoiding element a = 0, so A can never be
+/// covered. Deterministic in (n, num_triples, seed).
+[[nodiscard]] ThreeDmInstance unmatchable_3dm(int n, int num_triples,
+                                              std::uint64_t seed);
+
+/// Exact solver (backtracking over elements of A with pruning). Returns the
+/// indices of a perfect matching's triples, or nullopt.
+[[nodiscard]] std::optional<std::vector<std::size_t>> solve_3dm(
+    const ThreeDmInstance& instance);
+
+/// Checks that the given triple indices form a perfect matching.
+[[nodiscard]] bool is_perfect_matching(const ThreeDmInstance& instance,
+                                       const std::vector<std::size_t>& chosen);
+
+}  // namespace lrb

@@ -1,0 +1,129 @@
+#include "knapsack/knapsack.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lrb {
+namespace {
+
+// Shared DP core on (possibly scaled) integer sizes. `sizes[i]` is item i's
+// weight in DP units; capacity likewise. Reconstructs the chosen set.
+KnapsackSolution solve_dp(std::span<const KnapsackItem> items,
+                          std::span<const Size> sizes, Size capacity) {
+  const std::size_t n = items.size();
+  const auto cap = static_cast<std::size_t>(std::max<Size>(capacity, 0));
+  // best[w]: max value using a prefix of items with total scaled size <= w.
+  std::vector<Cost> best(cap + 1, 0);
+  // take[i * (cap+1) + w]: whether item i is taken at budget w.
+  std::vector<char> take(n * (cap + 1), 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Size w_i = sizes[i];
+    const Cost v_i = items[i].value;
+    if (w_i > capacity) continue;
+    char* take_row = take.data() + i * (cap + 1);
+    // Descending weight loop keeps each item 0/1.
+    for (std::size_t w = cap; w + 1 > static_cast<std::size_t>(w_i); --w) {
+      const Cost candidate = best[w - static_cast<std::size_t>(w_i)] + v_i;
+      if (candidate > best[w]) {
+        best[w] = candidate;
+        take_row[w] = 1;
+      }
+      if (w == 0) break;
+    }
+  }
+
+  KnapsackSolution solution;
+  solution.value = best[cap];
+  std::size_t w = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (take[i * (cap + 1) + w]) {
+      solution.chosen.push_back(i);
+      solution.size += items[i].size;  // report TRUE size, not scaled
+      w -= static_cast<std::size_t>(sizes[i]);
+    }
+  }
+  std::reverse(solution.chosen.begin(), solution.chosen.end());
+  return solution;
+}
+
+}  // namespace
+
+KnapsackSolution knapsack_exact(std::span<const KnapsackItem> items,
+                                Size capacity) {
+  assert(capacity >= 0);
+  std::vector<Size> sizes(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    assert(items[i].size >= 0);
+    assert(items[i].value >= 0);
+    sizes[i] = items[i].size;
+  }
+  return solve_dp(items, sizes, capacity);
+}
+
+KnapsackSolution knapsack_greedy(std::span<const KnapsackItem> items,
+                                 Size capacity) {
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    // value/size descending; zero-size items first (infinite density).
+    const auto& ia = items[a];
+    const auto& ib = items[b];
+    if ((ia.size == 0) != (ib.size == 0)) return ia.size == 0;
+    if (ia.size == 0) return ia.value > ib.value;
+    return static_cast<double>(ia.value) * static_cast<double>(ib.size) >
+           static_cast<double>(ib.value) * static_cast<double>(ia.size);
+  });
+  KnapsackSolution solution;
+  for (std::size_t i : order) {
+    if (solution.size + items[i].size <= capacity) {
+      solution.size += items[i].size;
+      solution.value += items[i].value;
+      solution.chosen.push_back(i);
+    }
+  }
+  std::sort(solution.chosen.begin(), solution.chosen.end());
+  return solution;
+}
+
+KnapsackSolution knapsack_size_relaxed(std::span<const KnapsackItem> items,
+                                       Size capacity, double eps) {
+  assert(eps > 0.0);
+  assert(capacity >= 0);
+  if (items.empty() || capacity == 0) {
+    // Only zero-size items can be kept; take them all (values >= 0).
+    KnapsackSolution solution;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (items[i].size == 0) {
+        solution.chosen.push_back(i);
+        solution.value += items[i].value;
+      }
+    }
+    return solution;
+  }
+  const auto n = static_cast<double>(items.size());
+  const Size unit = std::max<Size>(
+      1, static_cast<Size>(std::floor(eps * static_cast<double>(capacity) / n)));
+  std::vector<Size> scaled(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    scaled[i] = items[i].size / unit;  // round DOWN: never excludes OPT's set
+  }
+  const Size scaled_cap = capacity / unit;
+  auto solution = solve_dp(items, scaled, scaled_cap);
+  // True size exceeds the scaled size by < unit per item, so
+  // size <= scaled_cap*unit + n*unit <= capacity + eps*capacity.
+  return solution;
+}
+
+KnapsackSolution knapsack_auto(std::span<const KnapsackItem> items,
+                               Size capacity, double eps,
+                               std::size_t max_cells) {
+  const auto cells = static_cast<std::size_t>(std::max<Size>(capacity, 0) + 1) *
+                     std::max<std::size_t>(items.size(), 1);
+  if (cells <= max_cells) return knapsack_exact(items, capacity);
+  return knapsack_size_relaxed(items, capacity, eps);
+}
+
+}  // namespace lrb

@@ -1,0 +1,56 @@
+// 0/1 knapsack routines used by the arbitrary-cost PARTITION (SPAA'03 §3.2)
+// and the PTAS (§4).
+//
+// The rebalancing use case is always "choose which jobs to KEEP on a
+// processor": maximize the total kept value (= relocation cost saved)
+// subject to the kept total size fitting under a load cap. The removal cost
+// is then (total value - kept value).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+
+namespace lrb {
+
+struct KnapsackItem {
+  Size size = 0;
+  Cost value = 0;
+};
+
+struct KnapsackSolution {
+  Cost value = 0;                    ///< total value of chosen items
+  Size size = 0;                     ///< total size of chosen items
+  std::vector<std::size_t> chosen;   ///< indices into the input span, ascending
+};
+
+/// Exact DP over capacity: O(n * capacity) time and O(n * capacity) bits of
+/// choice bookkeeping. Requires capacity >= 0; items with size > capacity
+/// are never chosen. Intended for capacity up to ~1e6 * n cells.
+[[nodiscard]] KnapsackSolution knapsack_exact(std::span<const KnapsackItem> items,
+                                              Size capacity);
+
+/// Greedy by value/size ratio (items with size 0 first). No approximation
+/// guarantee by itself; used as a warm start and by the fractional bounds.
+[[nodiscard]] KnapsackSolution knapsack_greedy(std::span<const KnapsackItem> items,
+                                               Size capacity);
+
+/// Size-relaxed PTAS in the paper's sense (§3.2): returns a set with
+///   value >= exact optimum at `capacity`, and
+///   size  <= (1 + eps) * capacity.
+/// Works by rounding sizes DOWN to multiples of eps*capacity/n and running
+/// the exact DP on the scaled sizes; O(n^2 / eps). eps > 0.
+[[nodiscard]] KnapsackSolution knapsack_size_relaxed(
+    std::span<const KnapsackItem> items, Size capacity, double eps);
+
+/// Picks knapsack_exact when the DP table is small (<= max_cells), else
+/// knapsack_size_relaxed(eps). The returned set always has
+/// size <= (1 + eps) * capacity and value >= the exact optimum at capacity.
+[[nodiscard]] KnapsackSolution knapsack_auto(std::span<const KnapsackItem> items,
+                                             Size capacity, double eps,
+                                             std::size_t max_cells = 1u << 24);
+
+}  // namespace lrb

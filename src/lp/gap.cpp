@@ -1,0 +1,239 @@
+#include "lp/gap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "lp/matching.h"
+#include "lp/simplex.h"
+
+namespace lrb {
+namespace {
+
+constexpr double kFracTol = 1e-7;
+
+}  // namespace
+
+GapInstance gap_from_rebalancing(const Instance& instance) {
+  GapInstance gap;
+  const std::size_t n = instance.num_jobs();
+  const std::size_t m = instance.num_procs;
+  gap.processing.assign(n, std::vector<Size>(m, 0));
+  gap.cost.assign(n, std::vector<Cost>(m, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      gap.processing[i][j] = instance.sizes[i];
+      gap.cost[i][j] = j == instance.initial[i] ? 0 : instance.move_costs[i];
+    }
+  }
+  return gap;
+}
+
+GapLpResult gap_lp_min_cost(const GapInstance& gap, Size T) {
+  GapLpResult out;
+  const std::size_t n = gap.num_jobs();
+  const std::size_t m = gap.num_machines();
+  if (n == 0) {
+    out.feasible = true;
+    return out;
+  }
+
+  // Variable compression: only pairs with p_ij <= T exist.
+  std::vector<std::vector<int>> var(n, std::vector<int>(m, -1));
+  std::size_t num_vars = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool any = false;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (gap.processing[i][j] <= T) {
+        var[i][j] = static_cast<int>(num_vars++);
+        any = true;
+      }
+    }
+    if (!any) return out;  // job i cannot run anywhere within T
+  }
+
+  LinearProgram lp;
+  lp.objective.assign(num_vars, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (var[i][j] >= 0) {
+        lp.objective[static_cast<std::size_t>(var[i][j])] =
+            static_cast<double>(gap.cost[i][j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {  // each job fully assigned
+    std::vector<double> row(num_vars, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (var[i][j] >= 0) row[static_cast<std::size_t>(var[i][j])] = 1.0;
+    }
+    lp.add_eq(std::move(row), 1.0);
+  }
+  for (std::size_t j = 0; j < m; ++j) {  // machine capacity
+    std::vector<double> row(num_vars, 0.0);
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (var[i][j] >= 0) {
+        row[static_cast<std::size_t>(var[i][j])] =
+            static_cast<double>(gap.processing[i][j]);
+        any = true;
+      }
+    }
+    if (any) lp.add_le(std::move(row), static_cast<double>(T));
+  }
+
+  const auto solution = solve_lp(lp);
+  if (solution.status != LpStatus::kOptimal) return out;
+  out.feasible = true;
+  out.cost = solution.objective;
+  out.x.assign(n, std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (var[i][j] >= 0) {
+        out.x[i][j] = solution.x[static_cast<std::size_t>(var[i][j])];
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<GapRounded> shmoys_tardos_round(const GapInstance& gap, Size T,
+                                              const GapLpResult& lp) {
+  if (!lp.feasible) return std::nullopt;
+  const std::size_t n = gap.num_jobs();
+  const std::size_t m = gap.num_machines();
+  if (n == 0) return GapRounded{};
+
+  // Build slots per machine: jobs sorted by processing time DESCENDING are
+  // poured into unit-capacity slots; every (job, slot) pair that receives a
+  // positive fraction becomes a matching edge. The pouring order guarantees
+  // that slot v+1's jobs are no larger than anything in slot v, which is
+  // what caps the rounded machine load at T + max p (see [14]).
+  struct Slot {
+    std::size_t machine;
+  };
+  std::vector<Slot> slots;
+  std::vector<MatchingEdge> edges;
+  for (std::size_t j = 0; j < m; ++j) {
+    std::vector<std::size_t> jobs;
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lp.x[i][j] > kFracTol) {
+        jobs.push_back(i);
+        total += lp.x[i][j];
+      }
+    }
+    if (jobs.empty()) continue;
+    std::sort(jobs.begin(), jobs.end(), [&](std::size_t a, std::size_t b) {
+      if (gap.processing[a][j] != gap.processing[b][j]) {
+        return gap.processing[a][j] > gap.processing[b][j];
+      }
+      return a < b;
+    });
+    const auto k_j = static_cast<std::size_t>(std::ceil(total - kFracTol));
+    const std::size_t slot_base = slots.size();
+    for (std::size_t v = 0; v < k_j; ++v) slots.push_back({j});
+    std::size_t slot = 0;
+    double slot_used = 0.0;
+    for (std::size_t i : jobs) {
+      double remaining = lp.x[i][j];
+      bool edge_added_for_current_slot = false;
+      while (remaining > kFracTol) {
+        assert(slot < k_j);
+        const double take = std::min(remaining, 1.0 - slot_used);
+        if (take > kFracTol && !edge_added_for_current_slot) {
+          edges.push_back({i, slot_base + slot, gap.cost[i][j]});
+        }
+        remaining -= take;
+        slot_used += take;
+        if (slot_used >= 1.0 - kFracTol) {
+          ++slot;
+          slot_used = 0.0;
+          edge_added_for_current_slot = false;
+        } else {
+          edge_added_for_current_slot = true;
+        }
+      }
+    }
+  }
+
+  const auto matching = min_cost_matching(n, slots.size(), edges);
+  if (!matching.has_value()) return std::nullopt;
+
+  GapRounded rounded;
+  rounded.machine_of_job.assign(n, 0);
+  std::vector<Size> load(m, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = slots[matching->match[i]].machine;
+    rounded.machine_of_job[i] = j;
+    rounded.total_cost += gap.cost[i][j];
+    load[j] += gap.processing[i][j];
+  }
+  rounded.makespan = load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+  assert(rounded.total_cost == matching->total_cost);
+  // Shmoys-Tardos guarantee: load <= T + max allowed processing < 2T.
+  assert(rounded.makespan <= 2 * T);
+  (void)T;
+  return rounded;
+}
+
+GapResult gap_shmoys_tardos(const GapInstance& gap, Cost budget) {
+  GapResult result;
+  const std::size_t n = gap.num_jobs();
+  const std::size_t m = gap.num_machines();
+  if (n == 0 || m == 0) {
+    result.feasible = n == 0 && m > 0;
+    return result;
+  }
+
+  Size lo = 0;
+  Size hi = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Size cheapest = kInfSize;
+    for (std::size_t j = 0; j < m; ++j) {
+      cheapest = std::min(cheapest, gap.processing[i][j]);
+    }
+    lo = std::max(lo, cheapest);  // every job must run somewhere
+    hi += cheapest == kInfSize ? 0 : cheapest;
+  }
+  hi = std::max(hi, lo);
+
+  auto fits = [&](Size T) {
+    const auto lp = gap_lp_min_cost(gap, T);
+    return lp.feasible && lp.cost <= static_cast<double>(budget) + 1e-6;
+  };
+  if (!fits(hi)) return result;  // even the loosest target busts the budget
+  while (lo < hi) {
+    const Size mid = lo + (hi - lo) / 2;
+    if (fits(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  const auto lp = gap_lp_min_cost(gap, lo);
+  auto rounded = shmoys_tardos_round(gap, lo, lp);
+  if (!rounded.has_value()) return result;
+  result.feasible = true;
+  result.lp_target = lo;
+  result.rounded = std::move(*rounded);
+  return result;
+}
+
+RebalanceResult st_rebalance(const Instance& instance, Cost budget) {
+  const auto gap = gap_from_rebalancing(instance);
+  const auto result = gap_shmoys_tardos(gap, budget);
+  if (!result.feasible) return no_move_result(instance);
+  Assignment assignment(instance.num_jobs());
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    assignment[i] = static_cast<ProcId>(result.rounded.machine_of_job[i]);
+  }
+  auto out = finalize_result(instance, std::move(assignment), result.lp_target);
+  // The rounded cost can exceed neither the LP budget nor, therefore, B.
+  assert(out.cost <= budget);
+  return out;
+}
+
+}  // namespace lrb

@@ -1,0 +1,77 @@
+// The generalized assignment problem (GAP) and the Shmoys-Tardos
+// LP-rounding 2-approximation [14] - the baseline the paper cites as the
+// previously best known algorithm for load rebalancing ("simply set c_ij = 0
+// if job i currently resides on machine j, and c_ij = 1 otherwise").
+//
+// gap_shmoys_tardos finds the smallest makespan target T whose assignment
+// LP has cost <= B, then rounds the fractional solution via the slot
+// construction + min-cost bipartite matching. The result has cost <= B and
+// makespan <= 2 * OPT(B).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace lrb {
+
+/// A GAP instance: job i on machine j takes processing[i][j] time and costs
+/// cost[i][j] to assign.
+struct GapInstance {
+  std::vector<std::vector<Size>> processing;  ///< [job][machine]
+  std::vector<std::vector<Cost>> cost;        ///< [job][machine]
+
+  [[nodiscard]] std::size_t num_jobs() const { return processing.size(); }
+  [[nodiscard]] std::size_t num_machines() const {
+    return processing.empty() ? 0 : processing.front().size();
+  }
+};
+
+/// The paper's reduction: load rebalancing as GAP with machine-independent
+/// processing times and cost 0 on the initial machine.
+[[nodiscard]] GapInstance gap_from_rebalancing(const Instance& instance);
+
+struct GapLpResult {
+  bool feasible = false;
+  double cost = 0.0;
+  /// x[i][j]: fractional assignment (only jobs with processing <= T get
+  /// nonzero entries).
+  std::vector<std::vector<double>> x;
+};
+
+/// Solves the assignment LP at makespan target T: minimize total cost s.t.
+/// every job fully assigned, machine loads <= T, x_ij = 0 when p_ij > T.
+[[nodiscard]] GapLpResult gap_lp_min_cost(const GapInstance& gap, Size T);
+
+struct GapRounded {
+  std::vector<std::size_t> machine_of_job;
+  Cost total_cost = 0;
+  Size makespan = 0;
+};
+
+/// Shmoys-Tardos rounding of a fractional LP solution at target T:
+/// cost <= ceil(LP cost), makespan <= T + max p_ij < 2T.
+[[nodiscard]] std::optional<GapRounded> shmoys_tardos_round(
+    const GapInstance& gap, Size T, const GapLpResult& lp);
+
+struct GapResult {
+  bool feasible = false;
+  Size lp_target = 0;  ///< smallest T whose LP fits the budget
+  GapRounded rounded;
+};
+
+/// End-to-end baseline: binary search the smallest T with LP cost <= budget,
+/// then round. Guarantees cost <= budget and makespan <= 2 * OPT(budget).
+[[nodiscard]] GapResult gap_shmoys_tardos(const GapInstance& gap, Cost budget);
+
+/// Adapter running the baseline on a rebalancing instance (budget = B, or
+/// k for unit costs) and reporting in the library's result format.
+[[nodiscard]] RebalanceResult st_rebalance(const Instance& instance,
+                                           Cost budget);
+
+}  // namespace lrb

@@ -1,0 +1,103 @@
+#include "lp/matching.h"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace lrb {
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+}  // namespace
+
+std::optional<MatchingResult> min_cost_matching(
+    std::size_t num_left, std::size_t num_right,
+    const std::vector<MatchingEdge>& edges) {
+  if (num_left > num_right) return std::nullopt;
+  // Min-cost flow on: source -> left (cap 1, cost 0), left -> right (cap 1,
+  // edge cost), right -> sink (cap 1, cost 0); augment num_left units via
+  // Dijkstra with potentials (all costs >= 0 initially).
+  const std::size_t source = num_left + num_right;
+  const std::size_t sink = source + 1;
+  const std::size_t vertices = sink + 1;
+
+  struct Arc {
+    std::size_t to;
+    std::int64_t cap;
+    std::int64_t cost;
+    std::size_t rev;  // index of the reverse arc in graph[to]
+  };
+  std::vector<std::vector<Arc>> graph(vertices);
+  auto add_arc = [&](std::size_t u, std::size_t v, std::int64_t cap,
+                     std::int64_t cost) {
+    graph[u].push_back({v, cap, cost, graph[v].size()});
+    graph[v].push_back({u, 0, -cost, graph[u].size() - 1});
+  };
+  for (std::size_t l = 0; l < num_left; ++l) add_arc(source, l, 1, 0);
+  for (std::size_t r = 0; r < num_right; ++r) {
+    add_arc(num_left + r, sink, 1, 0);
+  }
+  for (const auto& e : edges) {
+    assert(e.left < num_left && e.right < num_right);
+    assert(e.cost >= 0);
+    add_arc(e.left, num_left + e.right, 1, e.cost);
+  }
+
+  std::vector<std::int64_t> potential(vertices, 0);
+  std::int64_t total_cost = 0;
+  for (std::size_t unit = 0; unit < num_left; ++unit) {
+    // Dijkstra on reduced costs from source.
+    std::vector<std::int64_t> dist(vertices, kInf);
+    std::vector<std::size_t> prev_vertex(vertices, vertices);
+    std::vector<std::size_t> prev_arc(vertices, 0);
+    using Item = std::pair<std::int64_t, std::size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    dist[source] = 0;
+    heap.emplace(0, source);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      for (std::size_t i = 0; i < graph[u].size(); ++i) {
+        const Arc& arc = graph[u][i];
+        if (arc.cap <= 0) continue;
+        const std::int64_t nd = d + arc.cost + potential[u] - potential[arc.to];
+        if (nd < dist[arc.to]) {
+          dist[arc.to] = nd;
+          prev_vertex[arc.to] = u;
+          prev_arc[arc.to] = i;
+          heap.emplace(nd, arc.to);
+        }
+      }
+    }
+    if (dist[sink] >= kInf) return std::nullopt;  // no augmenting path
+    for (std::size_t v = 0; v < vertices; ++v) {
+      if (dist[v] < kInf) potential[v] += dist[v];
+    }
+    // Augment one unit along the path.
+    for (std::size_t v = sink; v != source; v = prev_vertex[v]) {
+      Arc& arc = graph[prev_vertex[v]][prev_arc[v]];
+      arc.cap -= 1;
+      graph[v][arc.rev].cap += 1;
+      total_cost += arc.cost;
+    }
+  }
+
+  MatchingResult result;
+  result.total_cost = total_cost;
+  result.match.assign(num_left, num_right);
+  for (std::size_t l = 0; l < num_left; ++l) {
+    for (const Arc& arc : graph[l]) {
+      // A saturated forward arc into a right vertex is the match.
+      if (arc.to >= num_left && arc.to < num_left + num_right && arc.cap == 0 &&
+          arc.cost >= 0) {
+        result.match[l] = arc.to - num_left;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lrb

@@ -1,0 +1,32 @@
+// Minimum-cost bipartite perfect matching (successive shortest augmenting
+// paths with Johnson potentials). Used by the Shmoys-Tardos rounding to pick
+// an integral assignment inside the fractional-matching polytope.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace lrb {
+
+struct MatchingEdge {
+  std::size_t left = 0;
+  std::size_t right = 0;
+  std::int64_t cost = 0;
+};
+
+struct MatchingResult {
+  std::int64_t total_cost = 0;
+  /// match[l] = the right vertex assigned to left vertex l.
+  std::vector<std::size_t> match;
+};
+
+/// Perfect matching of all `num_left` left vertices into distinct right
+/// vertices (num_right >= num_left) minimizing total edge cost. Edge costs
+/// must be >= 0. Returns nullopt when no perfect matching exists.
+[[nodiscard]] std::optional<MatchingResult> min_cost_matching(
+    std::size_t num_left, std::size_t num_right,
+    const std::vector<MatchingEdge>& edges);
+
+}  // namespace lrb

@@ -1,0 +1,225 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace lrb {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Dense tableau with explicit basis bookkeeping. Columns: structural vars,
+/// then slack/surplus vars, then artificial vars, then the RHS.
+class Tableau {
+ public:
+  Tableau(const LinearProgram& lp) {
+    const std::size_t n = lp.num_vars();
+    const std::size_t m = lp.constraints.size();
+    num_structural_ = n;
+    // Count slack (one per inequality) and artificial variables (one per
+    // >= or = row, plus <= rows with negative rhs handled by flipping).
+    rows_ = m;
+    std::size_t slacks = 0;
+    for (const auto& c : lp.constraints) {
+      if (c.relation != Relation::kEq) ++slacks;
+    }
+    cols_ = n + slacks + m;  // reserve one artificial per row (not all used)
+    a_.assign(rows_, std::vector<double>(cols_ + 1, 0.0));
+    basis_.assign(rows_, 0);
+    artificial_start_ = n + slacks;
+
+    std::size_t slack_idx = n;
+    num_artificials_ = 0;
+    for (std::size_t r = 0; r < m; ++r) {
+      const auto& c = lp.constraints[r];
+      assert(c.coeffs.size() == n);
+      double sign = 1.0;
+      Relation rel = c.relation;
+      if (c.rhs < 0) {
+        // Normalize to rhs >= 0 by negating the row.
+        sign = -1.0;
+        if (rel == Relation::kLe) {
+          rel = Relation::kGe;
+        } else if (rel == Relation::kGe) {
+          rel = Relation::kLe;
+        }
+      }
+      for (std::size_t j = 0; j < n; ++j) a_[r][j] = sign * c.coeffs[j];
+      a_[r][cols_] = sign * c.rhs;
+      switch (rel) {
+        case Relation::kLe:
+          a_[r][slack_idx] = 1.0;
+          basis_[r] = slack_idx;
+          ++slack_idx;
+          break;
+        case Relation::kGe: {
+          a_[r][slack_idx] = -1.0;  // surplus
+          ++slack_idx;
+          const std::size_t art = artificial_start_ + num_artificials_++;
+          a_[r][art] = 1.0;
+          basis_[r] = art;
+          break;
+        }
+        case Relation::kEq: {
+          const std::size_t art = artificial_start_ + num_artificials_++;
+          a_[r][art] = 1.0;
+          basis_[r] = art;
+          break;
+        }
+      }
+    }
+  }
+
+  /// Runs the simplex with reduced costs computed from `costs` (size cols_).
+  /// Returns false if unbounded.
+  bool optimize(const std::vector<double>& costs, std::size_t allowed_cols) {
+    for (;;) {
+      // Reduced costs: c_j - c_B^T B^{-1} A_j, computed directly from the
+      // tableau (rows are already B^{-1} A).
+      std::size_t pivot_col = allowed_cols;
+      double best = -kTol;
+      for (std::size_t j = 0; j < allowed_cols; ++j) {
+        double reduced = costs[j];
+        for (std::size_t r = 0; r < rows_; ++r) {
+          reduced -= costs[basis_[r]] * a_[r][j];
+        }
+        // Bland's rule: first negative index (prevents cycling).
+        if (reduced < best) {
+          pivot_col = j;
+          best = reduced;
+          break;
+        }
+      }
+      if (pivot_col == allowed_cols) return true;  // optimal
+
+      // Ratio test (Bland: smallest basis index breaks ties).
+      std::size_t pivot_row = rows_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < rows_; ++r) {
+        if (a_[r][pivot_col] > kTol) {
+          const double ratio = a_[r][cols_] / a_[r][pivot_col];
+          if (ratio < best_ratio - kTol ||
+              (ratio < best_ratio + kTol &&
+               (pivot_row == rows_ || basis_[r] < basis_[pivot_row]))) {
+            best_ratio = ratio;
+            pivot_row = r;
+          }
+        }
+      }
+      if (pivot_row == rows_) return false;  // unbounded
+      pivot(pivot_row, pivot_col);
+    }
+  }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double p = a_[pr][pc];
+    for (double& v : a_[pr]) v /= p;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double f = a_[r][pc];
+      if (std::abs(f) < kTol) continue;
+      for (std::size_t j = 0; j <= cols_; ++j) a_[r][j] -= f * a_[pr][j];
+    }
+    basis_[pr] = pc;
+  }
+
+  /// Drives any artificial variable out of the basis (post phase 1).
+  void expel_artificials() {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (basis_[r] < artificial_start_) continue;
+      // Pivot on any non-artificial column with a nonzero entry.
+      bool done = false;
+      for (std::size_t j = 0; j < artificial_start_ && !done; ++j) {
+        if (std::abs(a_[r][j]) > kTol) {
+          pivot(r, j);
+          done = true;
+        }
+      }
+      // If none exists the row is redundant (all-zero): leave it; the
+      // artificial stays basic at value 0 and never re-enters because
+      // phase 2 restricts pivots to columns < artificial_start_.
+    }
+  }
+
+  [[nodiscard]] double rhs(std::size_t r) const { return a_[r][cols_]; }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t basis(std::size_t r) const { return basis_[r]; }
+  [[nodiscard]] std::size_t artificial_start() const { return artificial_start_; }
+  [[nodiscard]] std::size_t num_structural() const { return num_structural_; }
+
+ private:
+  std::vector<std::vector<double>> a_;
+  std::vector<std::size_t> basis_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t num_structural_ = 0;
+  std::size_t artificial_start_ = 0;
+  std::size_t num_artificials_ = 0;
+};
+
+}  // namespace
+
+void LinearProgram::add_le(std::vector<double> coeffs, double rhs) {
+  constraints.push_back({std::move(coeffs), Relation::kLe, rhs});
+}
+void LinearProgram::add_ge(std::vector<double> coeffs, double rhs) {
+  constraints.push_back({std::move(coeffs), Relation::kGe, rhs});
+}
+void LinearProgram::add_eq(std::vector<double> coeffs, double rhs) {
+  constraints.push_back({std::move(coeffs), Relation::kEq, rhs});
+}
+
+LpSolution solve_lp(const LinearProgram& lp) {
+  LpSolution solution;
+  Tableau tableau(lp);
+
+  // Phase 1: minimize the sum of artificial variables.
+  {
+    std::vector<double> phase1(tableau.cols(), 0.0);
+    for (std::size_t j = tableau.artificial_start(); j < tableau.cols(); ++j) {
+      phase1[j] = 1.0;
+    }
+    const bool bounded = tableau.optimize(phase1, tableau.cols());
+    assert(bounded);  // phase-1 objective is bounded below by 0
+    (void)bounded;
+    double infeasibility = 0.0;
+    for (std::size_t r = 0; r < tableau.rows(); ++r) {
+      if (tableau.basis(r) >= tableau.artificial_start()) {
+        infeasibility += tableau.rhs(r);
+      }
+    }
+    if (infeasibility > 1e-7) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    tableau.expel_artificials();
+  }
+
+  // Phase 2: original objective over structural + slack columns.
+  {
+    std::vector<double> costs(tableau.cols(), 0.0);
+    for (std::size_t j = 0; j < lp.num_vars(); ++j) costs[j] = lp.objective[j];
+    if (!tableau.optimize(costs, tableau.artificial_start())) {
+      solution.status = LpStatus::kUnbounded;
+      return solution;
+    }
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.x.assign(lp.num_vars(), 0.0);
+  for (std::size_t r = 0; r < tableau.rows(); ++r) {
+    if (tableau.basis(r) < lp.num_vars()) {
+      solution.x[tableau.basis(r)] = tableau.rhs(r);
+    }
+  }
+  solution.objective = 0.0;
+  for (std::size_t j = 0; j < lp.num_vars(); ++j) {
+    solution.objective += lp.objective[j] * solution.x[j];
+  }
+  return solution;
+}
+
+}  // namespace lrb

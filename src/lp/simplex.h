@@ -1,0 +1,50 @@
+// A dense two-phase primal simplex solver for small linear programs.
+//
+// Built as the substrate for the Shmoys-Tardos generalized-assignment
+// baseline [14] that the paper compares against ("the best positive result
+// known is the 2-approximation ... via linear programming"). The LPs it
+// solves here have a few hundred variables, so a dense tableau with Bland's
+// anti-cycling rule is simple and robust.
+//
+// Problem form: minimize c^T x subject to per-row constraints
+//   a_r^T x (<= | = | >=) b_r  and  x >= 0.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lrb {
+
+enum class Relation { kLe, kEq, kGe };
+
+struct LpConstraint {
+  std::vector<double> coeffs;  ///< one per variable
+  Relation relation = Relation::kLe;
+  double rhs = 0.0;
+};
+
+struct LinearProgram {
+  std::vector<double> objective;  ///< minimize objective . x
+  std::vector<LpConstraint> constraints;
+
+  [[nodiscard]] std::size_t num_vars() const { return objective.size(); }
+
+  /// Convenience builders.
+  void add_le(std::vector<double> coeffs, double rhs);
+  void add_ge(std::vector<double> coeffs, double rhs);
+  void add_eq(std::vector<double> coeffs, double rhs);
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Two-phase dense simplex. Deterministic; tolerance 1e-9.
+[[nodiscard]] LpSolution solve_lp(const LinearProgram& lp);
+
+}  // namespace lrb

@@ -1,0 +1,94 @@
+#include "online/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/lower_bounds.h"
+
+namespace lrb::online {
+
+OnlineScheduler::OnlineScheduler(ProcId num_procs) : loads_(num_procs, 0) {
+  assert(num_procs >= 1);
+}
+
+std::size_t OnlineScheduler::on_arrive(Size size, Cost move_cost) {
+  assert(size >= 0 && move_cost >= 0);
+  const auto target = static_cast<ProcId>(
+      std::min_element(loads_.begin(), loads_.end()) - loads_.begin());
+  std::size_t handle;
+  if (!free_slots_.empty()) {
+    handle = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    handle = slots_.size();
+    slots_.emplace_back();
+  }
+  slots_[handle] = {size, move_cost, target, true};
+  loads_[target] += size;
+  ++num_alive_;
+  return handle;
+}
+
+void OnlineScheduler::on_depart(std::size_t handle) {
+  assert(handle < slots_.size() && slots_[handle].alive);
+  loads_[slots_[handle].proc] -= slots_[handle].size;
+  slots_[handle].alive = false;
+  free_slots_.push_back(handle);
+  --num_alive_;
+}
+
+Instance OnlineScheduler::snapshot(std::vector<std::size_t>* handles) const {
+  Instance inst;
+  inst.num_procs = num_procs();
+  inst.sizes.reserve(num_alive_);
+  inst.move_costs.reserve(num_alive_);
+  inst.initial.reserve(num_alive_);
+  if (handles != nullptr) {
+    handles->clear();
+    handles->reserve(num_alive_);
+  }
+  for (std::size_t h = 0; h < slots_.size(); ++h) {
+    if (!slots_[h].alive) continue;
+    inst.sizes.push_back(slots_[h].size);
+    inst.move_costs.push_back(slots_[h].move_cost);
+    inst.initial.push_back(slots_[h].proc);
+    if (handles != nullptr) handles->push_back(h);
+  }
+  return inst;
+}
+
+RebalanceResult OnlineScheduler::rebalance(
+    const std::function<RebalanceResult(const Instance&, std::int64_t)>& policy,
+    std::int64_t k) {
+  std::vector<std::size_t> handles;
+  const auto inst = snapshot(&handles);
+  auto result = policy(inst, k);
+  assert(!validate(inst, result.assignment));
+  for (std::size_t j = 0; j < handles.size(); ++j) {
+    auto& slot = slots_[handles[j]];
+    if (slot.proc != result.assignment[j]) {
+      loads_[slot.proc] -= slot.size;
+      slot.proc = result.assignment[j];
+      loads_[slot.proc] += slot.size;
+    }
+  }
+  return result;
+}
+
+Size OnlineScheduler::makespan() const {
+  return *std::max_element(loads_.begin(), loads_.end());
+}
+
+Size OnlineScheduler::offline_bound() const {
+  Size total = 0;
+  Size biggest = 0;
+  for (const auto& slot : slots_) {
+    if (!slot.alive) continue;
+    total += slot.size;
+    biggest = std::max(biggest, slot.size);
+  }
+  const auto m = static_cast<Size>(loads_.size());
+  return std::max((total + m - 1) / m, biggest);
+}
+
+}  // namespace lrb::online

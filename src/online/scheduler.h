@@ -1,0 +1,72 @@
+// Online scheduler with bounded rebalancing: arrivals are placed greedily on
+// the least-loaded processor (Graham's rule - 2 - 1/m competitive for pure
+// arrivals), departures free their load, and at any point the caller may
+// invoke an lrb rebalancer on the current configuration with a move budget.
+// This is the paper's problem embedded in its motivating dynamic setting:
+// without rebalancing, departures erode Graham's guarantee; with a few moves
+// every round the schedule tracks the offline optimum again.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace lrb::online {
+
+class OnlineScheduler {
+ public:
+  explicit OnlineScheduler(ProcId num_procs);
+
+  /// Places the job on the least-loaded processor; returns its handle
+  /// (dense, reused after departures).
+  std::size_t on_arrive(Size size, Cost move_cost = 1);
+
+  /// Removes the job; its processor sheds the load. The handle must be
+  /// alive.
+  void on_depart(std::size_t handle);
+
+  /// Runs `policy` (any lrb rebalancer) on the current configuration with
+  /// move budget k and applies the returned assignment. Returns the result
+  /// (moves counted against the CURRENT placement).
+  RebalanceResult rebalance(
+      const std::function<RebalanceResult(const Instance&, std::int64_t)>&
+          policy,
+      std::int64_t k);
+
+  [[nodiscard]] Size makespan() const;
+  [[nodiscard]] const std::vector<Size>& loads() const noexcept {
+    return loads_;
+  }
+  [[nodiscard]] std::size_t num_alive() const noexcept { return num_alive_; }
+  [[nodiscard]] ProcId num_procs() const noexcept {
+    return static_cast<ProcId>(loads_.size());
+  }
+
+  /// The alive jobs as an Instance whose initial assignment is the current
+  /// placement (the rebalancing snapshot). `handles` receives the scheduler
+  /// handle of each snapshot job (same order) when non-null.
+  [[nodiscard]] Instance snapshot(std::vector<std::size_t>* handles = nullptr) const;
+
+  /// Certified lower bound on any placement of the alive jobs:
+  /// max(ceil-average, largest alive job).
+  [[nodiscard]] Size offline_bound() const;
+
+ private:
+  struct Slot {
+    Size size = 0;
+    Cost move_cost = 1;
+    ProcId proc = 0;
+    bool alive = false;
+  };
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> free_slots_;
+  std::vector<Size> loads_;
+  std::size_t num_alive_ = 0;
+};
+
+}  // namespace lrb::online

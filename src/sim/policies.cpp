@@ -1,0 +1,42 @@
+#include "sim/policies.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "algo/cost_greedy.h"
+#include "algo/cost_partition.h"
+#include "algo/rebalancer.h"
+
+namespace lrb::sim {
+
+std::vector<NamedPolicy> unit_policies() {
+  std::vector<NamedPolicy> out;
+  for (auto& algo : standard_rebalancers()) {
+    out.push_back({algo.name, algo.run});
+  }
+  return out;
+}
+
+Policy cost_partition_policy(Cost byte_budget_per_round) {
+  return [byte_budget_per_round](const Instance& instance, std::int64_t) {
+    CostPartitionOptions options;
+    options.budget = byte_budget_per_round;
+    return cost_partition_rebalance(instance, options);
+  };
+}
+
+Policy cost_greedy_policy(Cost byte_budget_per_round) {
+  return [byte_budget_per_round](const Instance& instance, std::int64_t) {
+    return cost_greedy_rebalance(instance, byte_budget_per_round);
+  };
+}
+
+Policy unit_policy(const std::string& name) {
+  for (auto& policy : unit_policies()) {
+    if (policy.name == name) return policy.run;
+  }
+  assert(false && "unknown policy name");
+  std::abort();
+}
+
+}  // namespace lrb::sim

@@ -1,0 +1,133 @@
+#include "sim/process_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lrb::sim {
+namespace {
+
+struct Process {
+  Size load = 0;
+  double remaining = 0.0;  ///< lifetime left, in steps
+  ProcId proc = 0;
+  double coload_sum = 0.0;  ///< sum over steps of (proc load / fair share)
+  std::int64_t steps_alive = 0;
+};
+
+}  // namespace
+
+ProcessSimResult run_process_sim(const ProcessSimOptions& options,
+                                 const ProcessPolicy& policy) {
+  assert(options.num_procs >= 1);
+  Rng rng(options.seed);
+  std::vector<Process> alive;
+  std::vector<Size> load(options.num_procs, 0);
+
+  // Match the mean lifetime across models so only the TAIL differs.
+  const double pareto_xmin =
+      options.mean_lifetime * (options.pareto_alpha - 1.0) /
+      options.pareto_alpha;
+  auto draw_lifetime = [&]() {
+    switch (options.lifetime_model) {
+      case LifetimeModel::kPareto:
+        return rng.pareto(options.pareto_alpha, std::max(1e-3, pareto_xmin));
+      case LifetimeModel::kExponential:
+        return rng.exponential(1.0 / options.mean_lifetime);
+    }
+    return options.mean_lifetime;
+  };
+
+  ProcessSimResult result;
+  std::vector<double> imbalance_samples;
+  OnlineStats slowdowns;
+  double alive_sum = 0.0;
+
+  for (std::size_t step = 0; step < options.steps; ++step) {
+    // Arrivals: integer part guaranteed, fractional part Bernoulli.
+    auto spawns = static_cast<int>(std::floor(options.arrival_rate));
+    if (rng.bernoulli(options.arrival_rate - std::floor(options.arrival_rate))) {
+      ++spawns;
+    }
+    for (int s = 0; s < spawns; ++s) {
+      Process process;
+      process.load = rng.uniform_int(options.min_load, options.max_load);
+      process.remaining = std::max(1.0, draw_lifetime());
+      process.proc = static_cast<ProcId>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      load[process.proc] += process.load;
+      alive.push_back(process);
+    }
+
+    // Periodic rebalancing.
+    if (options.rebalance_every > 0 && policy &&
+        step % options.rebalance_every == 0 && !alive.empty()) {
+      Instance snapshot;
+      snapshot.num_procs = options.num_procs;
+      snapshot.sizes.reserve(alive.size());
+      for (const auto& process : alive) snapshot.sizes.push_back(process.load);
+      snapshot.move_costs.assign(alive.size(), 1);
+      snapshot.initial.reserve(alive.size());
+      for (const auto& process : alive) snapshot.initial.push_back(process.proc);
+      const auto rebalanced = policy(snapshot, options.move_budget);
+      for (std::size_t i = 0; i < alive.size(); ++i) {
+        if (rebalanced.assignment[i] != alive[i].proc) {
+          load[alive[i].proc] -= alive[i].load;
+          alive[i].proc = rebalanced.assignment[i];
+          load[alive[i].proc] += alive[i].load;
+          ++result.migrations;
+        }
+      }
+    }
+
+    // Metrics for this step.
+    Size total = 0;
+    for (Size l : load) total += l;
+    if (total > 0) {
+      Size biggest = 0;
+      for (const auto& process : alive) {
+        biggest = std::max(biggest, process.load);
+      }
+      const auto m = static_cast<Size>(options.num_procs);
+      const Size ideal = std::max((total + m - 1) / m, biggest);
+      const Size makespan = *std::max_element(load.begin(), load.end());
+      imbalance_samples.push_back(static_cast<double>(makespan) /
+                                  static_cast<double>(ideal));
+      const double fair_share =
+          static_cast<double>(total) / static_cast<double>(m);
+      for (auto& process : alive) {
+        process.coload_sum +=
+            static_cast<double>(load[process.proc]) / fair_share;
+        ++process.steps_alive;
+      }
+    }
+    alive_sum += static_cast<double>(alive.size());
+
+    // Lifetimes advance; completed processes leave.
+    for (std::size_t i = 0; i < alive.size();) {
+      alive[i].remaining -= 1.0;
+      if (alive[i].remaining <= 0.0) {
+        if (alive[i].steps_alive > 0) {
+          slowdowns.add(alive[i].coload_sum /
+                        static_cast<double>(alive[i].steps_alive));
+        }
+        load[alive[i].proc] -= alive[i].load;
+        ++result.completed;
+        alive[i] = alive.back();
+        alive.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  result.imbalance = summarize(imbalance_samples);
+  result.mean_alive = alive_sum / static_cast<double>(options.steps);
+  result.mean_slowdown = slowdowns.mean();
+  return result;
+}
+
+}  // namespace lrb::sim

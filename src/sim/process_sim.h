@@ -1,0 +1,68 @@
+// The paper's second motivating domain: process migration on a
+// multiprocessor. Processes arrive over time, run for a lifetime drawn from
+// a heavy-tailed (Pareto) or light-tailed (exponential) distribution, and
+// complete. Arrivals are placed greedily; an optional rebalancing policy
+// migrates up to k processes per round.
+//
+// The introduction cites a live dispute this simulator reproduces:
+// Lazowska et al. [9] argue migration's benefits are limited to unrealistic
+// CPU-bound workloads, Harchol-Balter & Downey [6] show trace-driven
+// lifetimes (heavy-tailed!) make migration worthwhile. The tail of the
+// lifetime distribution is exactly the knob: long-lived processes keep an
+// imbalance alive long enough for migration to pay; short-lived ones die
+// before the imbalance matters (experiment E17).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+#include "util/stats.h"
+
+namespace lrb::sim {
+
+enum class LifetimeModel {
+  kPareto,       ///< heavy tail: few very long-lived CPU hogs
+  kExponential,  ///< light tail: everything short-lived
+};
+
+struct ProcessSimOptions {
+  ProcId num_procs = 8;
+  std::size_t steps = 2000;
+  /// Expected arrivals per step (Bernoulli thinning of up to 4 spawns).
+  double arrival_rate = 1.0;
+  LifetimeModel lifetime_model = LifetimeModel::kPareto;
+  double pareto_alpha = 1.3;      ///< heavy tail when close to 1
+  double mean_lifetime = 30.0;    ///< matched across models
+  Size min_load = 1;
+  Size max_load = 100;            ///< per-process CPU demand
+  /// Rebalance every R steps with at most k migrations; R = 0 disables.
+  std::size_t rebalance_every = 10;
+  std::int64_t move_budget = 4;
+  std::uint64_t seed = 1;
+};
+
+/// A rebalancing policy over the alive-process snapshot (same contract as
+/// the web-farm simulator's Policy).
+using ProcessPolicy =
+    std::function<RebalanceResult(const Instance&, std::int64_t)>;
+
+struct ProcessSimResult {
+  Summary imbalance;          ///< per-step makespan / fractional optimum
+  std::int64_t migrations = 0;
+  std::int64_t completed = 0;  ///< processes that ran to completion
+  double mean_alive = 0.0;     ///< average number of alive processes
+  /// Mean over completed processes of (observed avg co-load) / (fair
+  /// share): > 1 means processes ran on over-loaded processors - the
+  /// slowdown proxy the migration debate is about.
+  double mean_slowdown = 0.0;
+};
+
+/// Runs the process-migration simulation. Deterministic in (options, seed).
+[[nodiscard]] ProcessSimResult run_process_sim(const ProcessSimOptions& options,
+                                               const ProcessPolicy& policy);
+
+}  // namespace lrb::sim

@@ -1,0 +1,166 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "core/lower_bounds.h"
+
+namespace lrb::sim {
+
+Assignment initial_placement(const Workload& workload, ProcId num_servers) {
+  assert(num_servers > 0);
+  const auto& loads = workload.loads();
+  std::vector<std::size_t> order(loads.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (loads[a] != loads[b]) return loads[a] > loads[b];
+    return a < b;
+  });
+  Assignment placement(loads.size(), 0);
+  std::vector<Size> server_load(num_servers, 0);
+  for (std::size_t site : order) {
+    const auto target = static_cast<ProcId>(
+        std::min_element(server_load.begin(), server_load.end()) -
+        server_load.begin());
+    placement[site] = target;
+    server_load[target] += loads[site];
+  }
+  return placement;
+}
+
+Simulator::Simulator(const SimOptions& options, Policy policy)
+    : options_(options),
+      policy_(std::move(policy)),
+      workload_(options.workload, options.seed),
+      events_rng_(options.seed ^ 0x9e3779b97f4a7c15ULL),
+      placement_(initial_placement(workload_, options.num_servers)) {}
+
+void Simulator::apply(const RebalanceResult& result) {
+  assert(result.assignment.size() == placement_.size());
+  placement_ = result.assignment;
+}
+
+SimResult Simulator::run() {
+  SimResult result;
+  result.series.reserve(options_.steps);
+  std::vector<double> imbalance_samples;
+  std::vector<double> makespan_samples;
+
+  for (std::size_t step = 0; step < options_.steps; ++step) {
+    workload_.step();
+
+    StepMetrics metrics;
+    metrics.step = step;
+    metrics.flashes = workload_.active_flashes();
+
+    // Freshly provisioned (churned) sites deploy onto the least-loaded
+    // server - a new deployment, not a migration, so not counted as a move.
+    for (std::size_t site : workload_.just_provisioned()) {
+      std::vector<Size> server_load(options_.num_servers, 0);
+      for (std::size_t other = 0; other < placement_.size(); ++other) {
+        if (other != site) server_load[placement_[other]] += workload_.loads()[other];
+      }
+      placement_[site] = static_cast<ProcId>(
+          std::min_element(server_load.begin(), server_load.end()) -
+          server_load.begin());
+    }
+
+    // Maintenance drains: evacuate one random server, outside the policy's
+    // budget (the operator forced it; the rebalancer must absorb the hit).
+    if (options_.num_servers > 1 && options_.drain_prob > 0.0 &&
+        events_rng_.bernoulli(options_.drain_prob)) {
+      const auto drained = static_cast<ProcId>(events_rng_.uniform_int(
+          0, static_cast<Size>(options_.num_servers) - 1));
+      std::vector<Size> server_load(options_.num_servers, 0);
+      for (std::size_t site = 0; site < placement_.size(); ++site) {
+        server_load[placement_[site]] += workload_.loads()[site];
+      }
+      for (std::size_t site = 0; site < placement_.size(); ++site) {
+        if (placement_[site] != drained) continue;
+        // Least-loaded server other than the drained one.
+        ProcId target = drained == 0 ? 1 : 0;
+        for (ProcId p = 0; p < options_.num_servers; ++p) {
+          if (p != drained && server_load[p] < server_load[target]) target = p;
+        }
+        server_load[target] += workload_.loads()[site];
+        placement_[site] = target;
+        ++metrics.forced_moves;
+        metrics.bytes_moved += workload_.bytes()[site];
+      }
+    }
+
+    const bool at_rebalance_point =
+        options_.rebalance_every > 0 && step % options_.rebalance_every == 0;
+    if (at_rebalance_point &&
+        (options_.migrations_per_step == 0 || pending_next_ >= pending_.size())) {
+      Instance snapshot;
+      snapshot.sizes = workload_.loads();
+      snapshot.move_costs = options_.byte_costs
+                                ? workload_.bytes()
+                                : std::vector<Cost>(workload_.num_sites(), 1);
+      snapshot.initial = placement_;
+      snapshot.num_procs = options_.num_servers;
+      const auto rebalanced = policy_(snapshot, options_.move_budget);
+      if (options_.migrations_per_step == 0) {
+        metrics.moves = rebalanced.moves;
+        for (std::size_t site = 0; site < placement_.size(); ++site) {
+          if (rebalanced.assignment[site] != placement_[site]) {
+            metrics.bytes_moved += workload_.bytes()[site];
+          }
+        }
+        apply(rebalanced);
+      } else {
+        // Queue a monotone plan; it drains over the next steps.
+        const auto plan =
+            make_plan(snapshot, rebalanced.assignment, PlanOrder::kMonotone);
+        pending_ = plan.steps;
+        pending_next_ = 0;
+      }
+    }
+    // Drain the pending plan (gradual mode). Migrations whose source no
+    // longer matches (the site churned or was drain-evacuated meanwhile)
+    // are stale and skipped.
+    for (std::size_t executed = 0;
+         options_.migrations_per_step > 0 &&
+         executed < options_.migrations_per_step &&
+         pending_next_ < pending_.size();
+         ++pending_next_) {
+      const auto& mig = pending_[pending_next_];
+      if (placement_[mig.job] != mig.from) continue;  // stale
+      placement_[mig.job] = mig.to;
+      ++metrics.moves;
+      metrics.bytes_moved += workload_.bytes()[mig.job];
+      ++executed;
+    }
+
+    // Measure the placement against the current loads.
+    Instance measure;
+    measure.sizes = workload_.loads();
+    measure.move_costs.assign(workload_.num_sites(), 1);
+    measure.initial = placement_;
+    measure.num_procs = options_.num_servers;
+    metrics.makespan = measure.initial_makespan();
+    // The fractional optimum: ceil-average, or the biggest single site when
+    // one flash crowd dominates (sites are indivisible).
+    metrics.ideal = std::max(average_load_bound(measure), max_job_bound(measure));
+    metrics.imbalance = metrics.ideal > 0
+                            ? static_cast<double>(metrics.makespan) /
+                                  static_cast<double>(metrics.ideal)
+                            : 1.0;
+
+    result.total_moves += metrics.moves;
+    result.total_forced_moves += metrics.forced_moves;
+    result.total_bytes += metrics.bytes_moved;
+    imbalance_samples.push_back(metrics.imbalance);
+    makespan_samples.push_back(static_cast<double>(metrics.makespan));
+    result.series.push_back(metrics);
+  }
+
+  result.imbalance = summarize(imbalance_samples);
+  result.makespan = summarize(makespan_samples);
+  result.mean_imbalance = result.imbalance.mean;
+  return result;
+}
+
+}  // namespace lrb::sim

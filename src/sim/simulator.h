@@ -1,0 +1,97 @@
+// Time-stepped web-farm rebalancing simulator: sites with drifting loads
+// live on servers; every `rebalance_every` steps the configured policy may
+// relocate up to `move_budget` sites (the paper's k). Metrics capture how
+// bounded-move rebalancing tracks the moving optimum - the experiment the
+// paper's introduction motivates.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+#include "core/plan.h"
+#include "sim/workload.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace lrb::sim {
+
+/// A rebalancing policy: given the current placement as an Instance (sizes =
+/// current site loads, move costs = site bytes, initial = current map) and
+/// the per-round move budget, produce a new placement.
+using Policy = std::function<RebalanceResult(const Instance&, std::int64_t k)>;
+
+struct SimOptions {
+  WorkloadOptions workload;
+  ProcId num_servers = 10;
+  std::size_t steps = 300;
+  std::size_t rebalance_every = 5;
+  std::int64_t move_budget = 10;
+  /// When true, move costs in the Instance are site bytes (so cost-aware
+  /// policies can minimize migrated bytes); otherwise unit.
+  bool byte_costs = false;
+  /// When > 0, rebalancing decisions drain gradually: the policy's target
+  /// is turned into a monotone migration plan and at most this many
+  /// migrations execute per step (modeling migration latency). 0 applies
+  /// the whole rebalance instantaneously. A new plan is only requested at a
+  /// rebalance point when the previous plan has fully drained.
+  std::size_t migrations_per_step = 0;
+  /// Per-step probability that one random server is drained for maintenance:
+  /// all its sites are force-migrated (greedily, to the least-loaded other
+  /// servers) outside the policy's budget. Models the perturbations a
+  /// production farm must recover from.
+  double drain_prob = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct StepMetrics {
+  std::size_t step = 0;
+  Size makespan = 0;
+  Size ideal = 0;           ///< max(ceil-average, biggest site): fractional optimum
+  double imbalance = 0.0;   ///< makespan / ideal
+  std::int64_t moves = 0;   ///< policy migrations triggered at this step
+  std::int64_t forced_moves = 0;  ///< maintenance-drain migrations
+  Size bytes_moved = 0;
+  std::size_t flashes = 0;  ///< active flash crowds
+};
+
+struct SimResult {
+  std::vector<StepMetrics> series;
+  Summary imbalance;        ///< over all steps
+  Summary makespan;
+  std::int64_t total_moves = 0;
+  std::int64_t total_forced_moves = 0;
+  Size total_bytes = 0;
+  double mean_imbalance = 0.0;
+};
+
+class Simulator {
+ public:
+  Simulator(const SimOptions& options, Policy policy);
+
+  /// Runs the full horizon and returns the metric series.
+  [[nodiscard]] SimResult run();
+
+ private:
+  void apply(const RebalanceResult& result);
+
+  SimOptions options_;
+  Policy policy_;
+  Workload workload_;
+  Rng events_rng_;        ///< drives drain events, independent of the workload
+  Assignment placement_;  ///< site -> server
+  std::vector<Migration> pending_;  ///< queued migrations (gradual mode)
+  std::size_t pending_next_ = 0;    ///< first unexecuted step in pending_
+};
+
+/// Initial placement: sites assigned round-robin by descending initial load
+/// (a reasonable deployment-time LPT), so imbalance comes from drift, not a
+/// pathological start.
+[[nodiscard]] Assignment initial_placement(const Workload& workload,
+                                           ProcId num_servers);
+
+}  // namespace lrb::sim

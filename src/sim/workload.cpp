@@ -1,0 +1,79 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lrb::sim {
+
+Workload::Workload(const WorkloadOptions& options, std::uint64_t seed)
+    : options_(options), rng_(seed) {
+  assert(options.num_sites > 0);
+  assert(options.min_initial_load >= 1);
+  loads_.resize(options.num_sites);
+  base_.resize(options.num_sites);
+  flash_left_.assign(options.num_sites, 0);
+  bytes_.resize(options.num_sites);
+
+  // Initial popularity: Zipf-ranked between the load bounds so a few sites
+  // dominate, matching observed website popularity distributions.
+  const double lo = static_cast<double>(options.min_initial_load);
+  const double hi = static_cast<double>(options.max_initial_load);
+  for (std::size_t i = 0; i < options.num_sites; ++i) {
+    const double rank_weight =
+        std::pow(static_cast<double>(i + 1), -options.zipf_alpha);
+    const double jitter = 0.5 + rng_.uniform01();
+    base_[i] = std::clamp(hi * rank_weight * jitter, lo, hi);
+    loads_[i] = std::max<Size>(1, static_cast<Size>(std::llround(base_[i])));
+    bytes_[i] = rng_.uniform_int(options.min_bytes, options.max_bytes);
+  }
+}
+
+void Workload::provision(std::size_t site) {
+  // A fresh site: mid-pack popularity with jitter, fresh content size.
+  const double lo = static_cast<double>(options_.min_initial_load);
+  const double hi = static_cast<double>(options_.max_initial_load);
+  base_[site] = std::clamp(hi * 0.1 * (0.5 + rng_.uniform01()), lo, hi);
+  loads_[site] = std::max<Size>(1, static_cast<Size>(std::llround(base_[site])));
+  bytes_[site] = rng_.uniform_int(options_.min_bytes, options_.max_bytes);
+  flash_left_[site] = 0;
+  provisioned_.push_back(site);
+}
+
+void Workload::step() {
+  provisioned_.clear();
+  if (options_.churn_prob > 0.0 && rng_.bernoulli(options_.churn_prob)) {
+    // Decommission one random site; a replacement takes over its slot.
+    const auto victim = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<Size>(loads_.size()) - 1));
+    ++churn_events_;
+    provision(victim);
+  }
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    if (std::find(provisioned_.begin(), provisioned_.end(), i) !=
+        provisioned_.end()) {
+      continue;  // fresh sites keep their provisioning load this step
+    }
+    // Lognormal drift on the flash-free baseline.
+    base_[i] *= std::exp(options_.drift_sigma * rng_.normal());
+    base_[i] = std::clamp(base_[i], 1.0,
+                          static_cast<double>(options_.max_initial_load) * 100);
+    if (flash_left_[i] > 0) {
+      --flash_left_[i];
+    } else if (rng_.bernoulli(options_.flash_prob)) {
+      flash_left_[i] = options_.flash_duration;
+    }
+    const double multiplier =
+        flash_left_[i] > 0 ? options_.flash_magnitude : 1.0;
+    loads_[i] =
+        std::max<Size>(1, static_cast<Size>(std::llround(base_[i] * multiplier)));
+  }
+}
+
+std::size_t Workload::active_flashes() const noexcept {
+  std::size_t count = 0;
+  for (std::size_t left : flash_left_) count += left > 0 ? 1 : 0;
+  return count;
+}
+
+}  // namespace lrb::sim

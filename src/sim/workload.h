@@ -1,0 +1,76 @@
+// Synthetic website workload: per-site loads evolving as a multiplicative
+// random walk with occasional flash crowds. This is the stand-in for the
+// production web-farm traces behind the paper's motivating scenario (web
+// servers hosting virtual websites whose popularity drifts, Linder & Shah
+// [11]); the properties that matter for rebalancing - imbalance that
+// accumulates over time and sudden hotspots - are preserved.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace lrb::sim {
+
+struct WorkloadOptions {
+  std::size_t num_sites = 200;
+  Size min_initial_load = 1;
+  Size max_initial_load = 1000;
+  double zipf_alpha = 1.1;      ///< initial popularity skew
+  double drift_sigma = 0.08;    ///< lognormal per-step drift
+  double flash_prob = 0.002;    ///< per site per step
+  double flash_magnitude = 12;  ///< load multiplier during a flash crowd
+  std::size_t flash_duration = 8;
+  Size min_bytes = 50;          ///< migration weight (site content size)
+  Size max_bytes = 5000;
+  /// Per-step probability of one churn event: a random site is decommissioned
+  /// and a fresh site is provisioned in its slot with a newly drawn
+  /// popularity and content size. The simulator re-places freshly
+  /// provisioned sites on the least-loaded server (a new deployment, not a
+  /// migration).
+  double churn_prob = 0.0;
+};
+
+/// Evolving per-site loads. Deterministic in (options, seed).
+class Workload {
+ public:
+  Workload(const WorkloadOptions& options, std::uint64_t seed);
+
+  /// Advances one time step (drift + flash-crowd arrivals/decays).
+  void step();
+
+  [[nodiscard]] const std::vector<Size>& loads() const noexcept {
+    return loads_;
+  }
+  /// Migration cost (content bytes) per site; constant over time.
+  [[nodiscard]] const std::vector<Size>& bytes() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] std::size_t num_sites() const noexcept { return loads_.size(); }
+  /// Sites currently in a flash crowd (for metrics/inspection).
+  [[nodiscard]] std::size_t active_flashes() const noexcept;
+  /// Sites provisioned during the last step() (already carrying load); the
+  /// simulator must re-place these. Cleared at the start of each step.
+  [[nodiscard]] const std::vector<std::size_t>& just_provisioned() const noexcept {
+    return provisioned_;
+  }
+  /// Cumulative churn events since construction.
+  [[nodiscard]] std::size_t churn_events() const noexcept { return churn_events_; }
+
+ private:
+  WorkloadOptions options_;
+  Rng rng_;
+  std::vector<Size> loads_;
+  std::vector<double> base_;             // pre-flash load, real-valued
+  std::vector<std::size_t> flash_left_;  // remaining flash steps per site
+  std::vector<Size> bytes_;
+  std::vector<std::size_t> provisioned_;
+  std::size_t churn_events_ = 0;
+
+  void provision(std::size_t site);
+};
+
+}  // namespace lrb::sim

@@ -1,0 +1,79 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lrb {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  // Compute the span in the unsigned domain: hi - lo would overflow the
+  // signed type when the bounds straddle most of the int64 range.
+  const auto range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (range == 0) {  // full 64-bit range requested
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - range) % range;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) {
+      return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                       r % range);
+    }
+  }
+}
+
+double Rng::normal() noexcept {
+  for (;;) {
+    const double u = 2.0 * uniform01() - 1.0;
+    const double v = 2.0 * uniform01() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::exponential(double rate) noexcept {
+  assert(rate > 0.0);
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+  return -std::log(u) / rate;
+}
+
+double Rng::pareto(double alpha, double xmin) noexcept {
+  assert(alpha > 0.0 && xmin > 0.0);
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xmin / std::pow(u, 1.0 / alpha);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -alpha);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const noexcept {
+  const double u = rng.uniform01();
+  // Binary search for the first cdf entry >= u.
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace lrb

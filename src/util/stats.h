@@ -1,0 +1,66 @@
+// Streaming and batch summary statistics used by the benchmark harness and
+// the simulator's metric collection.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lrb {
+
+/// Welford online accumulator: numerically stable mean/variance without
+/// storing samples. Suitable for long simulation runs.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  // population variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary over a sample vector, including exact percentiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary from the samples (copies and sorts internally).
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Exact percentile (linear interpolation between order statistics) of an
+/// ALREADY SORTED sample vector; q in [0, 1].
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Geometric mean; all samples must be positive.
+[[nodiscard]] double geomean(std::span<const double> samples);
+
+/// Least-squares slope of log(y) against log(x): the empirical scaling
+/// exponent. Used by the runtime-scaling experiment (E4) to verify the
+/// O(n log n) claim (exponent close to 1 on an n-vs-time/(log n) plot).
+[[nodiscard]] double loglog_slope(std::span<const double> x,
+                                  std::span<const double> y);
+
+/// Human-readable "1.23e+04"-free formatting used by the experiment tables:
+/// trims trailing zeros, keeps `digits` significant digits.
+[[nodiscard]] std::string format_double(double v, int digits = 4);
+
+}  // namespace lrb

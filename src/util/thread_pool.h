@@ -1,0 +1,57 @@
+// A small fixed-size thread pool with a blocking task queue and a
+// parallel_for helper, used by the benchmark sweeps to evaluate independent
+// experiment cells concurrently.
+//
+// Design notes (C++ Core Guidelines CP.*): tasks are plain std::function
+// thunks; submission after shutdown is a programmer error (asserted); the
+// destructor joins all workers, so the pool is exception-safe to scope.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lrb {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future reports completion / exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across the pool's workers, blocking
+/// until all iterations complete. Iterations must be independent.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace lrb

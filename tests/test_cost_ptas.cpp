@@ -1,0 +1,211 @@
+// Tests for the arbitrary-cost algorithms: cost-PARTITION (§3.2) and the
+// PTAS (§4). Ground truth comes from the branch-and-bound solver with a
+// cost budget.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/cost_partition.h"
+#include "algo/exact.h"
+#include "algo/ptas.h"
+#include "core/generators.h"
+#include "core/lower_bounds.h"
+
+namespace lrb {
+namespace {
+
+GeneratorOptions cost_options(CostModel model) {
+  GeneratorOptions opt;
+  opt.num_jobs = 9;
+  opt.num_procs = 3;
+  opt.max_size = 19;
+  opt.placement = PlacementPolicy::kHotspot;
+  opt.cost_model = model;
+  opt.min_cost = 1;
+  opt.max_cost = 9;
+  return opt;
+}
+
+// ----------------------------------------------------------- cost partition
+
+TEST(CostPartition, ZeroBudgetIsIdentity) {
+  const auto inst =
+      make_instance({9, 3, 4}, {2, 2, 2}, {0, 0, 1}, 2);
+  CostPartitionOptions opt;
+  opt.budget = 0;
+  const auto result = cost_partition_rebalance(inst, opt);
+  EXPECT_EQ(result.cost, 0);
+  EXPECT_EQ(result.makespan, inst.initial_makespan());
+}
+
+TEST(CostPartition, BudgetAlwaysRespected) {
+  for (auto model : {CostModel::kUniform, CostModel::kProportional,
+                     CostModel::kInverse, CostModel::kTwoValued}) {
+    const auto opt = cost_options(model);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const auto inst = random_instance(opt, seed);
+      for (Cost budget : {Cost{0}, Cost{3}, Cost{10}, Cost{50}}) {
+        CostPartitionOptions cp;
+        cp.budget = budget;
+        CostPartitionStats stats;
+        const auto result = cost_partition_rebalance(inst, cp, &stats);
+        EXPECT_LE(result.cost, budget) << "seed=" << seed;
+        EXPECT_FALSE(validate(inst, result.assignment).has_value());
+        EXPECT_GE(stats.guesses_evaluated, 1u);
+      }
+    }
+  }
+}
+
+TEST(CostPartition, ApproximationAgainstExactBudgetedOptimum) {
+  // Theorem from §3.2: makespan <= 1.5 * (1+eps)(1+alpha) * OPT(B).
+  for (auto model : {CostModel::kUniform, CostModel::kProportional}) {
+    const auto opt = cost_options(model);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const auto inst = random_instance(opt, seed);
+      for (Cost budget : {Cost{2}, Cost{6}, Cost{20}}) {
+        ExactOptions exact_opt;
+        exact_opt.budget = budget;
+        const auto exact = exact_rebalance(inst, exact_opt);
+        ASSERT_TRUE(exact.proven_optimal);
+        CostPartitionOptions cp;
+        cp.budget = budget;
+        cp.eps = 0.05;
+        cp.alpha = 0.02;
+        const auto result = cost_partition_rebalance(inst, cp);
+        const double bound = 1.5 * 1.05 * 1.02 + 1e-9;
+        EXPECT_LE(static_cast<double>(result.makespan),
+                  bound * static_cast<double>(exact.best.makespan))
+            << "model=" << static_cast<int>(model) << " seed=" << seed
+            << " budget=" << budget;
+      }
+    }
+  }
+}
+
+TEST(CostPartition, UnitCostsRecoverMPartitionQuality) {
+  // With unit costs, budget B plays the role of k.
+  const auto opt = cost_options(CostModel::kUnit);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto inst = random_instance(opt, seed);
+    for (Cost budget : {Cost{1}, Cost{3}, Cost{6}}) {
+      ExactOptions exact_opt;
+      exact_opt.max_moves = budget;
+      const auto exact = exact_rebalance(inst, exact_opt);
+      ASSERT_TRUE(exact.proven_optimal);
+      CostPartitionOptions cp;
+      cp.budget = budget;
+      const auto result = cost_partition_rebalance(inst, cp);
+      EXPECT_LE(result.moves, budget);
+      EXPECT_LE(static_cast<double>(result.makespan),
+                1.5 * 1.05 * 1.02 * static_cast<double>(exact.best.makespan) + 1e-9)
+          << "seed=" << seed << " budget=" << budget;
+    }
+  }
+}
+
+TEST(CostPartition, LargeBudgetApproachesUnconstrainedBalance) {
+  const auto inst = make_instance({5, 5, 5, 5}, {1, 1, 1, 1}, {0, 0, 0, 0}, 4);
+  CostPartitionOptions cp;
+  cp.budget = 4;
+  const auto result = cost_partition_rebalance(inst, cp);
+  EXPECT_LE(result.makespan, 10);  // at least two jobs spread out
+}
+
+// -------------------------------------------------------------------- ptas
+
+TEST(Ptas, IdentityWhenBudgetZero) {
+  const auto inst = make_instance({7, 2, 5}, {3, 1, 2}, {0, 0, 1}, 2);
+  PtasOptions opt;
+  opt.budget = 0;
+  opt.eps = 0.5;
+  const auto r = ptas_rebalance(inst, opt);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.result.cost, 0);
+  EXPECT_EQ(r.result.makespan, inst.initial_makespan());
+}
+
+TEST(Ptas, EmptyInstance) {
+  Instance inst;
+  inst.num_procs = 2;
+  PtasOptions opt;
+  const auto r = ptas_rebalance(inst, opt);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.result.makespan, 0);
+}
+
+TEST(Ptas, GuaranteeAgainstExactAcrossEps) {
+  for (auto model : {CostModel::kUniform, CostModel::kProportional}) {
+    GeneratorOptions gen = cost_options(model);
+    gen.num_jobs = 8;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const auto inst = random_instance(gen, seed);
+      for (Cost budget : {Cost{3}, Cost{12}}) {
+        ExactOptions exact_opt;
+        exact_opt.budget = budget;
+        const auto exact = exact_rebalance(inst, exact_opt);
+        ASSERT_TRUE(exact.proven_optimal);
+        for (double eps : {2.0, 1.0, 0.5}) {
+          PtasOptions popt;
+          popt.budget = budget;
+          popt.eps = eps;
+          const auto r = ptas_rebalance(inst, popt);
+          ASSERT_TRUE(r.success) << "seed=" << seed << " eps=" << eps;
+          EXPECT_LE(r.result.cost, budget);
+          // +1 absorbs the integer granularity of the unit u = floor(dA).
+          EXPECT_LE(static_cast<double>(r.result.makespan),
+                    (1.0 + eps) * static_cast<double>(exact.best.makespan) + 1.0)
+              << "model=" << static_cast<int>(model) << " seed=" << seed
+              << " budget=" << budget << " eps=" << eps;
+        }
+      }
+    }
+  }
+}
+
+TEST(Ptas, TighterEpsNeverWorseMuch) {
+  // Smaller eps must track the optimum more closely (weak monotonicity up
+  // to discretization noise): check the 0.25-eps run beats the 2.0-eps
+  // guarantee bound.
+  GeneratorOptions gen = cost_options(CostModel::kUniform);
+  const auto inst = random_instance(gen, 31);
+  PtasOptions popt;
+  popt.budget = 10;
+  popt.eps = 0.25;
+  const auto tight = ptas_rebalance(inst, popt);
+  ASSERT_TRUE(tight.success);
+  ExactOptions exact_opt;
+  exact_opt.budget = 10;
+  const auto exact = exact_rebalance(inst, exact_opt);
+  EXPECT_LE(static_cast<double>(tight.result.makespan),
+            1.25 * static_cast<double>(exact.best.makespan) + 1.0);
+}
+
+TEST(Ptas, UnboundedBudgetApproachesLptQuality) {
+  const auto inst = make_instance({4, 4, 4, 4, 4, 4}, {0, 0, 0, 0, 0, 0}, 3);
+  PtasOptions popt;
+  popt.eps = 0.5;
+  const auto r = ptas_rebalance(inst, popt);
+  ASSERT_TRUE(r.success);
+  // Perfect balance is 8; (1+eps) allows up to 12 but the DP should land 8.
+  EXPECT_LE(r.result.makespan, 12);
+}
+
+TEST(Ptas, StateLimitReportedAsFailure) {
+  GeneratorOptions gen;
+  gen.num_jobs = 40;
+  gen.num_procs = 6;
+  gen.max_size = 1000;
+  const auto inst = random_instance(gen, 4);
+  PtasOptions popt;
+  popt.eps = 0.1;  // fine discretization on a wide instance
+  popt.state_limit = 200;
+  const auto r = ptas_rebalance(inst, popt);
+  EXPECT_FALSE(r.success);
+  // Fallback result is still a valid (identity) solution.
+  EXPECT_EQ(r.result.moves, 0);
+}
+
+}  // namespace
+}  // namespace lrb

@@ -1,0 +1,194 @@
+// Tests for the diffusion substrate: proximity graphs, continuous
+// first-order diffusion, and job-granular local exchange.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/generators.h"
+#include "core/lower_bounds.h"
+#include "diffusion/diffusion.h"
+#include "diffusion/graph.h"
+#include "diffusion/local_exchange.h"
+
+namespace lrb::diffusion {
+namespace {
+
+// ------------------------------------------------------------------- graphs
+
+TEST(Graph, RingShape) {
+  const auto g = ring_graph(5);
+  EXPECT_EQ(g.num_procs(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.neighbors[0], (std::vector<ProcId>{1, 4}));
+  EXPECT_FALSE(validate(g).has_value());
+}
+
+TEST(Graph, TinyRings) {
+  EXPECT_EQ(ring_graph(1).num_edges(), 0u);
+  EXPECT_EQ(ring_graph(2).num_edges(), 1u);  // no parallel edge
+}
+
+TEST(Graph, CompleteShape) {
+  const auto g = complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(g.max_degree(), 5u);
+  EXPECT_FALSE(validate(g).has_value());
+}
+
+TEST(Graph, TorusShape) {
+  const auto g = torus_graph(3, 4);
+  EXPECT_EQ(g.num_procs(), 12u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(g.num_edges(), 24u);  // 2 * rows * cols for rows,cols >= 3
+  EXPECT_FALSE(validate(g).has_value());
+}
+
+TEST(Graph, HypercubeShape) {
+  const auto g = hypercube_graph(3);
+  EXPECT_EQ(g.num_procs(), 8u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.num_edges(), 12u);  // d * 2^(d-1)
+  EXPECT_FALSE(validate(g).has_value());
+}
+
+TEST(Graph, ValidateCatchesAsymmetry) {
+  ProcessorGraph g;
+  g.neighbors = {{1}, {}};
+  EXPECT_TRUE(validate(g).has_value());
+}
+
+TEST(Graph, EdgesEnumeration) {
+  const auto g = ring_graph(4);
+  const auto e = g.edges();
+  EXPECT_EQ(e.size(), 4u);
+  for (const auto& [u, v] : e) EXPECT_LT(u, v);
+}
+
+// ---------------------------------------------------------------- diffusion
+
+TEST(Diffusion, ConvergesToAverageOnRing) {
+  const auto g = ring_graph(8);
+  const std::vector<Size> loads{80, 0, 0, 0, 0, 0, 0, 0};
+  const auto r = diffuse(g, loads);
+  ASSERT_TRUE(r.converged);
+  for (double x : r.loads) EXPECT_NEAR(x, 10.0, 1e-5);
+}
+
+TEST(Diffusion, MassIsConserved) {
+  const auto g = torus_graph(3, 3);
+  const std::vector<Size> loads{5, 0, 12, 7, 0, 3, 9, 1, 8};
+  DiffusionOptions opt;
+  opt.max_iterations = 37;  // stop mid-flight on purpose
+  opt.tolerance = 0.0;
+  const auto r = diffuse(g, loads, opt);
+  const double total = std::accumulate(r.loads.begin(), r.loads.end(), 0.0);
+  EXPECT_NEAR(total, 45.0, 1e-9);
+}
+
+TEST(Diffusion, CompleteGraphIsFastestRingIsSlowest) {
+  std::vector<Size> loads(16, 0);
+  loads[0] = 160;
+  DiffusionOptions opt;
+  opt.tolerance = 1e-3;
+  const auto ring = diffuse(ring_graph(16), loads, opt);
+  const auto cube = diffuse(hypercube_graph(4), loads, opt);
+  const auto complete = diffuse(complete_graph(16), loads, opt);
+  ASSERT_TRUE(ring.converged && cube.converged && complete.converged);
+  EXPECT_LT(complete.iterations, cube.iterations);
+  EXPECT_LT(cube.iterations, ring.iterations);
+}
+
+TEST(Diffusion, NetFlowAccountsForLoadChange) {
+  // For every processor: initial + (in-flow) - (out-flow) = final.
+  const auto g = ring_graph(6);
+  const std::vector<Size> loads{30, 0, 6, 12, 0, 12};
+  const auto r = diffuse(g, loads);
+  ASSERT_TRUE(r.converged);
+  std::vector<double> reconstructed(loads.begin(), loads.end());
+  for (const auto& [edge, flow] : r.net_flow) {
+    reconstructed[edge.first] -= flow;
+    reconstructed[edge.second] += flow;
+  }
+  for (std::size_t i = 0; i < reconstructed.size(); ++i) {
+    EXPECT_NEAR(reconstructed[i], r.loads[i], 1e-6) << "proc " << i;
+  }
+}
+
+TEST(Diffusion, AlreadyBalancedConvergesImmediately) {
+  const auto g = ring_graph(4);
+  const auto r = diffuse(g, {5, 5, 5, 5});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+// ----------------------------------------------------------- local exchange
+
+TEST(LocalExchange, UnitJobsReachNeighborBalanceOnRing) {
+  // Unit jobs: at quiescence neighboring loads differ by at most 1 (the
+  // classic local-balancing guarantee).
+  const auto inst = unit_instance({24, 0, 0, 0, 0, 0});
+  const auto g = ring_graph(6);
+  const auto r = local_exchange_rebalance(inst, g);
+  ASSERT_TRUE(r.quiescent);
+  const auto l = loads(inst, r.result.assignment);
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_LE(std::abs(l[u] - l[v]), 1) << u << "-" << v;
+  }
+  // On a connected graph that means global max - min <= diameter.
+  const Size mx = *std::max_element(l.begin(), l.end());
+  const Size mn = *std::min_element(l.begin(), l.end());
+  EXPECT_LE(mx - mn, 3);
+}
+
+TEST(LocalExchange, CompleteGraphMatchesGlobalQuality) {
+  GeneratorOptions opt;
+  opt.num_jobs = 60;
+  opt.num_procs = 8;
+  opt.placement = PlacementPolicy::kHotspot;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto inst = random_instance(opt, seed);
+    const auto r =
+        local_exchange_rebalance(inst, complete_graph(8));
+    ASSERT_TRUE(r.quiescent);
+    // Quiescent on the complete graph => no single move helps: at most
+    // 2x the fractional optimum (standard local-optimality argument).
+    const Size lb = std::max(average_load_bound(inst), max_job_bound(inst));
+    EXPECT_LE(r.result.makespan, 2 * lb) << "seed=" << seed;
+  }
+}
+
+TEST(LocalExchange, MoveBudgetRespected) {
+  const auto inst = unit_instance({30, 0, 0, 0});
+  LocalExchangeOptions opt;
+  opt.max_moves = 5;
+  const auto r = local_exchange_rebalance(inst, ring_graph(4), opt);
+  EXPECT_LE(r.result.moves, 5);
+  // Budget binds: without it ~22 jobs would move.
+  EXPECT_EQ(r.result.moves, 5);
+}
+
+TEST(LocalExchange, RespectsGraphLocality) {
+  // A path-like ring with the hotspot at 0: jobs can only reach distant
+  // processors across multiple rounds; final assignment must still be a
+  // valid permutation of processors (sanity) and strictly improve.
+  const auto inst = unit_instance({16, 0, 0, 0, 0, 0, 0, 0});
+  const auto r = local_exchange_rebalance(inst, ring_graph(8));
+  EXPECT_LT(r.result.makespan, 16);
+  EXPECT_FALSE(validate(inst, r.result.assignment).has_value());
+  EXPECT_GT(r.rounds, 1);  // locality forces multi-round spreading
+}
+
+TEST(LocalExchange, QuiescentImmediatelyWhenBalanced) {
+  const auto inst = unit_instance({3, 3, 3});
+  const auto r = local_exchange_rebalance(inst, ring_graph(3));
+  EXPECT_TRUE(r.quiescent);
+  EXPECT_EQ(r.result.moves, 0);
+  EXPECT_EQ(r.rounds, 1);
+}
+
+}  // namespace
+}  // namespace lrb::diffusion

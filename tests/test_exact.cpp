@@ -1,0 +1,326 @@
+// Tests for the exact solvers: branch-and-bound OPTIMAL, the equal-size
+// polynomial special case, and exact/greedy move minimization (§5).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/exact.h"
+#include "algo/greedy.h"
+#include "algo/m_partition.h"
+#include "algo/move_min.h"
+#include "algo/unit_exact.h"
+#include "core/generators.h"
+#include "core/lower_bounds.h"
+
+namespace lrb {
+namespace {
+
+// ------------------------------------------------------------------- exact
+
+TEST(Exact, HandSolvedInstance) {
+  // P0: {5, 4, 3} (12), P1: {} -> with k=1 move the 5: {7, 5} -> 7.
+  const auto inst = make_instance({5, 4, 3}, {0, 0, 0}, 2);
+  ExactOptions opt;
+  opt.max_moves = 1;
+  auto r = exact_rebalance(inst, opt);
+  ASSERT_TRUE(r.proven_optimal);
+  EXPECT_EQ(r.best.makespan, 7);
+  EXPECT_LE(r.best.moves, 1);
+
+  opt.max_moves = 2;  // move 4 and 3 -> {5, 7}? better: 5 stays, {5,4}|{3}=9|3?
+  r = exact_rebalance(inst, opt);
+  ASSERT_TRUE(r.proven_optimal);
+  EXPECT_EQ(r.best.makespan, 7);  // perfect split 6 impossible: {5,4,3} -> 7/5
+
+  opt.max_moves = kInfSize;
+  r = exact_rebalance(inst, opt);
+  EXPECT_EQ(r.best.makespan, 7);  // unconstrained optimum is also 7
+}
+
+TEST(Exact, ZeroMovesEqualsInitial) {
+  const auto inst = make_instance({9, 2, 4}, {0, 1, 2}, 3);
+  ExactOptions opt;
+  opt.max_moves = 0;
+  const auto r = exact_rebalance(inst, opt);
+  EXPECT_EQ(r.best.makespan, inst.initial_makespan());
+  EXPECT_EQ(r.best.moves, 0);
+}
+
+TEST(Exact, MonotoneInMoveBudget) {
+  GeneratorOptions opt;
+  opt.num_jobs = 9;
+  opt.num_procs = 3;
+  opt.max_size = 13;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const auto inst = random_instance(opt, seed);
+    Size previous = kInfSize;
+    for (std::int64_t k = 0; k <= 5; ++k) {
+      ExactOptions exact_opt;
+      exact_opt.max_moves = k;
+      const auto r = exact_rebalance(inst, exact_opt);
+      ASSERT_TRUE(r.proven_optimal);
+      EXPECT_LE(r.best.makespan, previous) << "seed=" << seed << " k=" << k;
+      EXPECT_GE(r.best.makespan, combined_lower_bound(inst, k));
+      EXPECT_LE(r.best.moves, k);
+      previous = r.best.makespan;
+    }
+  }
+}
+
+TEST(Exact, RespectsCostBudget) {
+  auto inst = make_instance({8, 6, 4}, {5, 2, 1}, {0, 0, 0}, 2);
+  ExactOptions opt;
+  opt.budget = 0;
+  auto r = exact_rebalance(inst, opt);
+  EXPECT_EQ(r.best.makespan, 18);
+  opt.budget = 1;  // can only afford moving the size-4 job
+  r = exact_rebalance(inst, opt);
+  EXPECT_EQ(r.best.makespan, 14);
+  EXPECT_LE(r.best.cost, 1);
+  opt.budget = 3;  // afford jobs of costs 2+1: {8}|{6,4} -> 10
+  r = exact_rebalance(inst, opt);
+  EXPECT_EQ(r.best.makespan, 10);
+  EXPECT_LE(r.best.cost, 3);
+}
+
+TEST(Exact, AgreesWithBruteForceEnumeration) {
+  GeneratorOptions opt;
+  opt.num_jobs = 7;
+  opt.num_procs = 3;
+  opt.max_size = 10;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const auto inst = random_instance(opt, seed);
+    for (std::int64_t k : {1, 3}) {
+      // Brute force over all 3^7 assignments.
+      Size brute = kInfSize;
+      const auto n = inst.num_jobs();
+      std::vector<ProcId> a(n, 0);
+      for (std::size_t code = 0; code < 2187; ++code) {  // 3^7
+        std::size_t c = code;
+        for (std::size_t j = 0; j < n; ++j) {
+          a[j] = static_cast<ProcId>(c % 3);
+          c /= 3;
+        }
+        if (moves_used(inst, a) <= k) brute = std::min(brute, makespan(inst, a));
+      }
+      ExactOptions exact_opt;
+      exact_opt.max_moves = k;
+      const auto r = exact_rebalance(inst, exact_opt);
+      ASSERT_TRUE(r.proven_optimal);
+      EXPECT_EQ(r.best.makespan, brute) << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+// -------------------------------------------------------------- equal sizes
+
+TEST(EqualSize, RejectsMixedSizes) {
+  const auto inst = make_instance({1, 2}, {0, 0}, 2);
+  EXPECT_FALSE(equal_size_exact_rebalance(inst, 5).has_value());
+}
+
+TEST(EqualSize, HandSolved) {
+  // Counts {6, 1, 1} with k=2 -> best cap 4: move 2 jobs off P0.
+  const auto inst = unit_instance({6, 1, 1});
+  const auto r = equal_size_exact_rebalance(inst, 2);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->makespan, 4);
+  EXPECT_EQ(r->moves, 2);
+  // k=4 reaches the perfect 3/3/2.
+  const auto r4 = equal_size_exact_rebalance(inst, 4);
+  ASSERT_TRUE(r4.has_value());
+  EXPECT_EQ(r4->makespan, 3);
+}
+
+TEST(EqualSize, MatchesBranchAndBound) {
+  Rng rng(88);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::int64_t> counts(3);
+    for (auto& c : counts) c = rng.uniform_int(0, 4);
+    if (counts[0] + counts[1] + counts[2] == 0) continue;
+    const auto inst = unit_instance(counts);
+    for (std::int64_t k : {0, 1, 2, 5}) {
+      const auto fast = equal_size_exact_rebalance(inst, k);
+      ASSERT_TRUE(fast.has_value());
+      ExactOptions opt;
+      opt.max_moves = k;
+      const auto slow = exact_rebalance(inst, opt);
+      ASSERT_TRUE(slow.proven_optimal);
+      EXPECT_EQ(fast->makespan, slow.best.makespan)
+          << "trial=" << trial << " k=" << k;
+      EXPECT_LE(fast->moves, k);
+    }
+  }
+}
+
+TEST(EqualSize, ScalesBySizeFactor) {
+  std::vector<Size> sizes(8, 7);  // all size 7
+  std::vector<ProcId> initial{0, 0, 0, 0, 0, 0, 1, 1};
+  const auto inst = make_instance(std::move(sizes), std::move(initial), 2);
+  const auto r = equal_size_exact_rebalance(inst, 2);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->makespan, 7 * 4);
+}
+
+// ---------------------------------------------------------------- move-min
+
+TEST(MoveMin, LowerBoundOnFixture) {
+  const auto inst = make_instance({8, 2, 5}, {0, 0, 1}, 3);
+  EXPECT_EQ(move_min_lower_bound(inst, 10), 0);
+  EXPECT_EQ(move_min_lower_bound(inst, 9), 1);
+  EXPECT_EQ(move_min_lower_bound(inst, 7), 1);  // evict the 8
+  EXPECT_EQ(move_min_lower_bound(inst, 1), 3);  // evict 8,2 and 5... 2 fits? no: cap 1 < 2
+}
+
+TEST(MoveMin, GreedySucceedsAndIsOptimalOnEasyInstances) {
+  GeneratorOptions opt;
+  opt.num_jobs = 12;
+  opt.num_procs = 4;
+  opt.placement = PlacementPolicy::kHotspot;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const auto inst = random_instance(opt, seed);
+    // A generous target: the unconstrained GREEDY result + slack.
+    const Size target = greedy_rebalance(inst, 100).makespan * 2;
+    const auto greedy = move_min_greedy(inst, target);
+    ASSERT_TRUE(greedy.has_value()) << "seed=" << seed;
+    EXPECT_EQ(greedy->moves, move_min_lower_bound(inst, target));
+    const auto l = loads(inst, greedy->assignment);
+    for (Size load : l) EXPECT_LE(load, target);
+  }
+}
+
+TEST(MoveMin, ExactMatchesGreedyWhenGreedyWorks) {
+  const auto inst = make_instance({6, 5, 4, 3}, {0, 0, 0, 0}, 3);
+  const Size target = 8;
+  const auto exact = minimize_moves_exact(inst, target);
+  ASSERT_TRUE(exact.feasible);
+  ASSERT_TRUE(exact.proven_optimal);
+  // Keep {4,3}? No: keep prefix {3,4} sum 7 <= 8 -> evict 5 and 6 -> 2 moves.
+  EXPECT_EQ(exact.best.moves, 2);
+  const auto l = loads(inst, exact.best.assignment);
+  for (Size load : l) EXPECT_LE(load, target);
+}
+
+TEST(MoveMin, InfeasibleTargetReported) {
+  const auto inst = make_instance({10, 10, 10}, {0, 0, 0}, 2);
+  const auto exact = minimize_moves_exact(inst, 9);  // below max job
+  EXPECT_FALSE(exact.feasible);
+  const auto exact2 = minimize_moves_exact(inst, 15);  // 3 jobs of 10 on 2 procs
+  EXPECT_FALSE(exact2.feasible);
+}
+
+TEST(MoveMin, ExactNeverBelowLowerBound) {
+  GeneratorOptions opt;
+  opt.num_jobs = 9;
+  opt.num_procs = 3;
+  opt.max_size = 9;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const auto inst = random_instance(opt, seed);
+    const Size target = std::max(average_load_bound(inst), max_job_bound(inst)) + 3;
+    const auto exact = minimize_moves_exact(inst, target);
+    if (!exact.feasible) continue;
+    ASSERT_TRUE(exact.proven_optimal);
+    EXPECT_GE(exact.best.moves, move_min_lower_bound(inst, target));
+    const auto l = loads(inst, exact.best.assignment);
+    for (Size load : l) EXPECT_LE(load, target);
+  }
+}
+
+TEST(MoveMin, CostObjective) {
+  // Two ways to relieve P0 (load 12, cap 8): move the 6 (cost 9) or move
+  // both 4s (cost 2+2). Count objective prefers the 6; cost prefers the 4s.
+  const auto inst =
+      make_instance({6, 4, 4, 2}, {9, 2, 2, 1}, {0, 0, 0, 1}, 3);
+  const auto by_count = minimize_moves_exact(inst, 8, false);
+  ASSERT_TRUE(by_count.feasible);
+  EXPECT_EQ(by_count.best.moves, 1);
+  const auto by_cost = minimize_moves_exact(inst, 8, true);
+  ASSERT_TRUE(by_cost.feasible);
+  EXPECT_EQ(by_cost.best.cost, 4);
+  EXPECT_EQ(by_cost.best.moves, 2);
+}
+
+}  // namespace
+}  // namespace lrb
+
+#include "algo/two_proc_exact.h"
+
+namespace lrb {
+namespace {
+
+TEST(TwoProcExact, RejectsOtherMachineCounts) {
+  const auto inst = make_instance({1, 2}, {0, 1}, 3);
+  EXPECT_FALSE(two_proc_exact_rebalance(inst, 5).has_value());
+}
+
+TEST(TwoProcExact, HandSolved) {
+  // P0: {5,4,3} (12), P1: {} -> k=1 moves the 5: makespan 7; k>=2 still 7
+  // (perfect 6 needs fractions).
+  const auto inst = make_instance({5, 4, 3}, {0, 0, 0}, 2);
+  const auto r1 = two_proc_exact_rebalance(inst, 1);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->makespan, 7);
+  EXPECT_LE(r1->moves, 1);
+  const auto r3 = two_proc_exact_rebalance(inst, 3);
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(r3->makespan, 7);
+}
+
+TEST(TwoProcExact, MatchesBranchAndBound) {
+  GeneratorOptions opt;
+  opt.num_jobs = 11;
+  opt.num_procs = 2;
+  opt.max_size = 25;
+  opt.placement = PlacementPolicy::kHotspot;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto inst = random_instance(opt, seed);
+    for (std::int64_t k : {0, 1, 2, 4, 11}) {
+      const auto dp = two_proc_exact_rebalance(inst, k);
+      ASSERT_TRUE(dp.has_value());
+      ExactOptions exact_opt;
+      exact_opt.max_moves = k;
+      const auto bb = exact_rebalance(inst, exact_opt);
+      ASSERT_TRUE(bb.proven_optimal);
+      EXPECT_EQ(dp->makespan, bb.best.makespan)
+          << "seed=" << seed << " k=" << k;
+      EXPECT_LE(dp->moves, k);
+    }
+  }
+}
+
+TEST(TwoProcExact, ScalesToLargerInstances) {
+  GeneratorOptions opt;
+  opt.num_jobs = 120;
+  opt.num_procs = 2;
+  opt.max_size = 200;
+  opt.placement = PlacementPolicy::kSingleProc;
+  const auto inst = random_instance(opt, 5);
+  const auto r = two_proc_exact_rebalance(inst, 30);
+  ASSERT_TRUE(r.has_value());
+  // The DP optimum is sandwiched between the certified lower bound and any
+  // 1.5-guaranteed heuristic solution at the same budget.
+  EXPECT_GE(r->makespan, combined_lower_bound(inst, 30));
+  EXPECT_LE(r->makespan, m_partition_rebalance(inst, 30).makespan);
+  EXPECT_LE(r->moves, 30);
+}
+
+TEST(TwoProcExact, RespectsCellLimit) {
+  GeneratorOptions opt;
+  opt.num_jobs = 50;
+  opt.num_procs = 2;
+  opt.max_size = 100000;
+  const auto inst = random_instance(opt, 1);
+  EXPECT_FALSE(two_proc_exact_rebalance(inst, 5, 1 << 10).has_value());
+}
+
+TEST(TwoProcExact, ZeroMovesIsIdentity) {
+  const auto inst = make_instance({7, 2, 5}, {0, 0, 1}, 2);
+  const auto r = two_proc_exact_rebalance(inst, 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->assignment, inst.initial);
+  EXPECT_EQ(r->makespan, 9);
+}
+
+}  // namespace
+}  // namespace lrb

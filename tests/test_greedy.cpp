@@ -1,0 +1,181 @@
+// Tests for GREEDY (SPAA'03 §2) and the Graham/LPT baselines, including the
+// Theorem 1 guarantees: ratio <= 2 - 1/m against the exact optimum, Lemma
+// 1's G1 <= OPT bound, and the tight adversarial family.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/exact.h"
+#include "algo/greedy.h"
+#include "algo/lpt.h"
+#include "core/generators.h"
+#include "core/lower_bounds.h"
+
+namespace lrb {
+namespace {
+
+TEST(Lpt, PerfectSplitWhenGreedyOrderAllows) {
+  // {4,3,3,2} on 2 procs -> 6/6.
+  const auto inst = make_instance({4, 3, 3, 2}, {0, 0, 0, 0}, 2);
+  EXPECT_EQ(lpt_schedule(inst).makespan, 6);
+}
+
+TEST(Lpt, ClassicSuboptimalExample) {
+  // {3,3,2,2,2} on 2 procs: OPT = 6 but LPT commits to 3|3 and ends at 7 -
+  // the canonical witness that LPT is not exact (ratio 7/6 = 4/3 - 1/(3*2)).
+  const auto inst = make_instance({3, 3, 2, 2, 2}, {0, 0, 0, 0, 0}, 2);
+  EXPECT_EQ(lpt_schedule(inst).makespan, 7);
+}
+
+TEST(Lpt, RespectsKnownApproximationBound) {
+  GeneratorOptions opt;
+  opt.num_jobs = 40;
+  opt.num_procs = 4;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto inst = random_instance(opt, seed);
+    const auto result = lpt_schedule(inst);
+    const Size lb = std::max(average_load_bound(inst), max_job_bound(inst));
+    EXPECT_LE(static_cast<double>(result.makespan),
+              (4.0 / 3.0) * static_cast<double>(lb) + 1.0)
+        << "seed " << seed;
+  }
+}
+
+TEST(ListSchedule, SingleProcessorSumsEverything) {
+  const auto inst = make_instance({4, 1, 7}, {0, 0, 0}, 1);
+  std::vector<JobId> order{2, 0, 1};
+  EXPECT_EQ(list_schedule(inst, order).makespan, 12);
+}
+
+TEST(Greedy, ZeroBudgetIsIdentity) {
+  const auto inst = make_instance({8, 2, 5}, {0, 0, 1}, 3);
+  const auto result = greedy_rebalance(inst, 0);
+  EXPECT_EQ(result.assignment, inst.initial);
+  EXPECT_EQ(result.moves, 0);
+  EXPECT_EQ(result.makespan, 10);
+}
+
+TEST(Greedy, NeverExceedsMoveBudget) {
+  GeneratorOptions opt;
+  opt.num_jobs = 60;
+  opt.num_procs = 6;
+  opt.placement = PlacementPolicy::kHotspot;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto inst = random_instance(opt, seed);
+    for (std::int64_t k : {0, 1, 3, 10, 60, 200}) {
+      const auto result = greedy_rebalance(inst, k);
+      EXPECT_LE(result.moves, k);
+      EXPECT_FALSE(validate(inst, result.assignment).has_value());
+    }
+  }
+}
+
+TEST(Greedy, MakespanBracketedByCertifiedBounds) {
+  // Any feasible k-move solution is >= the certified lower bound, and
+  // Theorem 1 caps GREEDY at (2 - 1/m) * OPT <= (2 - 1/m) * initial.
+  GeneratorOptions opt;
+  opt.num_jobs = 50;
+  opt.num_procs = 5;
+  for (auto placement : {PlacementPolicy::kRandom, PlacementPolicy::kHotspot,
+                         PlacementPolicy::kSingleProc}) {
+    opt.placement = placement;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const auto inst = random_instance(opt, seed);
+      const auto result = greedy_rebalance(inst, 10);
+      EXPECT_GE(result.makespan, combined_lower_bound(inst, 10));
+      EXPECT_LE(static_cast<double>(result.makespan),
+                (2.0 - 1.0 / 5.0) * static_cast<double>(inst.initial_makespan()));
+    }
+  }
+}
+
+TEST(Greedy, G1IsALowerBoundOnOpt) {
+  // Lemma 1: the max load after Step 1's removals is <= OPT.
+  GeneratorOptions opt;
+  opt.num_jobs = 10;
+  opt.num_procs = 3;
+  opt.max_size = 20;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const auto inst = random_instance(opt, seed);
+    for (std::int64_t k : {1, 2, 4}) {
+      GreedyStats stats;
+      (void)greedy_rebalance(inst, k, GreedyOrder::kLargestFirst, &stats);
+      ExactOptions exact_opt;
+      exact_opt.max_moves = k;
+      const auto exact = exact_rebalance(inst, exact_opt);
+      ASSERT_TRUE(exact.proven_optimal);
+      EXPECT_LE(stats.g1, exact.best.makespan) << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(Greedy, Theorem1RatioAgainstExactOptimum) {
+  // G2 <= (2 - 1/m) * OPT on every instance (Theorem 1 upper bound).
+  GeneratorOptions opt;
+  opt.num_jobs = 11;
+  opt.num_procs = 3;
+  opt.max_size = 25;
+  for (auto placement : {PlacementPolicy::kRandom, PlacementPolicy::kHotspot,
+                         PlacementPolicy::kSingleProc}) {
+    opt.placement = placement;
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+      const auto inst = random_instance(opt, seed);
+      for (std::int64_t k : {1, 3, 6}) {
+        ExactOptions exact_opt;
+        exact_opt.max_moves = k;
+        const auto exact = exact_rebalance(inst, exact_opt);
+        ASSERT_TRUE(exact.proven_optimal);
+        for (auto order : {GreedyOrder::kAsRemoved, GreedyOrder::kLargestFirst,
+                           GreedyOrder::kSmallestFirst}) {
+          const auto result = greedy_rebalance(inst, k, order);
+          const double bound =
+              (2.0 - 1.0 / static_cast<double>(inst.num_procs)) *
+              static_cast<double>(exact.best.makespan);
+          EXPECT_LE(static_cast<double>(result.makespan), bound + 1e-9)
+              << "seed=" << seed << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(Greedy, TightFamilyAchievesWorstCaseRatio) {
+  // Theorem 1 tightness: on the adversarial family, the smallest-first
+  // reinsertion order reproduces a makespan of 2m - 1 while OPT = m.
+  for (ProcId m : {ProcId{2}, ProcId{3}, ProcId{5}, ProcId{8}}) {
+    const auto family = greedy_tight_instance(m);
+    const auto result =
+        greedy_rebalance(family.instance, family.k, GreedyOrder::kSmallestFirst);
+    EXPECT_EQ(result.makespan, 2 * static_cast<Size>(m) - 1) << "m=" << m;
+    const double ratio = static_cast<double>(result.makespan) /
+                         static_cast<double>(family.opt);
+    EXPECT_NEAR(ratio, 2.0 - 1.0 / static_cast<double>(m), 1e-12);
+  }
+}
+
+TEST(Greedy, StatsReportRemovedCount) {
+  const auto inst = make_instance({5, 4, 3}, {0, 0, 0}, 2);
+  GreedyStats stats;
+  (void)greedy_rebalance(inst, 2, GreedyOrder::kLargestFirst, &stats);
+  EXPECT_EQ(stats.removed, 2);
+  // After removing 5 and 4 from P0, G1 = 3.
+  EXPECT_EQ(stats.g1, 3);
+}
+
+TEST(Greedy, KLargerThanJobsStopsGracefully) {
+  const auto inst = make_instance({5, 4, 3}, {0, 0, 0}, 2);
+  const auto result = greedy_rebalance(inst, 100);
+  EXPECT_FALSE(validate(inst, result.assignment).has_value());
+  // With unlimited moves greedy reduces to list scheduling: 7/5 split.
+  EXPECT_LE(result.makespan, 7);
+}
+
+TEST(Greedy, EqualLoadsNoOpportunity) {
+  const auto inst = make_instance({3, 3, 3}, {0, 1, 2}, 3);
+  const auto result = greedy_rebalance(inst, 2);
+  EXPECT_EQ(result.makespan, 3);
+}
+
+}  // namespace
+}  // namespace lrb

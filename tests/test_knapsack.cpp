@@ -1,0 +1,131 @@
+// Unit and property tests for the knapsack toolkit.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/generators.h"
+#include "knapsack/knapsack.h"
+#include "util/rng.h"
+
+namespace lrb {
+namespace {
+
+Cost brute_force_best(std::span<const KnapsackItem> items, Size capacity) {
+  const auto n = items.size();
+  Cost best = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Size size = 0;
+    Cost value = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask >> i & 1u) {
+        size += items[i].size;
+        value += items[i].value;
+      }
+    }
+    if (size <= capacity) best = std::max(best, value);
+  }
+  return best;
+}
+
+std::vector<KnapsackItem> random_items(Rng& rng, std::size_t n, Size max_size,
+                                       Cost max_value) {
+  std::vector<KnapsackItem> items(n);
+  for (auto& item : items) {
+    item.size = rng.uniform_int(0, max_size);
+    item.value = rng.uniform_int(0, max_value);
+  }
+  return items;
+}
+
+TEST(KnapsackExact, EmptyAndZeroCapacity) {
+  EXPECT_EQ(knapsack_exact({}, 10).value, 0);
+  const std::vector<KnapsackItem> items{{5, 3}, {0, 7}};
+  const auto sol = knapsack_exact(items, 0);
+  EXPECT_EQ(sol.value, 7);  // only the zero-size item fits
+  EXPECT_EQ(sol.size, 0);
+}
+
+TEST(KnapsackExact, TextbookInstance) {
+  const std::vector<KnapsackItem> items{{2, 3}, {3, 4}, {4, 5}, {5, 6}};
+  const auto sol = knapsack_exact(items, 5);
+  EXPECT_EQ(sol.value, 7);  // {2,3} + {3,4}
+  EXPECT_EQ(sol.size, 5);
+  EXPECT_EQ(sol.chosen, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(KnapsackExact, MatchesBruteForceRandomized) {
+  Rng rng(404);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto items = random_items(rng, 10, 12, 20);
+    const Size cap = rng.uniform_int(0, 40);
+    const auto sol = knapsack_exact(items, cap);
+    EXPECT_EQ(sol.value, brute_force_best(items, cap)) << "trial " << trial;
+    // Reported value/size must match the chosen set.
+    Size size = 0;
+    Cost value = 0;
+    for (std::size_t i : sol.chosen) {
+      size += items[i].size;
+      value += items[i].value;
+    }
+    EXPECT_EQ(size, sol.size);
+    EXPECT_EQ(value, sol.value);
+    EXPECT_LE(size, cap);
+  }
+}
+
+TEST(KnapsackGreedy, NeverExceedsCapacityAndIsConsistent) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto items = random_items(rng, 12, 10, 15);
+    const Size cap = rng.uniform_int(0, 30);
+    const auto sol = knapsack_greedy(items, cap);
+    EXPECT_LE(sol.size, cap);
+    EXPECT_LE(sol.value, brute_force_best(items, cap));
+  }
+}
+
+TEST(KnapsackSizeRelaxed, ValueDominatesExactWithinRelaxedSize) {
+  Rng rng(23);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto items = random_items(rng, 10, 50, 20);
+    const Size cap = rng.uniform_int(1, 120);
+    const double eps = 0.25;
+    const auto relaxed = knapsack_size_relaxed(items, cap, eps);
+    const auto exact = knapsack_exact(items, cap);
+    EXPECT_GE(relaxed.value, exact.value) << "trial " << trial;
+    EXPECT_LE(static_cast<double>(relaxed.size),
+              (1.0 + eps) * static_cast<double>(cap) + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(KnapsackSizeRelaxed, ZeroCapacityKeepsZeroSizeItems) {
+  const std::vector<KnapsackItem> items{{3, 9}, {0, 2}, {0, 5}};
+  const auto sol = knapsack_size_relaxed(items, 0, 0.5);
+  EXPECT_EQ(sol.value, 7);
+  EXPECT_EQ(sol.size, 0);
+}
+
+TEST(KnapsackAuto, SmallUsesExact) {
+  const std::vector<KnapsackItem> items{{2, 3}, {3, 4}, {4, 5}};
+  const auto sol = knapsack_auto(items, 5, 0.1);
+  EXPECT_EQ(sol.value, 7);
+  EXPECT_LE(sol.size, 5);
+}
+
+TEST(KnapsackAuto, HugeCapacityFallsBackToRelaxed) {
+  std::vector<KnapsackItem> items(40);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = {static_cast<Size>(1'000'000 + i), static_cast<Cost>(i + 1)};
+  }
+  // Capacity too large for the exact table at the default cell cap.
+  const Size cap = 20'000'000;
+  const auto sol = knapsack_auto(items, cap, 0.1);
+  EXPECT_GT(sol.value, 0);
+  EXPECT_LE(static_cast<double>(sol.size), 1.1 * static_cast<double>(cap) + 1);
+}
+
+}  // namespace
+}  // namespace lrb

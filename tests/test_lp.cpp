@@ -1,0 +1,330 @@
+// Tests for the LP substrate: the simplex solver, min-cost matching, and
+// the Shmoys-Tardos GAP baseline with its 2-approximation guarantee.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <optional>
+#include <limits>
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "algo/exact.h"
+#include "core/generators.h"
+#include "lp/gap.h"
+#include "lp/matching.h"
+#include "ext/gadgets.h"
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace lrb {
+namespace {
+
+// ------------------------------------------------------------------ simplex
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), value 36.
+  LinearProgram lp;
+  lp.objective = {-3.0, -5.0};  // minimize the negation
+  lp.add_le({1.0, 0.0}, 4.0);
+  lp.add_le({0.0, 2.0}, 12.0);
+  lp.add_le({3.0, 2.0}, 18.0);
+  const auto solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -36.0, 1e-7);
+  EXPECT_NEAR(solution.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(solution.x[1], 6.0, 1e-7);
+}
+
+TEST(Simplex, EqualityAndGeConstraints) {
+  // min x + 2y s.t. x + y = 10, x >= 3, y >= 2 -> (8, 2), value 12.
+  LinearProgram lp;
+  lp.objective = {1.0, 2.0};
+  lp.add_eq({1.0, 1.0}, 10.0);
+  lp.add_ge({1.0, 0.0}, 3.0);
+  lp.add_ge({0.0, 1.0}, 2.0);
+  const auto solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 12.0, 1e-7);
+  EXPECT_NEAR(solution.x[0], 8.0, 1e-7);
+  EXPECT_NEAR(solution.x[1], 2.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.add_le({1.0}, 1.0);
+  lp.add_ge({1.0}, 2.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LinearProgram lp;
+  lp.objective = {-1.0};  // maximize x with no upper bound
+  lp.add_ge({1.0}, 0.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // min x s.t. -x <= -5 (i.e. x >= 5).
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.add_le({-1.0}, -5.0);
+  const auto solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.x[0], 5.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateInstanceTerminates) {
+  // Klee-Minty-flavoured degeneracy: Bland's rule must not cycle.
+  LinearProgram lp;
+  lp.objective = {-100.0, -10.0, -1.0};
+  lp.add_le({1.0, 0.0, 0.0}, 1.0);
+  lp.add_le({20.0, 1.0, 0.0}, 100.0);
+  lp.add_le({200.0, 20.0, 1.0}, 10000.0);
+  const auto solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -10000.0, 1e-6);
+}
+
+// ----------------------------------------------------------------- matching
+
+TEST(Matching, SimplePerfect) {
+  const std::vector<MatchingEdge> edges{
+      {0, 0, 5}, {0, 1, 1}, {1, 0, 2}, {1, 1, 4}};
+  const auto result = min_cost_matching(2, 2, edges);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->total_cost, 3);  // 0->1 (1) + 1->0 (2)
+  EXPECT_EQ(result->match[0], 1u);
+  EXPECT_EQ(result->match[1], 0u);
+}
+
+TEST(Matching, InfeasibleWhenRightTooSmall) {
+  EXPECT_FALSE(min_cost_matching(2, 1, {{0, 0, 1}, {1, 0, 1}}).has_value());
+}
+
+TEST(Matching, InfeasibleWhenDisconnected) {
+  EXPECT_FALSE(min_cost_matching(2, 2, {{0, 0, 1}, {1, 0, 1}}).has_value());
+}
+
+TEST(Matching, LeftSmallerThanRightUsesBestSubset) {
+  const std::vector<MatchingEdge> edges{
+      {0, 0, 9}, {0, 1, 1}, {0, 2, 5}};
+  const auto result = min_cost_matching(1, 3, edges);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->total_cost, 1);
+  EXPECT_EQ(result->match[0], 1u);
+}
+
+TEST(Matching, MatchesBruteForceOnRandomInstances) {
+  Rng rng(555);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 5;
+    std::vector<MatchingEdge> edges;
+    std::vector<std::vector<std::int64_t>> cost(
+        n, std::vector<std::int64_t>(n, -1));
+    for (std::size_t l = 0; l < n; ++l) {
+      for (std::size_t r = 0; r < n; ++r) {
+        if (rng.bernoulli(0.7)) {
+          cost[l][r] = rng.uniform_int(0, 20);
+          edges.push_back({l, r, cost[l][r]});
+        }
+      }
+    }
+    // Brute force over permutations.
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    std::int64_t best = -1;
+    do {
+      std::int64_t total = 0;
+      bool ok = true;
+      for (std::size_t l = 0; l < n && ok; ++l) {
+        if (cost[l][perm[l]] < 0) {
+          ok = false;
+        } else {
+          total += cost[l][perm[l]];
+        }
+      }
+      if (ok && (best < 0 || total < best)) best = total;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    const auto result = min_cost_matching(n, n, edges);
+    if (best < 0) {
+      EXPECT_FALSE(result.has_value()) << "trial " << trial;
+    } else {
+      ASSERT_TRUE(result.has_value()) << "trial " << trial;
+      EXPECT_EQ(result->total_cost, best) << "trial " << trial;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------- gap
+
+TEST(Gap, ReductionFromRebalancingShape) {
+  const auto inst = make_instance({5, 3}, {7, 2}, {0, 1}, 2);
+  const auto gap = gap_from_rebalancing(inst);
+  EXPECT_EQ(gap.num_jobs(), 2u);
+  EXPECT_EQ(gap.num_machines(), 2u);
+  EXPECT_EQ(gap.processing[0][0], 5);
+  EXPECT_EQ(gap.processing[0][1], 5);
+  EXPECT_EQ(gap.cost[0][0], 0);  // job 0 starts on machine 0
+  EXPECT_EQ(gap.cost[0][1], 7);
+  EXPECT_EQ(gap.cost[1][1], 0);
+  EXPECT_EQ(gap.cost[1][0], 2);
+}
+
+TEST(Gap, LpInfeasibleBelowMaxJob) {
+  const auto inst = make_instance({10, 2}, {0, 0}, 2);
+  const auto gap = gap_from_rebalancing(inst);
+  EXPECT_FALSE(gap_lp_min_cost(gap, 9).feasible);
+  EXPECT_TRUE(gap_lp_min_cost(gap, 10).feasible);
+}
+
+TEST(Gap, LpCostZeroAtInitialMakespan) {
+  GeneratorOptions opt;
+  opt.num_jobs = 12;
+  opt.num_procs = 3;
+  const auto inst = random_instance(opt, 7);
+  const auto gap = gap_from_rebalancing(inst);
+  const auto lp = gap_lp_min_cost(gap, inst.initial_makespan());
+  ASSERT_TRUE(lp.feasible);
+  EXPECT_NEAR(lp.cost, 0.0, 1e-6);  // staying put is free and fits
+}
+
+TEST(Gap, ShmoysTardosGuaranteesAgainstExact) {
+  // Cost <= B and makespan <= 2 * OPT(B), verified against B&B.
+  GeneratorOptions opt;
+  opt.num_jobs = 8;
+  opt.num_procs = 3;
+  opt.max_size = 15;
+  opt.placement = PlacementPolicy::kHotspot;
+  opt.cost_model = CostModel::kUniform;
+  opt.max_cost = 5;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const auto inst = random_instance(opt, seed);
+    for (Cost budget : {Cost{0}, Cost{4}, Cost{12}}) {
+      const auto st = st_rebalance(inst, budget);
+      EXPECT_LE(st.cost, budget) << "seed=" << seed;
+      ExactOptions exact_opt;
+      exact_opt.budget = budget;
+      const auto exact = exact_rebalance(inst, exact_opt);
+      ASSERT_TRUE(exact.proven_optimal);
+      EXPECT_LE(st.makespan, 2 * exact.best.makespan)
+          << "seed=" << seed << " budget=" << budget;
+    }
+  }
+}
+
+TEST(Gap, RoundingStaysWithinSlotBound) {
+  GeneratorOptions opt;
+  opt.num_jobs = 20;
+  opt.num_procs = 4;
+  opt.placement = PlacementPolicy::kSingleProc;
+  const auto inst = random_instance(opt, 3);
+  const auto gap = gap_from_rebalancing(inst);
+  const Size T = std::max(inst.max_job(),
+                          (inst.total_size() + 3) / 4);
+  const auto lp = gap_lp_min_cost(gap, T);
+  ASSERT_TRUE(lp.feasible);
+  const auto rounded = shmoys_tardos_round(gap, T, lp);
+  ASSERT_TRUE(rounded.has_value());
+  EXPECT_LE(rounded->makespan, 2 * T);
+  EXPECT_LE(static_cast<double>(rounded->total_cost), lp.cost + 1e-6);
+}
+
+TEST(Gap, ExactOracleOnHandInstance) {
+  // 2 machines; job 0 cheap on m0, job 1 cheap on m1.
+  GapInstance gap;
+  gap.processing = {{4, 4}, {3, 3}};
+  gap.cost = {{0, 5}, {5, 0}};
+  auto r = gap_exact_min_makespan(gap, 0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.makespan, 4);  // forced to the cheap machines: loads 4 and 3
+  r = gap_exact_min_makespan(gap, 10);
+  EXPECT_EQ(r.makespan, 4);  // colocating would be worse anyway
+}
+
+}  // namespace
+}  // namespace lrb
+
+namespace lrb {
+namespace {
+
+// Independent 2-variable LP oracle: the optimum of a feasible bounded LP
+// lies on a vertex, i.e. the intersection of two tight constraints among
+// {rows, x >= 0 bounds}. Enumerate all pairs, keep feasible points, pick
+// the best. Used to cross-check the simplex on random instances.
+struct TwoVarLp {
+  double c1, c2;
+  std::vector<std::array<double, 3>> rows;  // a1*x1 + a2*x2 <= a3
+};
+
+std::optional<double> vertex_optimum(const TwoVarLp& lp) {
+  std::vector<std::array<double, 3>> lines = lp.rows;
+  lines.push_back({1, 0, 0});  // x1 >= 0 as -x1 <= 0 boundary x1 = 0
+  lines.push_back({0, 1, 0});  // x2 = 0
+  double best = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      const double det =
+          lines[i][0] * lines[j][1] - lines[i][1] * lines[j][0];
+      if (std::abs(det) < 1e-9) continue;
+      const double x1 =
+          (lines[i][2] * lines[j][1] - lines[i][1] * lines[j][2]) / det;
+      const double x2 =
+          (lines[i][0] * lines[j][2] - lines[i][2] * lines[j][0]) / det;
+      if (x1 < -1e-7 || x2 < -1e-7) continue;
+      bool feasible = true;
+      for (const auto& row : lp.rows) {
+        if (row[0] * x1 + row[1] * x2 > row[2] + 1e-6) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      found = true;
+      best = std::min(best, lp.c1 * x1 + lp.c2 * x2);
+    }
+  }
+  if (!found) return std::nullopt;
+  return best;
+}
+
+TEST(Simplex, MatchesVertexEnumerationOnRandomTwoVarLps) {
+  Rng rng(2718);
+  int solved = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    TwoVarLp lp;
+    lp.c1 = static_cast<double>(rng.uniform_int(-5, 5));
+    lp.c2 = static_cast<double>(rng.uniform_int(-5, 5));
+    const int rows = static_cast<int>(rng.uniform_int(2, 4));
+    bool bounded_box = false;
+    for (int r = 0; r < rows; ++r) {
+      lp.rows.push_back({static_cast<double>(rng.uniform_int(0, 4)),
+                         static_cast<double>(rng.uniform_int(0, 4)),
+                         static_cast<double>(rng.uniform_int(1, 20))});
+    }
+    // Always bound the region so the vertex oracle applies.
+    lp.rows.push_back({1, 1, static_cast<double>(rng.uniform_int(5, 25))});
+    bounded_box = true;
+    ASSERT_TRUE(bounded_box);
+
+    LinearProgram program;
+    program.objective = {lp.c1, lp.c2};
+    for (const auto& row : lp.rows) {
+      program.add_le({row[0], row[1]}, row[2]);
+    }
+    const auto solution = solve_lp(program);
+    const auto oracle = vertex_optimum(lp);
+    ASSERT_TRUE(oracle.has_value()) << "trial " << trial;  // origin feasible
+    ASSERT_EQ(solution.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(solution.objective, *oracle, 1e-6) << "trial " << trial;
+    ++solved;
+  }
+  EXPECT_EQ(solved, 60);
+}
+
+}  // namespace
+}  // namespace lrb

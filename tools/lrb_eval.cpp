@@ -1,0 +1,69 @@
+// lrb_eval: evaluate an assignment against its instance.
+//
+//   lrb_eval instance.lrb assignment.lrb
+//   lrb_gen --jobs 50 | tee i.lrb | lrb_solve - --algo greedy --k 5
+//       --out a.lrb && lrb_eval i.lrb a.lrb --histogram
+//
+// Prints makespan, moves, relocation cost, imbalance, Gini, and (with
+// --histogram) a per-processor ASCII load chart. Exits nonzero when the
+// assignment is structurally invalid.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/analysis.h"
+#include "core/io.h"
+#include "util/flags.h"
+
+namespace {
+
+int fail(const std::string& message) {
+  std::cerr << "lrb_eval: " << message << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lrb;
+  const Flags flags(argc, argv);
+  if (flags.positional().size() != 2) {
+    return fail("usage: lrb_eval <instance.lrb> <assignment.lrb> "
+                "[--histogram]");
+  }
+
+  std::ifstream instance_in(flags.positional()[0]);
+  if (!instance_in) return fail("cannot open " + flags.positional()[0]);
+  std::string error;
+  const auto instance = read_instance(instance_in, &error);
+  if (!instance) return fail("instance parse error: " + error);
+
+  std::ifstream assignment_in(flags.positional()[1]);
+  if (!assignment_in) return fail("cannot open " + flags.positional()[1]);
+  const auto assignment = read_assignment(assignment_in, &error);
+  if (!assignment) return fail("assignment parse error: " + error);
+
+  if (const auto problem = validate(*instance, *assignment)) {
+    return fail("invalid assignment: " + *problem);
+  }
+
+  const auto before = analyze_initial(*instance);
+  const auto after = analyze(*instance, *assignment);
+  std::cout << "jobs/procs:  " << instance->num_jobs() << " / "
+            << instance->num_procs << "\n"
+            << "makespan:    " << before.makespan << " -> " << after.makespan
+            << "\n"
+            << "imbalance:   " << before.imbalance << " -> " << after.imbalance
+            << "\n"
+            << "gini:        " << before.gini << " -> " << after.gini << "\n"
+            << "moves:       " << moves_used(*instance, *assignment) << "\n"
+            << "cost:        " << relocation_cost(*instance, *assignment)
+            << "\n";
+  if (flags.has("histogram")) {
+    std::cout << "\nbefore:\n"
+              << load_histogram(before) << "\nafter:\n"
+              << load_histogram(after);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+# Drives the CLI tools end to end; any nonzero exit fails the test.
+execute_process(
+  COMMAND ${LRB_GEN} --jobs 80 --procs 8 --placement hotspot --seed 5
+  OUTPUT_FILE ${WORK_DIR}/roundtrip.lrb RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lrb_gen failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${LRB_SOLVE} ${WORK_DIR}/roundtrip.lrb --algo mp-ls --k 6
+          --out ${WORK_DIR}/roundtrip.assign RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lrb_solve failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${LRB_EVAL} ${WORK_DIR}/roundtrip.lrb ${WORK_DIR}/roundtrip.assign
+  RESULT_VARIABLE rc OUTPUT_VARIABLE eval_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lrb_eval failed: ${rc}")
+endif()
+if(NOT eval_out MATCHES "moves:")
+  message(FATAL_ERROR "lrb_eval output missing report: ${eval_out}")
+endif()
+execute_process(
+  COMMAND ${LRB_SWEEP} ${WORK_DIR}/roundtrip.lrb --k 2,4 --csv
+  RESULT_VARIABLE rc OUTPUT_VARIABLE sweep_out ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lrb_sweep failed: ${rc}")
+endif()
+if(NOT sweep_out MATCHES "m-partition")
+  message(FATAL_ERROR "lrb_sweep output missing rows")
+endif()
