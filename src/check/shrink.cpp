@@ -1,0 +1,160 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace lrb {
+namespace {
+
+/// Copy of `instance` without the jobs whose indices are marked in `drop`.
+Instance without_jobs(const Instance& instance, const std::vector<bool>& drop) {
+  Instance out;
+  out.num_procs = instance.num_procs;
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    if (drop[j]) continue;
+    out.sizes.push_back(instance.sizes[j]);
+    out.move_costs.push_back(instance.move_costs[j]);
+    out.initial.push_back(instance.initial[j]);
+  }
+  return out;
+}
+
+/// Copy of `instance` with processor `victim` deleted: its resident jobs go
+/// away and higher processor ids shift down by one.
+Instance without_proc(const Instance& instance, ProcId victim) {
+  Instance out;
+  out.num_procs = instance.num_procs - 1;
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    const ProcId home = instance.initial[j];
+    if (home == victim) continue;
+    out.sizes.push_back(instance.sizes[j]);
+    out.move_costs.push_back(instance.move_costs[j]);
+    out.initial.push_back(home > victim ? home - 1 : home);
+  }
+  return out;
+}
+
+class Shrinker {
+ public:
+  Shrinker(Instance current, const InstancePredicate& still_fails,
+           const ShrinkOptions& options)
+      : current_(std::move(current)),
+        still_fails_(still_fails),
+        options_(options) {}
+
+  ShrinkResult run() {
+    bool changed = true;
+    while (changed && result_.rounds < options_.max_rounds && !exhausted()) {
+      ++result_.rounds;
+      changed = false;
+      changed |= drop_job_chunks();
+      changed |= drop_procs();
+      changed |= shrink_values(/*sizes=*/true);
+      changed |= shrink_values(/*sizes=*/false);
+    }
+    result_.instance = std::move(current_);
+    return std::move(result_);
+  }
+
+ private:
+  [[nodiscard]] bool exhausted() const {
+    return result_.evaluations >= options_.max_evaluations;
+  }
+
+  /// Evaluates the predicate on `candidate`; adopts it on failure-reproduced.
+  bool try_adopt(Instance candidate) {
+    if (exhausted()) return false;
+    ++result_.evaluations;
+    if (!still_fails_(candidate)) return false;
+    current_ = std::move(candidate);
+    return true;
+  }
+
+  /// ddmin over jobs: attempt to delete chunks, halving the chunk size until
+  /// single jobs; restarts from large chunks after any success.
+  bool drop_job_chunks() {
+    bool any = false;
+    for (std::size_t chunk = std::max<std::size_t>(current_.num_jobs() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+      bool progressed = true;
+      while (progressed && !exhausted()) {
+        progressed = false;
+        const std::size_t n = current_.num_jobs();
+        for (std::size_t begin = 0; begin < n && !exhausted();
+             begin += chunk) {
+          if (current_.num_jobs() <= begin) break;
+          std::vector<bool> drop(current_.num_jobs(), false);
+          const std::size_t end = std::min(begin + chunk, current_.num_jobs());
+          for (std::size_t j = begin; j < end; ++j) drop[j] = true;
+          if (try_adopt(without_jobs(current_, drop))) {
+            progressed = true;
+            any = true;
+            break;  // indices shifted; rescan at this chunk size
+          }
+        }
+      }
+      if (chunk == 1) break;
+    }
+    return any;
+  }
+
+  bool drop_procs() {
+    bool any = false;
+    bool progressed = true;
+    while (progressed && !exhausted()) {
+      progressed = false;
+      for (ProcId p = current_.num_procs; p-- > 0 && !exhausted();) {
+        if (current_.num_procs <= 1) break;
+        if (try_adopt(without_proc(current_, p))) {
+          progressed = true;
+          any = true;
+          break;
+        }
+      }
+    }
+    return any;
+  }
+
+  /// Shrinks sizes (or costs) per job toward zero: candidates 0, 1, v/2,
+  /// v - 1, most aggressive first.
+  bool shrink_values(bool sizes) {
+    bool any = false;
+    for (std::size_t j = 0; j < current_.num_jobs() && !exhausted(); ++j) {
+      const std::int64_t value =
+          sizes ? current_.sizes[j] : current_.move_costs[j];
+      for (const std::int64_t candidate :
+           {std::int64_t{0}, std::int64_t{1}, value / 2, value - 1}) {
+        if (candidate < 0 || candidate >= value) continue;
+        Instance trial = current_;
+        if (sizes) {
+          trial.sizes[j] = candidate;
+        } else {
+          trial.move_costs[j] = candidate;
+        }
+        if (try_adopt(std::move(trial))) {
+          any = true;
+          break;  // re-shrink this job only on the next round
+        }
+        if (exhausted()) break;
+      }
+    }
+    return any;
+  }
+
+  Instance current_;
+  const InstancePredicate& still_fails_;
+  const ShrinkOptions& options_;
+  ShrinkResult result_;
+};
+
+}  // namespace
+
+ShrinkResult shrink_instance(const Instance& start,
+                             const InstancePredicate& still_fails,
+                             const ShrinkOptions& options) {
+  assert(still_fails(start));
+  return Shrinker(start, still_fails, options).run();
+}
+
+}  // namespace lrb

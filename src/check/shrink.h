@@ -1,0 +1,42 @@
+// Delta-debugging minimizer for failing instances. Given an instance on
+// which some violation reproduces (expressed as a predicate), greedily
+// removes jobs (ddmin-style chunked passes), deletes processors together
+// with their resident jobs, and shrinks job sizes and move costs toward
+// zero - keeping every transformation only while the predicate still fails.
+// The result is a locally minimal repro, typically a handful of jobs, that
+// tools/lrb_fuzz writes to its corpus via core/io for replay.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/instance.h"
+
+namespace lrb {
+
+/// Returns true when the candidate instance still exhibits the violation
+/// being minimized. Must be deterministic.
+using InstancePredicate = std::function<bool(const Instance&)>;
+
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations (each one typically re-runs a full
+  /// differential check).
+  std::size_t max_evaluations = 20'000;
+  /// Hard cap on whole passes over the transformation set.
+  std::size_t max_rounds = 64;
+};
+
+struct ShrinkResult {
+  Instance instance;              ///< minimized repro; still fails predicate
+  std::size_t evaluations = 0;    ///< predicate calls spent
+  std::size_t rounds = 0;         ///< fixpoint passes executed
+};
+
+/// Minimizes `start` under `still_fails`. `still_fails(start)` must be true;
+/// the returned instance also satisfies it. Deterministic.
+[[nodiscard]] ShrinkResult shrink_instance(const Instance& start,
+                                           const InstancePredicate& still_fails,
+                                           const ShrinkOptions& options = {});
+
+}  // namespace lrb

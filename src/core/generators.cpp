@@ -24,7 +24,11 @@ std::vector<Size> draw_sizes(const GeneratorOptions& opt, Rng& rng) {
       }
       break;
     case SizeDistribution::kZipf: {
-      const auto span = static_cast<std::size_t>(opt.max_size - opt.min_size + 1);
+      // The sampler materializes one table entry per distinct value, so cap
+      // the rank span: beyond ~10^6 distinct values the tail ranks carry
+      // negligible mass and a full-range table would be gigabytes.
+      const auto span = static_cast<std::size_t>(
+          std::min<Size>(opt.max_size - opt.min_size + 1, Size{1} << 20));
       const ZipfSampler sampler(span, opt.zipf_alpha);
       // Rank 0 (most likely) maps to the largest size: a few huge sites and
       // a long tail of small ones, inverted so hot items are big.

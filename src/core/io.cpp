@@ -1,8 +1,10 @@
 #include "core/io.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <type_traits>
 
 namespace lrb {
 namespace {
@@ -44,6 +46,9 @@ class TokenReader {
       return false;
     }
     if (pos != token.size()) return false;
+    // An unsigned target must not absorb a negative token: -1 would wrap to
+    // a huge count and still pass the round-trip check below.
+    if (std::is_unsigned_v<Int> && value < 0) return false;
     out = static_cast<Int>(value);
     return static_cast<std::int64_t>(out) == value;
   }
@@ -90,15 +95,25 @@ std::optional<Instance> read_instance(std::istream& is, std::string* error) {
     fail(error, "bad 'jobs' line");
     return std::nullopt;
   }
-  inst.sizes.resize(n);
-  inst.move_costs.resize(n);
-  inst.initial.resize(n);
+  // Grow incrementally instead of resize(n) up front: a lying header (jobs
+  // count far beyond the actual data) must end in a "bad job line"
+  // diagnostic, not an attempted multi-terabyte allocation.
+  const std::size_t reserve = std::min<std::size_t>(n, 1 << 20);
+  inst.sizes.reserve(reserve);
+  inst.move_costs.reserve(reserve);
+  inst.initial.reserve(reserve);
   for (std::size_t j = 0; j < n; ++j) {
-    if (!reader.next_int(inst.sizes[j]) || !reader.next_int(inst.move_costs[j]) ||
-        !reader.next_int(inst.initial[j])) {
+    Size size = 0;
+    Cost cost = 0;
+    ProcId proc = 0;
+    if (!reader.next_int(size) || !reader.next_int(cost) ||
+        !reader.next_int(proc)) {
       fail(error, "bad job line " + std::to_string(j));
       return std::nullopt;
     }
+    inst.sizes.push_back(size);
+    inst.move_costs.push_back(cost);
+    inst.initial.push_back(proc);
   }
   if (auto problem = validate(inst)) {
     fail(error, *problem);
@@ -134,12 +149,15 @@ std::optional<Assignment> read_assignment(std::istream& is,
     fail(error, "bad 'jobs' line");
     return std::nullopt;
   }
-  Assignment assignment(n);
+  Assignment assignment;
+  assignment.reserve(std::min<std::size_t>(n, 1 << 20));
   for (std::size_t j = 0; j < n; ++j) {
-    if (!reader.next_int(assignment[j])) {
+    ProcId proc = 0;
+    if (!reader.next_int(proc)) {
       fail(error, "bad assignment entry " + std::to_string(j));
       return std::nullopt;
     }
+    assignment.push_back(proc);
   }
   return assignment;
 }

@@ -70,17 +70,23 @@ GapLpResult gap_lp_min_cost(const GapInstance& gap, Size T) {
     }
     lp.add_eq(std::move(row), 1.0);
   }
-  for (std::size_t j = 0; j < m; ++j) {  // machine capacity
+  // Machine capacity, scaled by 1/T so every coefficient is in [0, 1]:
+  // with raw processing times the tableau mixes O(T) entries (T can be
+  // ~2^32 or more) with the O(1) assignment rows, and the simplex's
+  // absolute tolerances stop discriminating - pivots stall. Scaling a
+  // <= row by a positive constant leaves the feasible set unchanged.
+  for (std::size_t j = 0; j < m; ++j) {
     std::vector<double> row(num_vars, 0.0);
+    const double scale = T > 0 ? 1.0 / static_cast<double>(T) : 1.0;
     bool any = false;
     for (std::size_t i = 0; i < n; ++i) {
       if (var[i][j] >= 0) {
         row[static_cast<std::size_t>(var[i][j])] =
-            static_cast<double>(gap.processing[i][j]);
+            static_cast<double>(gap.processing[i][j]) * scale;
         any = true;
       }
     }
-    if (any) lp.add_le(std::move(row), static_cast<double>(T));
+    if (any) lp.add_le(std::move(row), T > 0 ? 1.0 : 0.0);
   }
 
   const auto solution = solve_lp(lp);

@@ -72,10 +72,17 @@ class Tableau {
     }
   }
 
+  enum class PivotOutcome { kOptimal, kUnbounded, kStalled };
+
   /// Runs the simplex with reduced costs computed from `costs` (size cols_).
-  /// Returns false if unbounded.
-  bool optimize(const std::vector<double>& costs, std::size_t allowed_cols) {
-    for (;;) {
+  /// Bland's rule precludes cycling in exact arithmetic, but floating-point
+  /// round-off on badly scaled rows can defeat the tolerance checks and
+  /// stall the walk, so the pivot count is capped: past the cap the solve
+  /// reports kStalled instead of spinning forever.
+  PivotOutcome optimize(const std::vector<double>& costs,
+                        std::size_t allowed_cols) {
+    const std::size_t max_pivots = 1000 * (rows_ + cols_) + 10'000;
+    for (std::size_t pivots = 0; pivots <= max_pivots; ++pivots) {
       // Reduced costs: c_j - c_B^T B^{-1} A_j, computed directly from the
       // tableau (rows are already B^{-1} A).
       std::size_t pivot_col = allowed_cols;
@@ -92,7 +99,7 @@ class Tableau {
           break;
         }
       }
-      if (pivot_col == allowed_cols) return true;  // optimal
+      if (pivot_col == allowed_cols) return PivotOutcome::kOptimal;
 
       // Ratio test (Bland: smallest basis index breaks ties).
       std::size_t pivot_row = rows_;
@@ -108,9 +115,10 @@ class Tableau {
           }
         }
       }
-      if (pivot_row == rows_) return false;  // unbounded
+      if (pivot_row == rows_) return PivotOutcome::kUnbounded;
       pivot(pivot_row, pivot_col);
     }
+    return PivotOutcome::kStalled;
   }
 
   void pivot(std::size_t pr, std::size_t pc) {
@@ -182,9 +190,12 @@ LpSolution solve_lp(const LinearProgram& lp) {
     for (std::size_t j = tableau.artificial_start(); j < tableau.cols(); ++j) {
       phase1[j] = 1.0;
     }
-    const bool bounded = tableau.optimize(phase1, tableau.cols());
-    assert(bounded);  // phase-1 objective is bounded below by 0
-    (void)bounded;
+    const auto outcome = tableau.optimize(phase1, tableau.cols());
+    assert(outcome != Tableau::PivotOutcome::kUnbounded);  // bounded below by 0
+    if (outcome != Tableau::PivotOutcome::kOptimal) {
+      solution.status = LpStatus::kStalled;
+      return solution;
+    }
     double infeasibility = 0.0;
     for (std::size_t r = 0; r < tableau.rows(); ++r) {
       if (tableau.basis(r) >= tableau.artificial_start()) {
@@ -202,8 +213,11 @@ LpSolution solve_lp(const LinearProgram& lp) {
   {
     std::vector<double> costs(tableau.cols(), 0.0);
     for (std::size_t j = 0; j < lp.num_vars(); ++j) costs[j] = lp.objective[j];
-    if (!tableau.optimize(costs, tableau.artificial_start())) {
-      solution.status = LpStatus::kUnbounded;
+    const auto outcome = tableau.optimize(costs, tableau.artificial_start());
+    if (outcome != Tableau::PivotOutcome::kOptimal) {
+      solution.status = outcome == Tableau::PivotOutcome::kUnbounded
+                            ? LpStatus::kUnbounded
+                            : LpStatus::kStalled;
       return solution;
     }
   }

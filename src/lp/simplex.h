@@ -36,7 +36,7 @@ struct LinearProgram {
   void add_eq(std::vector<double> coeffs, double rhs);
 };
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kStalled };
 
 struct LpSolution {
   LpStatus status = LpStatus::kInfeasible;
@@ -44,7 +44,11 @@ struct LpSolution {
   std::vector<double> x;
 };
 
-/// Two-phase dense simplex. Deterministic; tolerance 1e-9.
+/// Two-phase dense simplex. Deterministic; tolerance 1e-9. Badly scaled
+/// inputs (coefficients spanning many orders of magnitude) can defeat the
+/// tolerance checks and stall the pivot loop; after an internal pivot limit
+/// the solver gives up with kStalled rather than spinning forever. Callers
+/// should normalize rows to comparable magnitudes (see gap_lp_min_cost).
 [[nodiscard]] LpSolution solve_lp(const LinearProgram& lp);
 
 }  // namespace lrb

@@ -1,0 +1,143 @@
+// Property tests for the certified lower bounds (core/lower_bounds):
+// monotonicity in the budget, agreement with brute force where brute force
+// is affordable, and soundness against the exact solver. The certifier
+// (check/certify) leans on these bounds, so their own proofs get tested
+// here independently.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "algo/exact.h"
+#include "core/generators.h"
+#include "core/lower_bounds.h"
+
+namespace lrb {
+namespace {
+
+GeneratorOptions small_options(std::uint64_t index) {
+  GeneratorOptions opt;
+  opt.num_jobs = 1 + index % 10;
+  opt.num_procs = static_cast<ProcId>(1 + index % 4);
+  opt.min_size = index % 3 == 0 ? 0 : 1;
+  opt.max_size = 1 + static_cast<Size>(index % 5) * 9;
+  opt.size_dist = static_cast<SizeDistribution>(index % 5);
+  opt.placement = static_cast<PlacementPolicy>((index / 5) % 5);
+  opt.cost_model = static_cast<CostModel>((index / 25) % 5);
+  opt.max_cost = 1 + static_cast<Cost>(index % 6);
+  return opt;
+}
+
+/// Brute force over every deletion subset of at most k jobs: the makespan
+/// left after erasing the subset from the initial configuration, minimized.
+/// Lemma 1 says greedy removal attains exactly this minimum.
+Size brute_force_removal(const Instance& instance, std::int64_t k) {
+  const auto n = instance.num_jobs();
+  const auto loads0 = instance.initial_loads();
+  Size best = instance.initial_makespan();
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (static_cast<std::int64_t>(std::popcount(mask)) > k) continue;
+    auto load = loads0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (mask & (1u << j)) load[instance.initial[j]] -= instance.sizes[j];
+    }
+    best = std::min(best, *std::max_element(load.begin(), load.end()));
+  }
+  return best;
+}
+
+TEST(LowerBounds, KRemovalBoundMatchesBruteForceDeletion) {
+  for (std::uint64_t trial = 0; trial < 120; ++trial) {
+    const auto inst = random_instance(small_options(trial), 300 + trial);
+    for (std::int64_t k = 0;
+         k <= static_cast<std::int64_t>(inst.num_jobs()); ++k) {
+      EXPECT_EQ(k_removal_bound(inst, k), brute_force_removal(inst, k))
+          << "trial " << trial << " k=" << k;
+    }
+  }
+}
+
+TEST(LowerBounds, KRemovalBoundIsNonIncreasingInK) {
+  for (std::uint64_t trial = 0; trial < 100; ++trial) {
+    auto opt = small_options(trial);
+    opt.num_jobs = 5 + trial % 30;  // larger than the brute-force tier
+    const auto inst = random_instance(opt, 900 + trial);
+    Size previous = k_removal_bound(inst, 0);
+    EXPECT_EQ(previous, inst.initial_makespan());
+    for (std::int64_t k = 1;
+         k <= static_cast<std::int64_t>(inst.num_jobs()) + 2; ++k) {
+      const Size current = k_removal_bound(inst, k);
+      EXPECT_LE(current, previous) << "trial " << trial << " k=" << k;
+      previous = current;
+    }
+  }
+}
+
+TEST(LowerBounds, BudgetRemovalBoundIsNonIncreasingInB) {
+  for (std::uint64_t trial = 0; trial < 100; ++trial) {
+    auto opt = small_options(trial);
+    opt.num_jobs = 5 + trial % 30;
+    const auto inst = random_instance(opt, 1700 + trial);
+    Size previous = budget_removal_bound(inst, 0);
+    EXPECT_EQ(previous, inst.initial_makespan());
+    Cost total = 0;
+    for (const Cost c : inst.move_costs) total += c;
+    for (Cost budget = 1; budget <= total + 2; ++budget) {
+      const Size current = budget_removal_bound(inst, budget);
+      EXPECT_LE(current, previous) << "trial " << trial << " B=" << budget;
+      previous = current;
+    }
+  }
+}
+
+TEST(LowerBounds, KRemovalBoundNeverExceedsExactOptimum) {
+  // Soundness on brute-forceable instances: the bound must sit at or below
+  // the branch-and-bound optimum for the same k.
+  for (std::uint64_t trial = 0; trial < 60; ++trial) {
+    const auto inst = random_instance(small_options(trial), 2500 + trial);
+    for (std::int64_t k = 0;
+         k <= static_cast<std::int64_t>(inst.num_jobs()); ++k) {
+      ExactOptions options;
+      options.max_moves = k;
+      const auto exact = exact_rebalance(inst, options);
+      ASSERT_TRUE(exact.proven_optimal) << "trial " << trial << " k=" << k;
+      EXPECT_LE(k_removal_bound(inst, k), exact.best.makespan)
+          << "trial " << trial << " k=" << k;
+      EXPECT_LE(combined_lower_bound(inst, k), exact.best.makespan)
+          << "trial " << trial << " k=" << k;
+    }
+  }
+}
+
+TEST(LowerBounds, BudgetRemovalBoundNeverExceedsExactOptimum) {
+  for (std::uint64_t trial = 0; trial < 60; ++trial) {
+    const auto inst = random_instance(small_options(trial), 3300 + trial);
+    Cost total = 0;
+    for (const Cost c : inst.move_costs) total += c;
+    for (Cost budget = 0; budget <= total; budget += 1 + total / 6) {
+      ExactOptions options;
+      options.budget = budget;
+      const auto exact = exact_rebalance(inst, options);
+      ASSERT_TRUE(exact.proven_optimal) << "trial " << trial << " B=" << budget;
+      EXPECT_LE(budget_removal_bound(inst, budget), exact.best.makespan)
+          << "trial " << trial << " B=" << budget;
+    }
+  }
+}
+
+TEST(LowerBounds, CombinedBoundDominatesItsParts) {
+  for (std::uint64_t trial = 0; trial < 60; ++trial) {
+    const auto inst = random_instance(small_options(trial), 4100 + trial);
+    const auto k = static_cast<std::int64_t>(trial % (inst.num_jobs() + 1));
+    const auto combined = combined_lower_bound(inst, k);
+    EXPECT_GE(combined, average_load_bound(inst));
+    EXPECT_GE(combined, max_job_bound(inst));
+    EXPECT_GE(combined, k_removal_bound(inst, k));
+  }
+}
+
+}  // namespace
+}  // namespace lrb

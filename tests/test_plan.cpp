@@ -89,6 +89,77 @@ TEST(Plan, MonotoneHandlesSwapChains) {
   EXPECT_EQ(plan.peak_makespan, 12);  // unavoidable transient double-load
 }
 
+constexpr PlanOrder kAllOrders[] = {PlanOrder::kArbitrary,
+                                    PlanOrder::kLargestFirst,
+                                    PlanOrder::kCheapestFirst,
+                                    PlanOrder::kMonotone};
+
+TEST(Plan, FullReplayEqualsTargetLoadsForEveryOrder) {
+  GeneratorOptions opt;
+  opt.num_jobs = 24;
+  opt.num_procs = 4;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    opt.placement = static_cast<PlacementPolicy>(seed % 5);
+    opt.cost_model = static_cast<CostModel>(seed % 5);
+    const auto inst = random_instance(opt, seed);
+    const auto result = m_partition_rebalance(inst, 9);
+    const auto target_loads = loads(inst, result.assignment);
+    for (const auto order : kAllOrders) {
+      const auto plan = make_plan(inst, result.assignment, order);
+      EXPECT_EQ(replay_loads(inst, plan, plan.steps.size()), target_loads)
+          << "seed=" << seed << " order=" << static_cast<int>(order);
+    }
+  }
+}
+
+TEST(Plan, PeakMakespanEqualsMaxOverReplayedPrefixes) {
+  // peak_makespan is defined as the max over the start plus every prefix;
+  // recompute it the slow way through replay_loads and demand equality.
+  GeneratorOptions opt;
+  opt.num_jobs = 20;
+  opt.num_procs = 4;
+  opt.placement = PlacementPolicy::kHotspot;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const auto inst = random_instance(opt, seed);
+    const auto result = m_partition_rebalance(inst, 7);
+    for (const auto order : kAllOrders) {
+      const auto plan = make_plan(inst, result.assignment, order);
+      Size replayed_peak = 0;
+      for (std::size_t prefix = 0; prefix <= plan.steps.size(); ++prefix) {
+        const auto state = replay_loads(inst, plan, prefix);
+        const Size ms = state.empty()
+                            ? Size{0}
+                            : *std::max_element(state.begin(), state.end());
+        replayed_peak = std::max(replayed_peak, ms);
+      }
+      EXPECT_EQ(plan.peak_makespan, replayed_peak)
+          << "seed=" << seed << " order=" << static_cast<int>(order);
+    }
+  }
+}
+
+TEST(Plan, MonotonePeakIsMinimalAmongAllOrders) {
+  // kMonotone's greedy choice must never be beaten by any of the other
+  // shipped orders on the same (instance, target) pair.
+  GeneratorOptions opt;
+  opt.num_jobs = 18;
+  opt.num_procs = 4;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    opt.placement = static_cast<PlacementPolicy>(seed % 5);
+    const auto inst = random_instance(opt, 100 + seed);
+    const auto result = m_partition_rebalance(inst, 8);
+    const auto monotone =
+        make_plan(inst, result.assignment, PlanOrder::kMonotone);
+    for (const auto order :
+         {PlanOrder::kArbitrary, PlanOrder::kLargestFirst,
+          PlanOrder::kCheapestFirst}) {
+      const auto other = make_plan(inst, result.assignment, order);
+      EXPECT_LE(monotone.peak_makespan, other.peak_makespan)
+          << "seed=" << seed << " order=" << static_cast<int>(order);
+    }
+  }
+}
+
 TEST(Plan, OrderingStrategiesSortAsNamed) {
   const auto inst =
       make_instance({8, 4, 6}, {1, 9, 2}, {0, 0, 0}, 4);

@@ -1,0 +1,293 @@
+// lrb_fuzz: seeded differential fuzzer over the generator families.
+//
+//   lrb_fuzz --seed 1 --iters 2000
+//   lrb_fuzz --seed 7 --time-budget 30 --corpus fuzz-corpus
+//   lrb_fuzz --seed 1 --iters 300 --mutant --expect-violation
+//            --expect-max-jobs 6        # self-test: the mutant is caught
+//
+// Each iteration draws a random instance (mixing every size distribution,
+// placement policy and cost model, plus the paper's tight families with
+// their known optima), runs the differential harness (check/differential)
+// over the whole algorithm roster, and certifies every result. On a
+// violation the instance is minimized with the delta-debugging shrinker
+// (check/shrink) and written to the corpus directory as a replayable .lrb
+// file (see docs/testing.md). Exits nonzero iff any violation was found.
+//
+// Flags (defaults in parentheses):
+//   --seed S (1)          base seed; iteration i uses splitmix64(seed, i)
+//   --iters N (1000)      iterations (0 = until the time budget)
+//   --time-budget SEC (0) stop after SEC seconds (0 = no limit)
+//   --corpus DIR (lrb_fuzz_corpus)   where minimized repros are written
+//   --max-jobs N (40)     medium-tier instance size cap
+//   --max-procs M (8)     medium-tier processor cap
+//   --mutant              add the intentionally broken test rebalancer
+//   --expect-violation    invert the exit code: succeed iff a violation was
+//                         found (and every repro obeyed --expect-max-jobs)
+//   --expect-max-jobs N (0)  with --expect-violation: require every
+//                         minimized repro to have at most N jobs
+//   --verbose             print every violation in full
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/differential.h"
+#include "check/shrink.h"
+#include "core/generators.h"
+#include "core/io.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace lrb;
+
+int fail(const std::string& message) {
+  std::cerr << "lrb_fuzz: " << message << "\n";
+  return 2;
+}
+
+/// Intentionally broken GREEDY (enabled by --mutant): Step 1 removes the
+/// largest job from the max-loaded processor as the paper prescribes, but
+/// Step 2 reinserts onto the currently MAX-loaded processor instead of the
+/// min-loaded one - breaking the (2 - 1/m) guarantee the certifier checks.
+RebalanceResult mutant_greedy(const Instance& instance, std::int64_t k) {
+  Assignment assignment = instance.initial;
+  auto load = instance.initial_loads();
+  auto by_proc = instance.jobs_by_proc();
+  for (auto& jobs : by_proc) {
+    std::sort(jobs.begin(), jobs.end(), [&](JobId a, JobId b) {
+      if (instance.sizes[a] != instance.sizes[b]) {
+        return instance.sizes[a] > instance.sizes[b];
+      }
+      return a < b;
+    });
+  }
+  std::vector<std::size_t> next(instance.num_procs, 0);
+  std::vector<JobId> removed;
+  for (std::int64_t step = 0; step < k; ++step) {
+    ProcId heaviest = 0;
+    for (ProcId p = 1; p < instance.num_procs; ++p) {
+      if (load[p] > load[heaviest]) heaviest = p;
+    }
+    if (next[heaviest] >= by_proc[heaviest].size()) break;
+    const JobId victim = by_proc[heaviest][next[heaviest]++];
+    load[heaviest] -= instance.sizes[victim];
+    removed.push_back(victim);
+  }
+  for (const JobId job : removed) {
+    ProcId target = 0;  // the bug: should be the MIN-loaded processor
+    for (ProcId p = 1; p < instance.num_procs; ++p) {
+      if (load[p] > load[target]) target = p;
+    }
+    assignment[job] = target;
+    load[target] += instance.sizes[job];
+  }
+  return finalize_result(instance, std::move(assignment));
+}
+
+struct FuzzCase {
+  Instance instance;
+  DifferentialOptions options;
+  std::string family;
+};
+
+FuzzCase draw_case(Rng& rng, std::int64_t max_jobs, std::int64_t max_procs) {
+  FuzzCase out;
+  const auto roll = rng.uniform_int(0, 99);
+
+  if (roll < 4) {
+    // Theorem 1's tight family: GREEDY sits exactly on its bound.
+    const auto m = static_cast<ProcId>(rng.uniform_int(2, 5));
+    auto family = greedy_tight_instance(m);
+    out.instance = std::move(family.instance);
+    out.options.k = family.k;
+    out.options.known_opt = family.opt;
+    out.options.run_cost_algorithms = false;
+    out.family = "tight-greedy";
+    return out;
+  }
+  if (roll < 6) {
+    auto family = partition_tight_instance();
+    out.instance = std::move(family.instance);
+    out.options.k = family.k;
+    out.options.known_opt = family.opt;
+    out.options.run_cost_algorithms = false;
+    out.family = "tight-partition";
+    return out;
+  }
+
+  GeneratorOptions gen;
+  const bool small = roll < 70;
+  if (small) {
+    gen.num_jobs = static_cast<std::size_t>(rng.uniform_int(0, 12));
+    gen.num_procs = static_cast<ProcId>(rng.uniform_int(1, 4));
+    gen.max_size = rng.uniform_int(1, 20);
+  } else {
+    gen.num_jobs =
+        static_cast<std::size_t>(rng.uniform_int(13, std::max<std::int64_t>(
+                                                         13, max_jobs)));
+    gen.num_procs = static_cast<ProcId>(
+        rng.uniform_int(2, std::max<std::int64_t>(2, max_procs)));
+    const std::int64_t magnitudes[] = {10, 1000, 1'000'000,
+                                       (std::int64_t{1} << 32)};
+    gen.max_size = magnitudes[rng.uniform_int(0, 3)];
+  }
+  gen.min_size = rng.bernoulli(0.2) ? 0 : 1;
+  gen.size_dist = static_cast<SizeDistribution>(rng.uniform_int(0, 4));
+  gen.placement = static_cast<PlacementPolicy>(rng.uniform_int(0, 4));
+  gen.cost_model = static_cast<CostModel>(rng.uniform_int(0, 4));
+  gen.max_cost = rng.uniform_int(1, 12);
+
+  const auto n = static_cast<std::int64_t>(gen.num_jobs);
+  out.instance = random_instance(gen, rng());
+  out.options.k = rng.uniform_int(0, n + 2);
+  out.options.budget = rng.uniform_int(0, 2 * n + 4);
+  out.family = small ? "small-random" : "medium-random";
+  return out;
+}
+
+void write_repro(const std::filesystem::path& path, const Instance& instance,
+                 const DifferentialOptions& options,
+                 const DifferentialReport& report, std::uint64_t seed,
+                 std::uint64_t iteration, const std::string& family) {
+  std::ofstream out(path);
+  out << "# lrb_fuzz minimized repro (replay: see docs/testing.md)\n"
+      << "# seed=" << seed << " iteration=" << iteration << " family="
+      << family << "\n"
+      << "# k=" << options.k;
+  if (options.budget != kInfCost) out << " budget=" << options.budget;
+  if (options.known_opt > 0) out << " known-opt=" << options.known_opt;
+  out << "\n";
+  for (const auto& finding : report.findings) {
+    for (const auto& violation : finding.certificate.violations) {
+      out << "# violation: " << finding.algorithm << " ["
+          << to_string(violation.kind) << "] " << violation.detail << "\n";
+    }
+  }
+  write_instance(out, instance);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  for (const auto& key : flags.keys()) {
+    static const char* known[] = {"seed",      "iters",           "time-budget",
+                                  "corpus",    "max-jobs",        "max-procs",
+                                  "mutant",    "expect-violation",
+                                  "expect-max-jobs", "verbose"};
+    if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
+          return key == k;
+        }) == std::end(known)) {
+      return fail("unknown flag '--" + key + "'");
+    }
+  }
+
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::int64_t iters = flags.get_int("iters", 1000);
+  const double time_budget = flags.get_double("time-budget", 0.0);
+  const std::string corpus = flags.get_or("corpus", "lrb_fuzz_corpus");
+  const std::int64_t max_jobs = flags.get_int("max-jobs", 40);
+  const std::int64_t max_procs = flags.get_int("max-procs", 8);
+  const bool with_mutant = flags.has("mutant");
+  const bool expect_violation = flags.has("expect-violation");
+  const std::int64_t expect_max_jobs = flags.get_int("expect-max-jobs", 0);
+  const bool verbose = flags.has("verbose");
+  if (iters <= 0 && time_budget <= 0.0) {
+    return fail("need --iters > 0 or --time-budget > 0");
+  }
+
+  Timer timer;
+  std::int64_t violations = 0;
+  std::size_t largest_repro = 0;
+  bool corpus_ready = false;
+  std::uint64_t iteration = 0;
+
+  for (;; ++iteration) {
+    if (iters > 0 && iteration >= static_cast<std::uint64_t>(iters)) break;
+    if (time_budget > 0.0 && timer.millis() >= time_budget * 1000.0) break;
+
+    std::uint64_t stream = seed;
+    (void)splitmix64(stream);
+    Rng rng(stream ^ (iteration * 0x9e3779b97f4a7c15ULL));
+    FuzzCase fuzz_case = draw_case(rng, max_jobs, max_procs);
+    if (with_mutant) {
+      fuzz_case.options.extra.push_back(CheckedRebalancer{
+          NamedRebalancer{"mutant-greedy", mutant_greedy},
+          [](const Instance& inst, std::int64_t k, const RebalanceResult& r) {
+            return roster_certify_options("greedy", inst, k, r);
+          }});
+    }
+
+    const auto report = differential_check(fuzz_case.instance,
+                                           fuzz_case.options);
+    if (report.ok()) continue;
+
+    ++violations;
+    std::cerr << "lrb_fuzz: violation at iteration " << iteration << " ("
+              << fuzz_case.family << ", n=" << fuzz_case.instance.num_jobs()
+              << ", m=" << fuzz_case.instance.num_procs
+              << ", k=" << fuzz_case.options.k << ")\n";
+    if (verbose) std::cerr << report.to_string() << "\n";
+
+    // Minimize: any of the original (algorithm, kind) signatures counts as
+    // the same failure.
+    const auto signatures = report.signatures();
+    const auto& shrink_options_ref = fuzz_case.options;
+    const auto still_fails = [&](const Instance& candidate) {
+      const auto candidate_report =
+          differential_check(candidate, shrink_options_ref);
+      for (const auto& sig : candidate_report.signatures()) {
+        for (const auto& wanted : signatures) {
+          if (sig == wanted) return true;
+        }
+      }
+      return false;
+    };
+    ShrinkOptions shrink_options;
+    shrink_options.max_evaluations = 2'000;
+    const auto minimized =
+        shrink_instance(fuzz_case.instance, still_fails, shrink_options);
+    largest_repro = std::max(largest_repro, minimized.instance.num_jobs());
+    const auto minimized_report =
+        differential_check(minimized.instance, fuzz_case.options);
+
+    if (!corpus_ready) {
+      std::error_code ec;
+      std::filesystem::create_directories(corpus, ec);
+      if (ec) return fail("cannot create corpus dir " + corpus);
+      corpus_ready = true;
+    }
+    const auto path = std::filesystem::path(corpus) /
+                      ("repro_" + std::to_string(iteration) + ".lrb");
+    write_repro(path, minimized.instance, fuzz_case.options, minimized_report,
+                seed, iteration, fuzz_case.family);
+    std::cerr << "lrb_fuzz: minimized to n=" << minimized.instance.num_jobs()
+              << ", m=" << minimized.instance.num_procs << " -> "
+              << path.string() << "\n";
+  }
+
+  std::cout << "lrb_fuzz: " << iteration << " iterations, " << violations
+            << " violation(s) in " << timer.millis() / 1000.0 << " s\n";
+
+  if (expect_violation) {
+    if (violations == 0) {
+      std::cerr << "lrb_fuzz: expected a violation but found none\n";
+      return 1;
+    }
+    if (expect_max_jobs > 0 &&
+        largest_repro > static_cast<std::size_t>(expect_max_jobs)) {
+      std::cerr << "lrb_fuzz: a minimized repro has " << largest_repro
+                << " jobs, above the expected bound " << expect_max_jobs
+                << "\n";
+      return 1;
+    }
+    return 0;
+  }
+  return violations == 0 ? 0 : 1;
+}

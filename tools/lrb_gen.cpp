@@ -15,6 +15,7 @@
 //   --tight-greedy M       emit Theorem 1's tight family instead
 //   --tight-partition      emit Theorem 2's tight example instead
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 
@@ -34,10 +35,26 @@ int fail(const std::string& message) {
 int main(int argc, char** argv) {
   using namespace lrb;
   const Flags flags(argc, argv);
+  for (const auto& key : flags.keys()) {
+    static const char* known[] = {
+        "jobs",        "procs",      "dist",       "min-size",
+        "max-size",    "zipf-alpha", "placement",  "hotspot-fraction",
+        "hotspot-mass", "cost-model", "min-cost",  "max-cost",
+        "p",           "q",          "seed",       "tight-greedy",
+        "tight-partition"};
+    if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
+          return key == k;
+        }) == std::end(known)) {
+      return fail("unknown flag '--" + key + "'");
+    }
+  }
 
   if (flags.has("tight-greedy")) {
-    const auto m = static_cast<ProcId>(flags.get_int("tight-greedy", 4));
-    if (m < 2) return fail("--tight-greedy needs m >= 2");
+    const std::int64_t m_raw = flags.get_int("tight-greedy", 4);
+    if (m_raw < 2 || m_raw > 10'000) {
+      return fail("--tight-greedy needs m in [2, 10000]");
+    }
+    const auto m = static_cast<ProcId>(m_raw);
     const auto family = greedy_tight_instance(m);
     std::cout << "# Theorem 1 tight family: k = " << family.k
               << ", OPT = " << family.opt << "\n";
@@ -53,10 +70,23 @@ int main(int argc, char** argv) {
   }
 
   GeneratorOptions options;
-  options.num_jobs = static_cast<std::size_t>(flags.get_int("jobs", 100));
-  options.num_procs = static_cast<ProcId>(flags.get_int("procs", 10));
+  // Validate ranges BEFORE casting: "--jobs -5" through static_cast<size_t>
+  // would wrap to ~2^64 and hang the generator instead of diagnosing.
+  const std::int64_t jobs = flags.get_int("jobs", 100);
+  const std::int64_t procs = flags.get_int("procs", 10);
+  if (jobs <= 0 || jobs > 100'000'000) {
+    return fail("--jobs must be in [1, 100000000]");
+  }
+  if (procs <= 0 || procs > 1'000'000) {
+    return fail("--procs must be in [1, 1000000]");
+  }
+  options.num_jobs = static_cast<std::size_t>(jobs);
+  options.num_procs = static_cast<ProcId>(procs);
   options.min_size = flags.get_int("min-size", 1);
   options.max_size = flags.get_int("max-size", 100);
+  if (options.min_size < 0 || options.min_size > options.max_size) {
+    return fail("need 0 <= --min-size <= --max-size");
+  }
   options.zipf_alpha = flags.get_double("zipf-alpha", 1.2);
   options.hotspot_fraction = flags.get_double("hotspot-fraction", 0.2);
   options.hotspot_mass = flags.get_double("hotspot-mass", 0.7);
@@ -110,8 +140,8 @@ int main(int argc, char** argv) {
     return fail("unknown --cost-model '" + cost_model + "'");
   }
 
-  if (options.num_procs == 0 || options.num_jobs == 0) {
-    return fail("--jobs and --procs must be positive");
+  if (options.min_cost < 0 || options.min_cost > options.max_cost) {
+    return fail("need 0 <= --min-cost <= --max-cost");
   }
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto instance = random_instance(options, seed);

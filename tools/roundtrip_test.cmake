@@ -29,3 +29,67 @@ endif()
 if(NOT sweep_out MATCHES "m-partition")
   message(FATAL_ERROR "lrb_sweep output missing rows")
 endif()
+
+# ---------------------------------------------------------------------------
+# Malformed-input regressions: every tool must reject bad input with a
+# nonzero exit and a diagnostic - never hang, wrap, crash, or silently
+# accept (fuzz repros depend on the parser being trustworthy).
+
+# Negative --jobs used to wrap through size_t to ~2^64 and hang the
+# generator; it must be rejected up front.
+execute_process(
+  COMMAND ${LRB_GEN} --jobs -5
+  RESULT_VARIABLE rc ERROR_VARIABLE gen_err OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "lrb_gen accepted --jobs -5")
+endif()
+if(NOT gen_err MATCHES "jobs")
+  message(FATAL_ERROR "lrb_gen --jobs -5 gave no diagnostic: ${gen_err}")
+endif()
+
+# Unknown flags are typos, not no-ops.
+execute_process(
+  COMMAND ${LRB_GEN} --jbos 10
+  RESULT_VARIABLE rc ERROR_VARIABLE gen_err OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "lrb_gen accepted unknown flag --jbos")
+endif()
+
+# Garbage instead of an instance: parse diagnostic, nonzero exit.
+file(WRITE ${WORK_DIR}/garbage.lrb "this is not an instance\n")
+execute_process(
+  COMMAND ${LRB_EVAL} ${WORK_DIR}/garbage.lrb ${WORK_DIR}/roundtrip.assign
+  RESULT_VARIABLE rc ERROR_VARIABLE eval_err OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "lrb_eval accepted a garbage instance")
+endif()
+if(NOT eval_err MATCHES "parse error")
+  message(FATAL_ERROR "lrb_eval gave no parse diagnostic: ${eval_err}")
+endif()
+
+# A negative job count used to wrap to a huge unsigned value; the parser
+# must reject it on the 'jobs' line.
+file(WRITE ${WORK_DIR}/negjobs.lrb "lrb-instance 1\nprocs 2\njobs -1\n")
+execute_process(
+  COMMAND ${LRB_SOLVE} ${WORK_DIR}/negjobs.lrb --algo greedy --k 1
+  RESULT_VARIABLE rc ERROR_VARIABLE solve_err OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "lrb_solve accepted a negative job count")
+endif()
+if(NOT solve_err MATCHES "parse error")
+  message(FATAL_ERROR "lrb_solve gave no parse diagnostic: ${solve_err}")
+endif()
+
+# A lying header (far more jobs than data) used to attempt the full upfront
+# allocation; it must instead fail cleanly on the first missing job line.
+file(WRITE ${WORK_DIR}/liar.lrb
+  "lrb-instance 1\nprocs 2\njobs 99999999999\n3 1 0\n")
+execute_process(
+  COMMAND ${LRB_SOLVE} ${WORK_DIR}/liar.lrb --algo greedy --k 1
+  RESULT_VARIABLE rc ERROR_VARIABLE solve_err OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "lrb_solve accepted a lying jobs header")
+endif()
+if(NOT solve_err MATCHES "bad job line")
+  message(FATAL_ERROR "lrb_solve gave no job-line diagnostic: ${solve_err}")
+endif()
