@@ -18,9 +18,10 @@
 #include "sim/simulator.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "Ablation A: GREEDY reinsertion order\n\n";
   {
@@ -38,7 +39,8 @@ int main() {
     }
     for (const auto& family : small_families()) {
       std::vector<double> r[3];
-      for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(30, 2);
+           ++seed) {
         const auto inst = random_instance(family.options, seed);
         const Size opt = exact_opt_moves(inst, 4);
         int idx = 0;
@@ -60,10 +62,12 @@ int main() {
   {
     Table table({"family", "k", "m-partition", "mp + ls", "best-of",
                  "best-of + ls", "ls steps"});
-    for (const auto& family : large_families(2000, 16)) {
+    for (const auto& family :
+         large_families(smoke_cap<std::size_t>(2000, 200), 16)) {
       for (std::int64_t k : {20, 80}) {
         std::vector<double> mp_r, mpls_r, best_r, bestls_r, steps;
-        for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(8, 1);
+             ++seed) {
           const auto inst = random_instance(family.options, seed);
           const Size lb = combined_lower_bound(inst, k);
           const auto mp = m_partition_rebalance(inst, k);
@@ -96,7 +100,7 @@ int main() {
   std::cout << "Ablation C: knapsack relaxation eps inside cost-PARTITION\n\n";
   {
     GeneratorOptions gen;
-    gen.num_jobs = 60;
+    gen.num_jobs = smoke_cap<std::size_t>(60, 20);
     gen.num_procs = 6;
     gen.max_size = 500;
     gen.placement = PlacementPolicy::kHotspot;
@@ -104,7 +108,8 @@ int main() {
     Table table({"eps", "mean makespan", "mean cost", "mean ms"});
     for (double eps : {0.01, 0.05, 0.2, 0.5}) {
       std::vector<double> makespans, costs, times;
-      for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(10, 2);
+           ++seed) {
         const auto inst = random_instance(gen, seed);
         CostPartitionOptions options;
         options.budget = inst.total_size() / 10;
@@ -131,7 +136,7 @@ int main() {
     sim::SimOptions base;
     base.workload.num_sites = 200;
     base.num_servers = 10;
-    base.steps = 200;
+    base.steps = smoke_cap(200, 40);
     base.rebalance_every = 5;
     base.move_budget = 10;
     Table table({"policy", "drain prob", "mean imb", "forced moves",
@@ -140,7 +145,8 @@ int main() {
       if (policy.name == "lpt-full") continue;
       for (double drain : {0.0, 0.05, 0.15}) {
         std::vector<double> imb, forced, voluntary;
-        for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        for (std::uint64_t seed = 1; seed <= smoke_cap<std::uint64_t>(4, 1);
+             ++seed) {
           auto options = base;
           options.drain_prob = drain;
           options.seed = seed;
@@ -165,14 +171,15 @@ int main() {
     sim::SimOptions base;
     base.workload.num_sites = 200;
     base.num_servers = 10;
-    base.steps = 200;
+    base.steps = smoke_cap(200, 40);
     base.rebalance_every = 5;
     base.move_budget = 10;
     Table table({"migrations/step", "mean imb", "p90 imb", "total moves"});
     for (std::size_t rate : {std::size_t{0}, std::size_t{1}, std::size_t{3},
                              std::size_t{10}}) {
       std::vector<double> imb, p90, moves;
-      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      for (std::uint64_t seed = 1; seed <= smoke_cap<std::uint64_t>(4, 1);
+           ++seed) {
         auto options = base;
         options.migrations_per_step = rate;
         options.seed = seed;

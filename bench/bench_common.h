@@ -19,6 +19,40 @@
 
 namespace lrb::bench {
 
+/// --smoke mode: every bench binary accepts exactly one flag, --smoke,
+/// which shrinks the run to ~1 repetition at tiny sizes. ctest runs every
+/// bench that way (label "bench-smoke") so the harness binaries cannot rot
+/// unnoticed between full experiment reruns.
+inline bool& smoke_mode() {
+  static bool mode = false;
+  return mode;
+}
+
+[[nodiscard]] inline bool smoke() { return smoke_mode(); }
+
+/// `full` normally, `tiny` under --smoke.
+template <typename T>
+[[nodiscard]] T smoke_cap(T full, T tiny) {
+  return smoke() ? tiny : full;
+}
+
+/// Parses a bench binary's argv. Only --smoke is meaningful; anything else
+/// prints a diagnostic and returns false (the binary should exit nonzero),
+/// so typos in CI invocations fail loudly.
+inline bool parse_bench_flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke_mode() = true;
+      continue;
+    }
+    std::cerr << argv[0] << ": unknown argument '" << arg
+              << "' (benches accept only --smoke)\n";
+    return false;
+  }
+  return true;
+}
+
 /// Named workload families reused across experiments.
 struct Family {
   std::string name;

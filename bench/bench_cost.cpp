@@ -8,9 +8,10 @@
 #include "bench_common.h"
 #include "lp/gap.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "E5 / §3.2: arbitrary relocation costs under budget B\n\n";
   Table table({"cost model", "B", "mean cp", "max cp", "mean ST", "max ST",
@@ -38,7 +39,8 @@ int main() {
     for (Cost budget : {Cost{3}, Cost{10}, Cost{30}}) {
       std::vector<double> cp_ratios, st_ratios;
       int violations = 0;
-      for (std::uint64_t seed = 0; seed < 25; ++seed) {
+      for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(25, 2);
+           ++seed) {
         const auto inst = random_instance(gen, seed);
         ExactOptions exact_opt;
         exact_opt.budget = budget;

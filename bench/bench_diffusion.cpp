@@ -16,10 +16,11 @@
 #include "diffusion/graph.h"
 #include "diffusion/local_exchange.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
   using namespace lrb::diffusion;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "E14a: continuous diffusion convergence by topology "
                "(single hotspot, tolerance 1e-3 of average)\n\n";
@@ -56,7 +57,7 @@ int main() {
                "ratios vs certified LB, 8 seeds)\n\n";
   {
     GeneratorOptions gen;
-    gen.num_jobs = 400;
+    gen.num_jobs = smoke_cap<std::size_t>(400, 100);
     gen.num_procs = 16;
     gen.max_size = 300;
     gen.placement = PlacementPolicy::kHotspot;
@@ -74,7 +75,8 @@ int main() {
     };
     for (const auto& row : rows) {
       std::vector<double> ratios, moves, rounds;
-      for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(8, 2);
+           ++seed) {
         const auto inst = random_instance(gen, seed);
         const auto r = local_exchange_rebalance(inst, row.graph);
         const Size lb =
@@ -93,7 +95,8 @@ int main() {
     // exchange spent on the complete graph (~the interesting comparison).
     for (std::int64_t k : {40, 160}) {
       std::vector<double> greedy_r, mp_r, greedy_m, mp_m;
-      for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(8, 2);
+           ++seed) {
         const auto inst = random_instance(gen, seed);
         const Size lb = combined_lower_bound(inst, k);
         const auto g = greedy_rebalance(inst, k);

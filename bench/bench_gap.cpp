@@ -10,9 +10,10 @@
 #include "bench_common.h"
 #include "lp/gap.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "E10: Shmoys-Tardos [14] vs GREEDY vs M-PARTITION "
                "(unit costs, 30 seeds per row)\n\n";
@@ -21,7 +22,8 @@ int main() {
   for (const auto& family : small_families()) {
     for (std::int64_t k : {1, 3, 6}) {
       std::vector<double> st_ratios, greedy_ratios, mp_ratios;
-      for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(30, 2);
+           ++seed) {
         const auto inst = random_instance(family.options, seed);
         const Size opt = exact_opt_moves(inst, k);
         const auto st = st_rebalance(inst, k);

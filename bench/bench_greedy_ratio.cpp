@@ -14,14 +14,15 @@
 #include "algo/greedy.h"
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "E1 / Theorem 1: GREEDY approximation ratio (bound 2 - 1/m)\n\n";
   std::cout << "Part A - the paper's tight family (adversarial order):\n";
   Table tight({"m", "k", "OPT", "GREEDY", "ratio", "2 - 1/m", "tight"});
-  for (ProcId m = 2; m <= 10; ++m) {
+  for (ProcId m = 2; m <= smoke_cap<ProcId>(10, 3); ++m) {
     const auto family = greedy_tight_instance(m);
     const auto result =
         greedy_rebalance(family.instance, family.k, GreedyOrder::kSmallestFirst);
@@ -48,7 +49,8 @@ int main() {
       int violations = 0;
       const double bound =
           2.0 - 1.0 / static_cast<double>(family.options.num_procs);
-      for (std::uint64_t seed = 0; seed < 50; ++seed) {
+      for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(50, 2);
+           ++seed) {
         const auto inst = random_instance(family.options, seed);
         const Size opt = exact_opt_moves(inst, k);
         for (auto order : {GreedyOrder::kAsRemoved, GreedyOrder::kLargestFirst,

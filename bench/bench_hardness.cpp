@@ -14,15 +14,16 @@
 #include "ext/threedm.h"
 #include "util/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "E7 / Theorem 5: move minimization encodes PARTITION\n\n";
   {
     Table table({"numbers", "half", "subset-sum", "min moves"});
     Rng rng(12);
-    for (int trial = 0; trial < 8; ++trial) {
+    for (int trial = 0; trial < smoke_cap(8, 2); ++trial) {
       std::vector<Size> numbers(6);
       Size total = 0;
       for (auto& v : numbers) {
@@ -51,7 +52,8 @@ int main() {
   {
     Table table({"3DM source", "n", "machines", "matchable", "min makespan",
                  "gap vs 2"});
-    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(4, 1);
+         ++seed) {
       for (int matchable = 1; matchable >= 0; --matchable) {
         const auto source = matchable != 0 ? random_matchable_3dm(3, 2, seed)
                                            : unmatchable_3dm(3, 6, seed);
@@ -76,7 +78,8 @@ int main() {
   std::cout << "E8b / Corollary 1: constrained load rebalancing gap\n\n";
   {
     Table table({"3DM source", "matchable", "exact makespan", "greedy makespan"});
-    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(4, 1);
+         ++seed) {
       for (int matchable = 1; matchable >= 0; --matchable) {
         const auto source = matchable != 0 ? random_matchable_3dm(3, 2, seed)
                                            : unmatchable_3dm(3, 6, seed);
@@ -101,7 +104,8 @@ int main() {
   {
     Table table({"3DM source", "matchable", "gadget feasible", "first-fit",
                  "exact nodes"});
-    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(4, 1);
+         ++seed) {
       for (int matchable = 1; matchable >= 0; --matchable) {
         const auto source = matchable != 0 ? random_matchable_3dm(3, 2, seed)
                                            : unmatchable_3dm(3, 6, seed);

@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "algo/greedy.h"
 #include "algo/m_partition.h"
 #include "algo/thresholds.h"
@@ -161,4 +164,27 @@ BENCHMARK(BM_OnlineArriveDepart)->Arg(1 << 10)->Arg(1 << 14);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the binary honors the harness-wide --smoke
+// contract: strip the flag and pin min_time to ~0 so every benchmark runs a
+// single short iteration batch instead of the default wall-clock budget.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  static char min_time[] = "--benchmark_min_time=0.001";
+  if (smoke) args.push_back(min_time);
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

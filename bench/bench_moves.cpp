@@ -12,9 +12,10 @@
 #include "algo/partition.h"
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "E3 / Lemmas 3-4: PARTITION move-optimality at T = OPT\n\n";
   Table table({"family", "k", "cases", "removals<=minmoves", "mean slack",
@@ -24,7 +25,8 @@ int main() {
       int cases = 0, held = 0;
       std::vector<double> slack;
       std::int64_t max_saving = 0;
-      for (std::uint64_t seed = 0; seed < 40; ++seed) {
+      for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(40, 2);
+           ++seed) {
         const auto inst = random_instance(family.options, seed);
         const Size opt = exact_opt_moves(inst, k);
         const auto min_moves = minimize_moves_exact(inst, opt);

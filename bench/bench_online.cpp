@@ -65,16 +65,17 @@ RunMetrics run_trace(const std::vector<lrb::online::Event>& trace,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
   using namespace lrb::online;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "E16: online arrivals/departures with periodic bounded "
                "rebalancing (m = 6, 800 events, 8 seeds per row)\n\n";
 
   TraceOptions churny;
-  churny.num_events = 800;
+  churny.num_events = smoke_cap<std::size_t>(800, 120);
   churny.departure_fraction = 0.45;
   churny.bias_large_departures = true;
 
@@ -122,7 +123,8 @@ int main() {
   Table table({"configuration", "mean ratio", "max ratio", "moves/1k events"});
   for (const auto& config : configs) {
     std::vector<double> means, maxes, moves;
-    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(8, 2);
+         ++seed) {
       const auto trace = random_trace(*config.trace, seed);
       const auto metrics =
           run_trace(trace, 6, config.interval, config.k, config.frugal);
@@ -150,7 +152,8 @@ int main() {
   };
   for (const auto& config : drain_configs) {
     std::vector<double> means, maxes, moves;
-    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(8, 2);
+         ++seed) {
       const auto trace = drain_down_trace(seed);
       const auto metrics = run_trace(trace, 6, config.interval, config.k, false);
       means.push_back(metrics.mean_ratio);

@@ -20,9 +20,10 @@
 #include "algo/move_min.h"
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "E15 / open question: move minimization vs target slack "
                "(n = 12, m = 4, 40 seeds per row)\n\n";
@@ -37,7 +38,8 @@ int main() {
   for (double slack : {0.0, 0.02, 0.05, 0.10, 0.25, 0.50}) {
     int feasible = 0, greedy_ok = 0, greedy_optimal = 0;
     std::vector<double> nodes, moves;
-    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(40, 2);
+         ++seed) {
       const auto inst = random_instance(gen, seed);
       ExactOptions unbounded;
       const auto best = exact_rebalance(inst, unbounded);

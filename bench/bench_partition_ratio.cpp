@@ -16,9 +16,10 @@
 #include "algo/two_proc_exact.h"
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "E2 / Theorems 2-3: PARTITION family, bound 1.5\n\n";
   std::cout << "Part A - the paper's tight example:\n";
@@ -52,7 +53,8 @@ int main() {
     for (std::int64_t k : {1, 2, 4, 8}) {
       std::vector<double> mp_ratios, greedy_ratios;
       int violations = 0;
-      for (std::uint64_t seed = 0; seed < 40; ++seed) {
+      for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(40, 2);
+           ++seed) {
         const auto inst = random_instance(family.options, seed);
         const Size opt = exact_opt_moves(inst, k);
         const double mp = ratio(m_partition_rebalance(inst, k).makespan, opt);
@@ -79,7 +81,8 @@ int main() {
   {
     int checked = 0, ok = 0;
     for (const auto& family : small_families()) {
-      for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(10, 1);
+           ++seed) {
         const auto inst = random_instance(family.options, seed);
         for (std::int64_t k : {1, 3, 6, 10}) {
           const Size opt = exact_opt_moves(inst, k);
@@ -106,7 +109,8 @@ int main() {
     for (std::int64_t k : {2, 5, 10, 20}) {
       std::vector<double> mp_ratios, greedy_ratios;
       int violations = 0;
-      for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(30, 2);
+           ++seed) {
         const auto inst = random_instance(gen, seed);
         const auto exact = two_proc_exact_rebalance(inst, k);
         if (!exact.has_value()) continue;

@@ -10,10 +10,11 @@
 #include "bench_common.h"
 #include "sim/process_sim.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
   using namespace lrb::sim;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "E17: does process migration pay? (m = 8, 3000 steps, mean "
                "lifetime 60 steps, 6 seeds per row)\n\n";
@@ -38,10 +39,11 @@ int main() {
                "mean slowdown", "migrations/1k steps"});
   for (const auto& row : rows) {
     std::vector<double> imb, p90, slowdown, migrations;
-    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    for (std::uint64_t seed = 1; seed <= smoke_cap<std::uint64_t>(6, 1);
+         ++seed) {
       ProcessSimOptions options;
       options.num_procs = 8;
-      options.steps = 3000;
+      options.steps = smoke_cap<std::size_t>(3000, 200);
       options.arrival_rate = 1.5;
       options.mean_lifetime = 60.0;
       options.lifetime_model = row.model;

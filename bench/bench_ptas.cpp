@@ -9,9 +9,10 @@
 #include "bench_common.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "E6 / §4: PTAS quality-vs-eps sweep (12 seeds per row)\n\n";
   GeneratorOptions gen;
@@ -24,11 +25,15 @@ int main() {
 
   Table table({"eps", "B", "mean ratio", "max ratio", "1+eps", "mean states",
                "mean ms", "budget viol"});
-  for (double eps : {4.0, 2.0, 1.0, 0.5, 0.25}) {
+  const std::vector<double> eps_values =
+      smoke() ? std::vector<double>{4.0, 1.0}
+              : std::vector<double>{4.0, 2.0, 1.0, 0.5, 0.25};
+  for (double eps : eps_values) {
     for (Cost budget : {Cost{5}, Cost{15}}) {
       std::vector<double> ratios, states, times;
       int violations = 0;
-      for (std::uint64_t seed = 0; seed < 12; ++seed) {
+      for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(12, 2);
+           ++seed) {
         const auto inst = random_instance(gen, seed);
         ExactOptions exact_opt;
         exact_opt.budget = budget;

@@ -11,22 +11,24 @@
 #include "bench_common.h"
 #include "core/lower_bounds.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "E12: quality at scale, ratio vs certified lower bound "
                "(n = 3000, 10 seeds per row)\n\n";
   Table table({"family", "m", "k", "initial", "greedy", "m-partition",
                "best-of", "moves(mp)"});
-  for (const auto& family : large_families(3000, 1)) {
+  for (const auto& family : large_families(smoke_cap<std::size_t>(3000, 300), 1)) {
     for (ProcId m : {ProcId{8}, ProcId{32}}) {
       for (std::int64_t k : {10, 40, 160}) {
         auto options = family.options;
         options.num_procs = m;
         std::vector<double> initial_r, greedy_r, mp_r, best_r;
         std::vector<double> mp_moves;
-        for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        for (std::uint64_t seed = 0; seed < smoke_cap<std::uint64_t>(10, 1);
+             ++seed) {
           const auto inst = random_instance(options, seed);
           const Size lb = combined_lower_bound(inst, k);
           initial_r.push_back(ratio(inst.initial_makespan(), lb));

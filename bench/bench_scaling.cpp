@@ -28,9 +28,10 @@ double time_best_of(int reps, F&& body) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "E4 / Theorem 3: runtime scaling (single core)\n\n";
   GeneratorOptions gen;
@@ -41,16 +42,19 @@ int main() {
   Table table({"n", "greedy ms", "m-partition ms", "mp guesses",
                "reference ms", "mp us/(n lg n)"});
   std::vector<double> ns, greedy_times, mp_times;
-  for (std::size_t n = 1 << 12; n <= (1 << 19); n <<= 1) {
+  const std::size_t max_n = smoke_cap<std::size_t>(1 << 19, 1 << 11);
+  const int reps = smoke_cap(3, 1);
+  for (std::size_t n = smoke_cap<std::size_t>(1 << 12, 1 << 10); n <= max_n;
+       n <<= 1) {
     gen.num_jobs = n;
     const auto inst = random_instance(gen, 7);
     const auto k = static_cast<std::int64_t>(n / 100);
 
     const double greedy_s =
-        time_best_of(3, [&] { (void)greedy_rebalance(inst, k); });
+        time_best_of(reps, [&] { (void)greedy_rebalance(inst, k); });
     MPartitionStats stats;
-    const double mp_s =
-        time_best_of(3, [&] { (void)m_partition_rebalance(inst, k, &stats); });
+    const double mp_s = time_best_of(
+        reps, [&] { (void)m_partition_rebalance(inst, k, &stats); });
     // The quadratic reference only at sizes where it is not painful.
     double ref_s = -1;
     if (n <= (1 << 14)) {

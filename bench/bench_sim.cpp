@@ -10,20 +10,21 @@
 #include "sim/policies.h"
 #include "sim/simulator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::bench;
   using namespace lrb::sim;
+  if (!parse_bench_flags(argc, argv)) return 2;
 
   std::cout << "E11: web-farm simulation (300 sites, 12 servers, 300 steps, "
                "5 seeds per row)\n\n";
 
   SimOptions base;
-  base.workload.num_sites = 300;
+  base.workload.num_sites = smoke_cap<std::size_t>(300, 60);
   base.workload.max_initial_load = 1500;
   base.workload.flash_prob = 0.003;
   base.num_servers = 12;
-  base.steps = 300;
+  base.steps = smoke_cap(300, 40);
   base.rebalance_every = 5;
 
   Table table({"policy", "k", "mean imb", "p90 imb", "moves/round",
@@ -33,7 +34,8 @@ int main() {
       if (policy.name == "none" && k != 4) continue;      // k is irrelevant
       if (policy.name == "lpt-full" && k != 4) continue;  // budget ignored
       std::vector<double> imbalances, p90s, moves, bytes;
-      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      for (std::uint64_t seed = 1; seed <= smoke_cap<std::uint64_t>(5, 1);
+           ++seed) {
         auto options = base;
         options.move_budget = k;
         options.seed = seed;
@@ -61,7 +63,8 @@ int main() {
   // per round rather than the migration count).
   for (Cost bytes : {Cost{2000}, Cost{10000}}) {
     std::vector<double> imbalances, p90s, moves, total_bytes;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (std::uint64_t seed = 1; seed <= smoke_cap<std::uint64_t>(5, 1);
+         ++seed) {
       auto options = base;
       options.byte_costs = true;
       options.seed = seed;

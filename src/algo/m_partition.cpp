@@ -1,24 +1,49 @@
 #include "algo/m_partition.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <span>
 #include <vector>
 
 #include "algo/thresholds.h"
 #include "core/lower_bounds.h"
+#include "util/thread_pool.h"
 
 namespace lrb {
+
+void MPartitionScratch::warm(std::size_t max_jobs, ProcId max_procs) {
+  jobs.reserve(max_jobs);
+  sizes_asc.reserve(max_jobs);
+  prefix.reserve(max_jobs);
+  offset.reserve(static_cast<std::size_t>(max_procs) + 1);
+  cursor.reserve(static_cast<std::size_t>(max_procs) + 1);
+  events.reserve(3 * max_jobs);
+  num_large.reserve(max_procs);
+  a.reserve(max_procs);
+  b.reserve(max_procs);
+  // CSelector over c in [-(n+1), n+1] uses 2*(n+1)+2 Fenwick slots plus the
+  // unused index 0.
+  sel_cnt.reserve(2 * (max_jobs + 1) + 3);
+  sel_sum.reserve(2 * (max_jobs + 1) + 3);
+}
+
 namespace {
 
 /// Fenwick tree over c-values (c = a_i - b_i, in [-max_abs, max_abs]),
-/// answering "sum of the t smallest stored values" in O(log n).
+/// answering "sum of the t smallest stored values" in O(log n). Storage is
+/// borrowed from the caller so arenas (MPartitionScratch) can reuse it
+/// across instances without reallocating.
 class CSelector {
  public:
-  explicit CSelector(std::int64_t max_abs)
+  CSelector(std::vector<std::int64_t>& cnt, std::vector<std::int64_t>& sum,
+            std::int64_t max_abs)
       : offset_(max_abs),
         size_(static_cast<std::size_t>(2 * max_abs + 2)),
-        cnt_(size_ + 1, 0),
-        sum_(size_ + 1, 0) {
+        cnt_(cnt),
+        sum_(sum) {
+    cnt_.assign(size_ + 1, 0);
+    sum_.assign(size_ + 1, 0);
     log_ = 0;
     while ((std::size_t{1} << (log_ + 1)) <= size_) ++log_;
   }
@@ -62,43 +87,157 @@ class CSelector {
   std::int64_t offset_;
   std::size_t size_;
   std::size_t log_;
-  std::vector<std::int64_t> cnt_;
-  std::vector<std::int64_t> sum_;
+  std::vector<std::int64_t>& cnt_;
+  std::vector<std::int64_t>& sum_;
 };
 
-/// Per-processor static data plus the (a_i, b_i) pair at the current guess.
-struct ProcState {
-  std::vector<Size> prefix;  ///< prefix[l-1] = sum of the l smallest jobs
-  std::int64_t num_jobs = 0;
+/// Processor p's ascending-size segment of one of the flat per-job arrays.
+std::span<const Size> segment(const std::vector<Size>& flat,
+                              const MPartitionScratch& s, ProcId p) {
+  return std::span<const Size>(flat.data() + s.offset[p],
+                               s.offset[p + 1] - s.offset[p]);
+}
+
+/// Fills the scratch's static scan data: job ids grouped per processor
+/// (counting sort) and sorted by ascending size, flat size / prefix-sum
+/// segments, and the value-sorted event list of thresholds above `start`.
+void build_static(const Instance& instance, Size start, MPartitionScratch& s) {
+  const std::size_t n = instance.num_jobs();
+  const ProcId m = instance.num_procs;
+  s.offset.assign(static_cast<std::size_t>(m) + 1, 0);
+  for (ProcId p : instance.initial) ++s.offset[p + 1];
+  for (ProcId p = 0; p < m; ++p) s.offset[p + 1] += s.offset[p];
+  s.cursor.assign(s.offset.begin(), s.offset.end() - 1);
+  s.jobs.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    s.jobs[s.cursor[instance.initial[j]]++] = static_cast<JobId>(j);
+  }
+  s.sizes_asc.resize(n);
+  s.prefix.resize(n);
+  s.events.clear();
+  s.events.reserve(3 * n);
+  for (ProcId p = 0; p < m; ++p) {
+    const auto lo = static_cast<std::ptrdiff_t>(s.offset[p]);
+    const auto hi = static_cast<std::ptrdiff_t>(s.offset[p + 1]);
+    std::sort(s.jobs.begin() + lo, s.jobs.begin() + hi,
+              [&](JobId x, JobId y) {
+                if (instance.sizes[x] != instance.sizes[y]) {
+                  return instance.sizes[x] < instance.sizes[y];
+                }
+                return x < y;
+              });
+    Size acc = 0;
+    for (auto t = lo; t < hi; ++t) {
+      const auto u = static_cast<std::size_t>(t);
+      s.sizes_asc[u] = instance.sizes[s.jobs[u]];
+      acc += s.sizes_asc[u];
+      s.prefix[u] = acc;
+    }
+    append_threshold_events(segment(s.sizes_asc, s, p), segment(s.prefix, s, p),
+                            p, start, s.events);
+  }
+  std::sort(s.events.begin(), s.events.end(),
+            [](const ThresholdEvent& x, const ThresholdEvent& y) {
+              return x.value < y.value;
+            });
+}
+
+struct ProcSnapshot {
   std::int64_t num_large = 0;
   std::int64_t a = 0;
   std::int64_t b = 0;
-  std::vector<Size> sizes_asc;
 };
 
 /// Recomputes (num_large, a, b) of one processor at guess T via three
-/// binary searches; O(log n_p).
-void refresh(ProcState& ps, Size T) {
-  const auto& q = ps.sizes_asc;
+/// binary searches; O(log n_p). Pure in (segment data, T) — the property
+/// that lets parallel chunks recompute their entry state exactly.
+ProcSnapshot refresh_at(std::span<const Size> q, std::span<const Size> pref,
+                        Size T) {
+  ProcSnapshot out;
+  const auto num_jobs = static_cast<std::int64_t>(q.size());
   // #small = #{ j : 2*q_j <= T }.
-  const auto small_end = std::upper_bound(
-      q.begin(), q.end(), T, [](Size t, Size s) { return t < 2 * s; });
-  const auto r = static_cast<std::int64_t>(small_end - q.begin());
-  ps.num_large = ps.num_jobs - r;
+  const auto r = static_cast<std::int64_t>(
+      std::upper_bound(q.begin(), q.end(), T,
+                       [](Size t, Size sz) { return t < 2 * sz; }) -
+      q.begin());
+  out.num_large = num_jobs - r;
   // a: longest small prefix with 2*sum <= T.
   const auto small_keep = static_cast<std::int64_t>(
-      std::upper_bound(ps.prefix.begin(), ps.prefix.begin() + r, T,
-                       [](Size t, Size s) { return t < 2 * s; }) -
-      ps.prefix.begin());
-  ps.a = r - small_keep;
+      std::upper_bound(pref.begin(), pref.begin() + r, T,
+                       [](Size t, Size sz) { return t < 2 * sz; }) -
+      pref.begin());
+  out.a = r - small_keep;
   // b: the post-Step-1 job list is the small prefix plus (if any large) the
   // smallest large job, i.e. the full ascending prefix of length r(+1).
-  const std::int64_t eff = r + (ps.num_large > 0 ? 1 : 0);
+  const std::int64_t eff = r + (out.num_large > 0 ? 1 : 0);
   const auto all_keep = static_cast<std::int64_t>(
-      std::upper_bound(ps.prefix.begin(), ps.prefix.begin() + eff, T) -
-      ps.prefix.begin());
-  ps.b = eff - all_keep;
+      std::upper_bound(pref.begin(), pref.begin() + eff, T) - pref.begin());
+  out.b = eff - all_keep;
+  return out;
 }
+
+/// Aggregate scan state at the current guess. Per-processor vectors and the
+/// Fenwick storage are borrowed, so the serial path binds them to the
+/// scratch arena while parallel chunks bind stack-local buffers.
+struct ScanState {
+  ScanState(std::vector<std::int64_t>& nl, std::vector<std::int64_t>& av,
+            std::vector<std::int64_t>& bv, std::vector<std::int64_t>& cnt,
+            std::vector<std::int64_t>& sum, std::int64_t max_abs)
+      : num_large(nl), a(av), b(bv), selector(cnt, sum, max_abs) {}
+
+  /// Initializes every processor at guess T; the result is a pure function
+  /// of (static data, T).
+  void init(const MPartitionScratch& s, ProcId procs, Size T) {
+    num_large.assign(procs, 0);
+    a.assign(procs, 0);
+    b.assign(procs, 0);
+    large_total = 0;
+    procs_with_large = 0;
+    sum_b = 0;
+    for (ProcId p = 0; p < procs; ++p) {
+      const ProcSnapshot ps =
+          refresh_at(segment(s.sizes_asc, s, p), segment(s.prefix, s, p), T);
+      num_large[p] = ps.num_large;
+      a[p] = ps.a;
+      b[p] = ps.b;
+      large_total += ps.num_large;
+      if (ps.num_large > 0) ++procs_with_large;
+      sum_b += ps.b;
+      selector.add(ps.a - ps.b, +1);
+    }
+  }
+
+  /// Advances processor p to guess T (one threshold event).
+  void apply(const MPartitionScratch& s, ProcId p, Size T) {
+    large_total -= num_large[p];
+    if (num_large[p] > 0) --procs_with_large;
+    sum_b -= b[p];
+    selector.add(a[p] - b[p], -1);
+    const ProcSnapshot ps =
+        refresh_at(segment(s.sizes_asc, s, p), segment(s.prefix, s, p), T);
+    num_large[p] = ps.num_large;
+    a[p] = ps.a;
+    b[p] = ps.b;
+    large_total += ps.num_large;
+    if (ps.num_large > 0) ++procs_with_large;
+    sum_b += ps.b;
+    selector.add(ps.a - ps.b, +1);
+  }
+
+  [[nodiscard]] std::int64_t k_hat(std::int64_t m) const {
+    if (large_total > m) return kInfSize;  // guess certainly below OPT
+    return (large_total - procs_with_large) + sum_b +
+           selector.smallest_sum(large_total);
+  }
+
+  std::vector<std::int64_t>& num_large;
+  std::vector<std::int64_t>& a;
+  std::vector<std::int64_t>& b;
+  CSelector selector;
+  std::int64_t large_total = 0;
+  std::int64_t procs_with_large = 0;
+  std::int64_t sum_b = 0;
+};
 
 struct Acceptance {
   Size threshold = 0;
@@ -120,109 +259,164 @@ RebalanceResult commit(const Instance& instance, const Acceptance& accepted,
   return std::move(outcome.result);
 }
 
-}  // namespace
-
-RebalanceResult m_partition_rebalance(const Instance& instance, std::int64_t k,
-                                      MPartitionStats* stats) {
-  assert(k >= 0);
+/// The serial incremental sweep over the scratch's prepared event list,
+/// starting from (and first evaluating) the certified lower bound.
+RebalanceResult sweep_serial(const Instance& instance, std::int64_t k,
+                             Size start, MPartitionScratch& s,
+                             MPartitionStats* stats) {
   const auto n = static_cast<std::int64_t>(instance.num_jobs());
   const auto m = static_cast<std::int64_t>(instance.num_procs);
-  const Size start = combined_lower_bound(instance, k);
-
-  // Static per-processor data.
-  std::vector<ProcState> procs(instance.num_procs);
-  {
-    auto by_proc = instance.jobs_by_proc();
-    for (ProcId p = 0; p < instance.num_procs; ++p) {
-      auto& jobs = by_proc[p];
-      std::sort(jobs.begin(), jobs.end(), [&](JobId x, JobId y) {
-        return instance.sizes[x] < instance.sizes[y];
-      });
-      auto& ps = procs[p];
-      ps.num_jobs = static_cast<std::int64_t>(jobs.size());
-      ps.sizes_asc.reserve(jobs.size());
-      ps.prefix.reserve(jobs.size());
-      Size acc = 0;
-      for (JobId j : jobs) {
-        ps.sizes_asc.push_back(instance.sizes[j]);
-        acc += instance.sizes[j];
-        ps.prefix.push_back(acc);
-      }
-    }
-  }
-
-  // Events: any threshold at which one processor's state can change.
-  struct Event {
-    Size value;
-    ProcId proc;
-  };
-  std::vector<Event> events;
-  events.reserve(3 * static_cast<std::size_t>(n));
-  for (ProcId p = 0; p < instance.num_procs; ++p) {
-    const auto& ps = procs[p];
-    for (std::size_t l = 0; l < ps.sizes_asc.size(); ++l) {
-      const Size flip = 2 * ps.sizes_asc[l];
-      const Size bstep = ps.prefix[l];
-      const Size astep = 2 * ps.prefix[l];
-      if (flip > start) events.push_back({flip, p});
-      if (bstep > start) events.push_back({bstep, p});
-      if (astep > start) events.push_back({astep, p});
-    }
-  }
-  std::sort(events.begin(), events.end(), [](const Event& x, const Event& y) {
-    return x.value < y.value;
-  });
-
-  // Aggregate state at the current guess.
-  CSelector selector(n + 1);
-  std::int64_t large_total = 0;
-  std::int64_t procs_with_large = 0;
-  std::int64_t sum_b = 0;
-  for (auto& ps : procs) {
-    refresh(ps, start);
-    large_total += ps.num_large;
-    if (ps.num_large > 0) ++procs_with_large;
-    sum_b += ps.b;
-    selector.add(ps.a - ps.b, +1);
-  }
-
-  auto k_hat = [&]() -> std::int64_t {
-    if (large_total > m) return kInfSize;  // guess certainly below OPT
-    return (large_total - procs_with_large) + sum_b +
-           selector.smallest_sum(large_total);
-  };
+  ScanState state(s.num_large, s.a, s.b, s.sel_cnt, s.sel_sum, n + 1);
+  state.init(s, instance.num_procs, start);
 
   std::size_t guesses = 1;
-  if (k_hat() <= k) {
-    return commit(instance, {start, k_hat(), guesses}, start, stats);
+  {
+    const std::int64_t kh = state.k_hat(m);
+    if (kh <= k) return commit(instance, {start, kh, guesses}, start, stats);
   }
 
   std::size_t i = 0;
-  while (i < events.size()) {
-    const Size value = events[i].value;
+  while (i < s.events.size()) {
+    const Size value = s.events[i].value;
     // Apply every event at this threshold, touching each processor once.
-    while (i < events.size() && events[i].value == value) {
-      auto& ps = procs[events[i].proc];
-      large_total -= ps.num_large;
-      if (ps.num_large > 0) --procs_with_large;
-      sum_b -= ps.b;
-      selector.add(ps.a - ps.b, -1);
-      refresh(ps, value);
-      large_total += ps.num_large;
-      if (ps.num_large > 0) ++procs_with_large;
-      sum_b += ps.b;
-      selector.add(ps.a - ps.b, +1);
+    while (i < s.events.size() && s.events[i].value == value) {
+      state.apply(s, s.events[i].proc, value);
       ++i;
     }
     ++guesses;
-    const std::int64_t kh = k_hat();
-    if (kh <= k) {
-      return commit(instance, {value, kh, guesses}, start, stats);
-    }
+    const std::int64_t kh = state.k_hat(m);
+    if (kh <= k) return commit(instance, {value, kh, guesses}, start, stats);
   }
   // Unreachable: at the largest candidate every processor fits within T and
   // no job is large, so k_hat = 0 <= k.
   assert(false && "M-PARTITION scan failed to terminate");
+  return no_move_result(instance);
+}
+
+}  // namespace
+
+RebalanceResult m_partition_rebalance(const Instance& instance, std::int64_t k,
+                                      MPartitionStats* stats) {
+  MPartitionScratch scratch;
+  return m_partition_rebalance(instance, k, scratch, stats);
+}
+
+RebalanceResult m_partition_rebalance(const Instance& instance, std::int64_t k,
+                                      MPartitionScratch& scratch,
+                                      MPartitionStats* stats) {
+  assert(k >= 0);
+  const Size start = combined_lower_bound(instance, k);
+  build_static(instance, start, scratch);
+  return sweep_serial(instance, k, start, scratch, stats);
+}
+
+RebalanceResult m_partition_rebalance_parallel(const Instance& instance,
+                                               std::int64_t k, ThreadPool& pool,
+                                               MPartitionStats* stats,
+                                               std::size_t chunks) {
+  assert(k >= 0);
+  const auto n = static_cast<std::int64_t>(instance.num_jobs());
+  const auto m = static_cast<std::int64_t>(instance.num_procs);
+  const Size start = combined_lower_bound(instance, k);
+  MPartitionScratch s;
+  build_static(instance, start, s);
+
+  // Distinct candidate values; chunk boundaries never split a value, so
+  // every chunk evaluates whole guesses only.
+  std::vector<std::size_t> first_event;
+  first_event.reserve(s.events.size());
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    if (i == 0 || s.events[i].value != s.events[i - 1].value) {
+      first_event.push_back(i);
+    }
+  }
+  const std::size_t distinct = first_event.size();
+
+  std::size_t num_chunks = chunks;
+  if (num_chunks == 0) {
+    // Automatic: the chunked scan only pays off when there is real work to
+    // split; small instances keep the cheaper incremental serial sweep.
+    constexpr std::size_t kMinEventsForParallel = 4096;
+    num_chunks = (pool.size() > 1 && s.events.size() >= kMinEventsForParallel)
+                     ? 2 * pool.size()
+                     : 1;
+  }
+  num_chunks = std::max<std::size_t>(std::min(num_chunks, distinct), 1);
+  if (num_chunks <= 1) return sweep_serial(instance, k, start, s, stats);
+
+  // The certified lower bound is evaluated first, serially, exactly as the
+  // serial scan does (guess #1).
+  {
+    ScanState state(s.num_large, s.a, s.b, s.sel_cnt, s.sel_sum, n + 1);
+    state.init(s, instance.num_procs, start);
+    const std::int64_t kh = state.k_hat(m);
+    if (kh <= k) return commit(instance, {start, kh, 1}, start, stats);
+  }
+
+  struct ChunkHit {
+    bool accepted = false;
+    Size value = 0;
+    std::int64_t removals = 0;
+    std::size_t distinct_index = 0;  ///< 0-based rank among distinct values
+  };
+  std::vector<ChunkHit> hits(num_chunks);
+  // Lowest chunk index that accepted so far: chunks strictly above a winner
+  // can stop early; chunks below it must still finish (they may find an
+  // earlier — i.e. the true serial — acceptance).
+  std::atomic<std::size_t> winner{num_chunks};
+
+  parallel_for(pool, 0, num_chunks, [&](std::size_t c) {
+    const std::size_t d_lo = c * distinct / num_chunks;
+    const std::size_t d_hi = (c + 1) * distinct / num_chunks;
+    if (d_lo >= d_hi) return;
+    if (winner.load(std::memory_order_acquire) < c) return;
+    const std::size_t e_lo = first_event[d_lo];
+    const std::size_t e_hi =
+        d_hi < distinct ? first_event[d_hi] : s.events.size();
+
+    std::vector<std::int64_t> nl, av, bv, cnt, sum;
+    ScanState state(nl, av, bv, cnt, sum, n + 1);
+    // Entry state: scan state at a threshold is a pure function of the
+    // threshold, so initializing every processor at the chunk's first value
+    // reproduces the serial sweep's state there exactly.
+    std::size_t d = d_lo;
+    Size value = s.events[e_lo].value;
+    state.init(s, instance.num_procs, value);
+    std::size_t i = e_lo;
+    while (i < e_hi && s.events[i].value == value) ++i;  // folded into init
+    for (;;) {
+      const std::int64_t kh = state.k_hat(m);
+      if (kh <= k) {
+        hits[c] = {true, value, kh, d};
+        std::size_t cur = winner.load(std::memory_order_relaxed);
+        while (c < cur && !winner.compare_exchange_weak(
+                              cur, c, std::memory_order_release,
+                              std::memory_order_relaxed)) {
+        }
+        return;
+      }
+      if (i >= e_hi) return;
+      value = s.events[i].value;
+      while (i < e_hi && s.events[i].value == value) {
+        state.apply(s, s.events[i].proc, value);
+        ++i;
+      }
+      ++d;
+      if ((d & 63) == 0 && winner.load(std::memory_order_relaxed) < c) return;
+    }
+  });
+
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    if (hits[c].accepted) {
+      // Serial guess count: 1 for the start threshold plus one per distinct
+      // value up to and including the accepted one.
+      return commit(instance,
+                    {hits[c].value, hits[c].removals,
+                     hits[c].distinct_index + 2},
+                    start, stats);
+    }
+  }
+  assert(false && "M-PARTITION parallel scan failed to terminate");
   return no_move_result(instance);
 }
 

@@ -8,24 +8,38 @@
 // optimal k-move schedule), the accepted guess is <= OPT and the resulting
 // makespan is <= 1.5 * OPT (Theorem 3).
 //
-// Two implementations are provided:
+// Three implementations are provided:
 //  - m_partition_rebalance: the paper's O(n log n) scheme. k-hat is
 //    maintained incrementally: each threshold event touches exactly one
 //    processor's (a_i, b_i) or one job's large/small classification, and
 //    "sum of the L_T smallest c_i" is answered by a Fenwick tree indexed by
 //    c-value. One full PARTITION run happens only at the accepted guess.
+//    An overload takes an MPartitionScratch arena so that repeat solving
+//    (the batch engine's steady state) performs no heap allocation in the
+//    scan.
+//  - m_partition_rebalance_parallel: splits the sorted candidate range into
+//    chunks and scans each chunk on a ThreadPool. Scan state at a threshold
+//    is a pure function of the threshold, so every chunk recomputes its
+//    entry state independently and the first accepting chunk (in value
+//    order) yields results — and stats — bit-identical to the serial scan
+//    for any chunk/worker count.
 //  - m_partition_rebalance_reference: re-runs PARTITION at every candidate
 //    (O(n^2 log n) worst case). Used for differential testing.
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "algo/partition.h"
+#include "algo/thresholds.h"
 #include "core/assignment.h"
 #include "core/instance.h"
 
 namespace lrb {
+
+class ThreadPool;
 
 struct MPartitionStats {
   Size accepted_threshold = 0;    ///< the committed OPT guess (<= OPT)
@@ -34,11 +48,53 @@ struct MPartitionStats {
   std::size_t guesses_evaluated = 0;
 };
 
+/// Reusable working set for the threshold scan. Every per-instance buffer
+/// of m_partition_rebalance lands in these vectors, so a warmed scratch
+/// makes steady-state solving allocation-free in the scan hot path (the
+/// certified lower bound and the single committed PARTITION construction
+/// still allocate their own small temporaries / the returned assignment).
+struct MPartitionScratch {
+  // Static per-instance data: job ids grouped by processor and sorted by
+  // ascending size, with flat size / prefix-sum segments per processor.
+  std::vector<JobId> jobs;
+  std::vector<Size> sizes_asc;
+  std::vector<Size> prefix;
+  std::vector<std::size_t> offset;  ///< m + 1 segment boundaries
+  std::vector<std::size_t> cursor;  ///< counting-sort fill positions
+  std::vector<ThresholdEvent> events;
+  // Mutable per-processor scan state at the current guess.
+  std::vector<std::int64_t> num_large;
+  std::vector<std::int64_t> a;
+  std::vector<std::int64_t> b;
+  // Fenwick-tree storage for the c-selector.
+  std::vector<std::int64_t> sel_cnt;
+  std::vector<std::int64_t> sel_sum;
+
+  /// Pre-sizes every buffer for instances up to (max_jobs, max_procs);
+  /// solving any instance within those bounds then never reallocates.
+  void warm(std::size_t max_jobs, ProcId max_procs);
+};
+
 /// The O(n log n) M-PARTITION. Relocates at most k jobs; makespan is at
 /// most 1.5 * OPT(k).
 [[nodiscard]] RebalanceResult m_partition_rebalance(const Instance& instance,
                                                     std::int64_t k,
                                                     MPartitionStats* stats = nullptr);
+
+/// Scratch-arena variant: bit-identical to the plain overload, but all scan
+/// buffers live in (and are reused from) `scratch`.
+[[nodiscard]] RebalanceResult m_partition_rebalance(const Instance& instance,
+                                                    std::int64_t k,
+                                                    MPartitionScratch& scratch,
+                                                    MPartitionStats* stats = nullptr);
+
+/// Parallel threshold scan over `pool`. `chunks` fixes the number of scan
+/// chunks (0 = automatic: fall back to the serial scan for small instances,
+/// otherwise ~2 chunks per worker). Results and stats are bit-identical to
+/// m_partition_rebalance for every chunk and worker count.
+[[nodiscard]] RebalanceResult m_partition_rebalance_parallel(
+    const Instance& instance, std::int64_t k, ThreadPool& pool,
+    MPartitionStats* stats = nullptr, std::size_t chunks = 0);
 
 /// Reference implementation: full PARTITION per candidate threshold.
 [[nodiscard]] RebalanceResult m_partition_rebalance_reference(

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/lower_bounds.h"
+#include "util/thread_pool.h"
 
 namespace lrb {
 namespace {
@@ -399,6 +400,66 @@ PtasResult ptas_rebalance(const Instance& instance, const PtasOptions& options) 
   }
   // The identity plan is representable at guess >= the initial makespan, so
   // reaching here indicates a logic error for sane inputs.
+  assert(false && "PTAS guess scan exhausted");
+  return result;
+}
+
+PtasResult ptas_rebalance_parallel(const Instance& instance,
+                                   const PtasOptions& options, ThreadPool& pool,
+                                   std::size_t wave) {
+  assert(options.eps > 0);
+  assert(options.budget >= 0);
+  const double delta = delta_for(options.eps);
+
+  PtasResult result;
+  result.result = no_move_result(instance);
+  if (instance.num_jobs() == 0) {
+    result.success = true;
+    return result;
+  }
+  if (wave == 0) wave = std::max<std::size_t>(2 * pool.size(), 2);
+
+  Size guess = std::max({max_job_bound(instance), average_load_bound(instance),
+                         budget_removal_bound(instance, options.budget),
+                         Size{1}});
+  const Size hard_stop =
+      2 * std::max<Size>(instance.initial_makespan(), Size{1}) + 2;
+  std::vector<Size> guesses;
+  std::vector<GuessOutcome> outcomes;
+  while (guess <= hard_stop) {
+    // Next `wave` guesses of the serial sequence, evaluated speculatively.
+    guesses.clear();
+    while (guess <= hard_stop && guesses.size() < wave) {
+      guesses.push_back(guess);
+      const auto stepped = static_cast<Size>(
+          std::ceil(static_cast<double>(guess) * (1.0 + delta)));
+      guess = std::max(guess + 1, stepped);
+    }
+    outcomes.assign(guesses.size(), GuessOutcome{});
+    parallel_for(pool, 0, guesses.size(), [&](std::size_t i) {
+      outcomes[i] = run_guess(instance, guesses[i], delta, options.budget,
+                              options.state_limit);
+    });
+    // Process outcomes in sequence order: the first decisive one wins,
+    // exactly as the serial scan would have decided, and later speculative
+    // evaluations are discarded (they never count towards the stats).
+    for (std::size_t i = 0; i < guesses.size(); ++i) {
+      ++result.guesses_evaluated;
+      result.states = outcomes[i].states;
+      if (!outcomes[i].within_limit) {
+        result.success = false;
+        return result;
+      }
+      if (outcomes[i].constructed && outcomes[i].cost <= options.budget) {
+        result.success = true;
+        result.accepted_guess = guesses[i];
+        result.result = finalize_result(
+            instance, std::move(outcomes[i].assignment), guesses[i]);
+        assert(result.result.cost <= options.budget);
+        return result;
+      }
+    }
+  }
   assert(false && "PTAS guess scan exhausted");
   return result;
 }

@@ -35,6 +35,8 @@
 
 namespace lrb {
 
+class ThreadPool;
+
 struct PtasOptions {
   Cost budget = kInfCost;  ///< the paper's B; kInfCost = unconstrained
   double eps = 1.0;        ///< target guarantee (1 + eps)
@@ -53,5 +55,15 @@ struct PtasResult {
 
 [[nodiscard]] PtasResult ptas_rebalance(const Instance& instance,
                                         const PtasOptions& options);
+
+/// Wave-parallel guess scan over `pool`: the same deterministic guess
+/// sequence is evaluated `wave` guesses at a time (0 = automatic, ~2 per
+/// worker) and the speculative outcomes are processed in sequence order, so
+/// the result — and every stats field — is bit-identical to ptas_rebalance
+/// for any wave size and worker count.
+[[nodiscard]] PtasResult ptas_rebalance_parallel(const Instance& instance,
+                                                 const PtasOptions& options,
+                                                 ThreadPool& pool,
+                                                 std::size_t wave = 0);
 
 }  // namespace lrb

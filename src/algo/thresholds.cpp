@@ -1,8 +1,23 @@
 #include "algo/thresholds.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace lrb {
+
+void append_threshold_events(std::span<const Size> sizes_asc,
+                             std::span<const Size> prefix, ProcId proc,
+                             Size floor, std::vector<ThresholdEvent>& out) {
+  assert(sizes_asc.size() == prefix.size());
+  for (std::size_t l = 0; l < sizes_asc.size(); ++l) {
+    const Size flip = 2 * sizes_asc[l];
+    const Size bstep = prefix[l];
+    const Size astep = 2 * prefix[l];
+    if (flip > floor) out.push_back({flip, proc});
+    if (bstep > floor) out.push_back({bstep, proc});
+    if (astep > floor) out.push_back({astep, proc});
+  }
+}
 
 std::vector<Size> candidate_thresholds(const Instance& instance) {
   std::vector<Size> candidates;

@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/instance.h"
@@ -26,5 +27,20 @@ namespace lrb {
 /// All candidate thresholds, sorted ascending and deduplicated.
 /// PARTITION's execution is constant for T between consecutive candidates.
 [[nodiscard]] std::vector<Size> candidate_thresholds(const Instance& instance);
+
+/// One change point of the M-PARTITION scan: at threshold `value` the scan
+/// state (L_T, a_i, b_i) of processor `proc` may step.
+struct ThresholdEvent {
+  Size value;
+  ProcId proc;
+};
+
+/// Appends every change point of one processor that lies strictly above
+/// `floor`, given its ascending job sizes and their prefix sums: 2*q_j
+/// (large/small flip), S_l (b_i step), 2*S_l (a_i step) — Lemma 5's <= 3n
+/// candidates across all processors. Values are appended unsorted.
+void append_threshold_events(std::span<const Size> sizes_asc,
+                             std::span<const Size> prefix, ProcId proc,
+                             Size floor, std::vector<ThresholdEvent>& out);
 
 }  // namespace lrb

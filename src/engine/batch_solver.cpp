@@ -1,0 +1,158 @@
+#include "engine/batch_solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+#include "algo/greedy.h"
+#include "algo/m_partition.h"
+#include "algo/ptas.h"
+
+namespace lrb::engine {
+
+const char* algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::kGreedy:
+      return "greedy";
+    case Algo::kMPartition:
+      return "m-partition";
+    case Algo::kBestOf:
+      return "best-of";
+    case Algo::kPtas:
+      return "ptas";
+  }
+  return "?";
+}
+
+bool parse_algo(std::string_view name, Algo* out) {
+  if (name == "greedy") {
+    *out = Algo::kGreedy;
+  } else if (name == "m-partition") {
+    *out = Algo::kMPartition;
+  } else if (name == "best-of") {
+    *out = Algo::kBestOf;
+  } else if (name == "ptas") {
+    *out = Algo::kPtas;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+BatchSolver::BatchSolver(BatchOptions options)
+    : options_(options), pool_(options.workers) {
+  // One warmed arena per worker plus one for the submitting thread (it
+  // helps drain the queue while blocked in parallel_for).
+  std::lock_guard lock(scratch_mutex_);
+  free_scratch_.reserve(pool_.size() + 1);
+  for (std::size_t i = 0; i < pool_.size() + 1; ++i) {
+    auto scratch = std::make_unique<Scratch>();
+    scratch->warm(options_.warm_jobs, options_.warm_procs);
+    free_scratch_.push_back(std::move(scratch));
+  }
+}
+
+BatchSolver::ScratchLease::ScratchLease(BatchSolver& owner) : owner_(owner) {
+  {
+    std::lock_guard lock(owner_.scratch_mutex_);
+    if (!owner_.free_scratch_.empty()) {
+      scratch_ = std::move(owner_.free_scratch_.back());
+      owner_.free_scratch_.pop_back();
+    }
+  }
+  if (scratch_ == nullptr) {
+    scratch_ = std::make_unique<Scratch>();
+    scratch_->warm(owner_.options_.warm_jobs, owner_.options_.warm_procs);
+  }
+}
+
+BatchSolver::ScratchLease::~ScratchLease() {
+  std::lock_guard lock(owner_.scratch_mutex_);
+  owner_.free_scratch_.push_back(std::move(scratch_));
+}
+
+RebalanceResult BatchSolver::run_m_partition(Scratch& scratch,
+                                             const Instance& instance,
+                                             std::int64_t k) {
+  // Both branches return bit-identical results; the split is purely a
+  // performance decision (chunk setup costs more than a small serial scan).
+  if (pool_.size() > 1 &&
+      instance.num_jobs() >= options_.intra_parallel_min_jobs) {
+    return m_partition_rebalance_parallel(instance, k, pool_);
+  }
+  return m_partition_rebalance(instance, k, scratch.m_partition);
+}
+
+RebalanceResult BatchSolver::run_algo(Scratch& scratch,
+                                      const Instance& instance,
+                                      std::int64_t k) {
+  RebalanceResult result;
+  switch (options_.algo) {
+    case Algo::kGreedy:
+      result = greedy_rebalance(instance, k);
+      break;
+    case Algo::kMPartition:
+      result = run_m_partition(scratch, instance, k);
+      break;
+    case Algo::kBestOf: {
+      // Same tie-break as best_of_rebalance: PARTITION wins ties.
+      auto greedy = greedy_rebalance(instance, k);
+      auto partition = run_m_partition(scratch, instance, k);
+      result = partition.makespan <= greedy.makespan ? std::move(partition)
+                                                     : std::move(greedy);
+      break;
+    }
+    case Algo::kPtas: {
+      PtasOptions opt;
+      opt.budget = options_.ptas_budget;
+      opt.eps = options_.ptas_eps;
+      auto ptas = (pool_.size() > 1 &&
+                   instance.num_jobs() >= options_.intra_parallel_min_jobs)
+                      ? ptas_rebalance_parallel(instance, opt, pool_)
+                      : ptas_rebalance(instance, opt);
+      result = std::move(ptas.result);
+      break;
+    }
+  }
+#ifndef NDEBUG
+  // Recheck the reported makespan against the assignment using the arena's
+  // load buffer (no allocation once warmed).
+  scratch.loads.assign(instance.num_procs, 0);
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    scratch.loads[result.assignment[j]] += instance.sizes[j];
+  }
+  Size max_load = 0;
+  for (Size load : scratch.loads) max_load = std::max(max_load, load);
+  assert(max_load == result.makespan);
+#endif
+  return result;
+}
+
+RebalanceResult BatchSolver::solve_one(const Instance& instance,
+                                       std::int64_t k) {
+  ScratchLease lease(*this);
+  return run_algo(lease.get(), instance, k);
+}
+
+std::vector<RebalanceResult> BatchSolver::solve(
+    const std::vector<Instance>& instances,
+    const std::vector<std::int64_t>& ks, std::vector<double>* latencies_ms) {
+  assert(instances.size() == ks.size());
+  std::vector<RebalanceResult> results(instances.size());
+  if (latencies_ms != nullptr) {
+    latencies_ms->assign(instances.size(), 0.0);
+  }
+  parallel_for(pool_, 0, instances.size(), [&](std::size_t i) {
+    const auto begin = std::chrono::steady_clock::now();
+    results[i] = solve_one(instances[i], ks[i]);
+    if (latencies_ms != nullptr) {
+      const auto end = std::chrono::steady_clock::now();
+      (*latencies_ms)[i] =
+          std::chrono::duration<double, std::milli>(end - begin).count();
+    }
+  });
+  return results;
+}
+
+}  // namespace lrb::engine

@@ -1,0 +1,116 @@
+// The parallel batch-solving engine: fans a stream of rebalancing
+// instances across a ThreadPool with per-worker reusable Scratch arenas,
+// and switches large instances to the intra-instance parallel paths
+// (chunked M-PARTITION threshold scan, wave-parallel PTAS guess scan) on
+// the same pool.
+//
+// Determinism contract: for a fixed (instances, ks, algo) input, solve()
+// returns results byte-identical to calling the serial entry points one
+// instance at a time, for every worker count and across repeated runs.
+// Both intra-instance parallel paths are bit-identical to their serial
+// counterparts by construction (see m_partition.h / ptas.h), and
+// inter-instance parallelism never reorders results: slot i of the output
+// is always instance i's result.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+#include "core/types.h"
+#include "engine/scratch.h"
+#include "util/thread_pool.h"
+
+namespace lrb::engine {
+
+/// Algorithms the engine can run; mirrors the unit-cost roster of
+/// algo/rebalancer.h plus the costed PTAS.
+enum class Algo {
+  kGreedy,
+  kMPartition,
+  kBestOf,
+  kPtas,
+};
+
+[[nodiscard]] const char* algo_name(Algo algo);
+
+/// Parses "greedy" / "m-partition" / "best-of" / "ptas"; returns false on
+/// an unknown name.
+[[nodiscard]] bool parse_algo(std::string_view name, Algo* out);
+
+struct BatchOptions {
+  std::size_t workers = 0;  ///< pool size; 0 = hardware concurrency
+  Algo algo = Algo::kBestOf;
+  /// PTAS parameters (Algo::kPtas only).
+  Cost ptas_budget = kInfCost;
+  double ptas_eps = 1.0;
+  /// Instances with at least this many jobs also use the intra-instance
+  /// parallel scans. Purely a performance knob: both paths are
+  /// bit-identical to the serial ones.
+  std::size_t intra_parallel_min_jobs = std::size_t{1} << 14;
+  /// Arena pre-sizing: instances within these bounds never reallocate in
+  /// the scan hot path.
+  std::size_t warm_jobs = std::size_t{1} << 12;
+  ProcId warm_procs = 64;
+};
+
+class BatchSolver {
+ public:
+  explicit BatchSolver(BatchOptions options = {});
+
+  [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
+  [[nodiscard]] const BatchOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Solves instance i with move budget ks[i] (ks.size() must equal
+  /// instances.size()). Slot i of the returned vector is instance i's
+  /// result. When `latencies_ms` is non-null it is resized and filled with
+  /// each instance's wall-clock solve latency in milliseconds.
+  [[nodiscard]] std::vector<RebalanceResult> solve(
+      const std::vector<Instance>& instances,
+      const std::vector<std::int64_t>& ks,
+      std::vector<double>* latencies_ms = nullptr);
+
+  /// Solves a single instance on the calling thread (intra-instance
+  /// parallelism still uses the pool for large instances).
+  [[nodiscard]] RebalanceResult solve_one(const Instance& instance,
+                                          std::int64_t k);
+
+ private:
+  /// RAII lease on a Scratch arena from the free list. The list is
+  /// self-healing: an empty list mints a fresh arena, so helping workers
+  /// re-entering solve paths can never deadlock on arenas.
+  class ScratchLease {
+   public:
+    explicit ScratchLease(BatchSolver& owner);
+    ~ScratchLease();
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+    [[nodiscard]] Scratch& get() noexcept { return *scratch_; }
+
+   private:
+    BatchSolver& owner_;
+    std::unique_ptr<Scratch> scratch_;
+  };
+
+  [[nodiscard]] RebalanceResult run_algo(Scratch& scratch,
+                                         const Instance& instance,
+                                         std::int64_t k);
+  [[nodiscard]] RebalanceResult run_m_partition(Scratch& scratch,
+                                                const Instance& instance,
+                                                std::int64_t k);
+
+  BatchOptions options_;
+  ThreadPool pool_;
+  std::mutex scratch_mutex_;
+  std::vector<std::unique_ptr<Scratch>> free_scratch_;
+};
+
+}  // namespace lrb::engine

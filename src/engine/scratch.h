@@ -1,0 +1,28 @@
+// Per-worker reusable working memory for the batch engine.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algo/m_partition.h"
+#include "core/types.h"
+
+namespace lrb::engine {
+
+/// One worker's arena, checked out of the BatchSolver's pool for the
+/// duration of a single solve. `warm` pre-sizes every buffer so that
+/// steady-state solving of instances within the warmed bounds performs no
+/// heap allocation in the M-PARTITION scan (see docs/performance.md for
+/// what the arena contract does and does not cover).
+struct Scratch {
+  MPartitionScratch m_partition;
+  std::vector<Size> loads;  ///< per-processor loads for result rechecks
+
+  void warm(std::size_t max_jobs, ProcId max_procs) {
+    m_partition.warm(max_jobs, max_procs);
+    loads.reserve(max_procs);
+  }
+};
+
+}  // namespace lrb::engine

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <cassert>
+#include <chrono>
 
 namespace lrb {
 
@@ -41,6 +42,24 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+bool ThreadPool::try_run_one() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+    ++in_flight_;
+  }
+  task();
+  {
+    std::lock_guard lock(mutex_);
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
@@ -68,6 +87,17 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   futures.reserve(end - begin);
   for (std::size_t i = begin; i < end; ++i) {
     futures.push_back(pool.submit([i, &body] { body(i); }));
+  }
+  // Help drain the queue while waiting. Without this, a pool task that
+  // itself calls parallel_for would park its worker on futures whose tasks
+  // can never be scheduled once every worker is parked the same way.
+  for (auto& f : futures) {
+    while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!pool.try_run_one()) {
+        // Queue empty: our iteration is running on another thread.
+        f.wait();
+      }
+    }
   }
   for (auto& f : futures) f.get();  // rethrows the first failure
 }

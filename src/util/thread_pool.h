@@ -1,10 +1,14 @@
 // A small fixed-size thread pool with a blocking task queue and a
-// parallel_for helper, used by the benchmark sweeps to evaluate independent
-// experiment cells concurrently.
+// parallel_for helper, used by the batch-solving engine (src/engine), the
+// benchmark sweeps and the parallel fuzz driver.
 //
 // Design notes (C++ Core Guidelines CP.*): tasks are plain std::function
 // thunks; submission after shutdown is a programmer error (asserted); the
-// destructor joins all workers, so the pool is exception-safe to scope.
+// destructor joins all workers (draining any still-queued work first), so
+// the pool is exception-safe to scope. parallel_for lets a blocked caller
+// help drain the queue (try_run_one), which makes nested parallel_for calls
+// issued from inside pool tasks deadlock-free: a worker waiting on inner
+// iterations executes them itself instead of parking its slot.
 
 #pragma once
 
@@ -37,6 +41,11 @@ class ThreadPool {
   /// Blocks until every task submitted so far has finished.
   void wait_idle();
 
+  /// Runs one queued task on the calling thread if one is immediately
+  /// available; returns false when the queue was empty. Lets blocked
+  /// submitters contribute cycles instead of parking (see parallel_for).
+  bool try_run_one();
+
  private:
   void worker_loop();
 
@@ -50,7 +59,9 @@ class ThreadPool {
 };
 
 /// Runs body(i) for i in [begin, end) across the pool's workers, blocking
-/// until all iterations complete. Iterations must be independent.
+/// until all iterations complete. Iterations must be independent. The
+/// calling thread helps drain the queue while it waits, so nesting
+/// parallel_for inside a pool task cannot deadlock.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 

@@ -1,0 +1,341 @@
+// Determinism suite for the parallel batch-solving engine (src/engine).
+//
+// The contract under test: BatchSolver::solve is byte-identical to running
+// the serial entry points one instance at a time, for every worker count,
+// across repeated runs, and per generator family; and the intra-instance
+// parallel scans (chunked M-PARTITION, wave-parallel PTAS) reproduce their
+// serial counterparts exactly, statistics included.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/greedy.h"
+#include "algo/m_partition.h"
+#include "algo/ptas.h"
+#include "algo/rebalancer.h"
+#include "core/assignment.h"
+#include "core/generators.h"
+#include "core/instance.h"
+#include "engine/batch_solver.h"
+#include "util/thread_pool.h"
+
+namespace lrb {
+namespace {
+
+using engine::Algo;
+using engine::BatchOptions;
+using engine::BatchSolver;
+
+struct Case {
+  std::string name;
+  Instance instance;
+  std::int64_t k = 0;
+};
+
+/// Every generator family (size distribution x placement) at a small size,
+/// plus the structured and degenerate corners.
+std::vector<Case> family_corpus() {
+  std::vector<Case> cases;
+  const struct {
+    const char* name;
+    SizeDistribution dist;
+  } dists[] = {{"uniform", SizeDistribution::kUniform},
+               {"bimodal", SizeDistribution::kBimodal},
+               {"zipf", SizeDistribution::kZipf},
+               {"exponential", SizeDistribution::kExponential}};
+  const struct {
+    const char* name;
+    PlacementPolicy placement;
+  } placements[] = {{"random", PlacementPolicy::kRandom},
+                    {"hotspot", PlacementPolicy::kHotspot},
+                    {"zipf-procs", PlacementPolicy::kZipfProcs},
+                    {"balanced", PlacementPolicy::kBalanced},
+                    {"single-proc", PlacementPolicy::kSingleProc}};
+  std::uint64_t seed = 100;
+  for (const auto& dist : dists) {
+    for (const auto& placement : placements) {
+      GeneratorOptions gen;
+      gen.num_jobs = 40;
+      gen.num_procs = 6;
+      gen.max_size = 120;
+      gen.size_dist = dist.dist;
+      gen.placement = placement.placement;
+      Case c;
+      c.name = std::string(dist.name) + "/" + placement.name;
+      c.instance = random_instance(gen, seed++);
+      c.k = 5;
+      cases.push_back(std::move(c));
+    }
+  }
+  // Structured tight families.
+  {
+    Case c;
+    c.name = "greedy-tight";
+    const auto family = greedy_tight_instance(4);
+    c.instance = family.instance;
+    c.k = family.k;
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.name = "partition-tight";
+    const auto family = partition_tight_instance();
+    c.instance = family.instance;
+    c.k = family.k;
+    cases.push_back(std::move(c));
+  }
+  // Degenerate corners.
+  {
+    Case c;
+    c.name = "empty";
+    c.instance.num_procs = 3;
+    c.k = 2;
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.name = "single-job";
+    c.instance.num_procs = 2;
+    c.instance.sizes = {7};
+    c.instance.move_costs = {1};
+    c.instance.initial = {0};
+    c.k = 1;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+void expect_same(const RebalanceResult& got, const RebalanceResult& want,
+                 const std::string& label) {
+  EXPECT_EQ(got.assignment, want.assignment) << label;
+  EXPECT_EQ(got.makespan, want.makespan) << label;
+  EXPECT_EQ(got.moves, want.moves) << label;
+  EXPECT_EQ(got.cost, want.cost) << label;
+  EXPECT_EQ(got.threshold, want.threshold) << label;
+}
+
+RebalanceResult serial_reference(Algo algo, const Instance& instance,
+                                 std::int64_t k) {
+  switch (algo) {
+    case Algo::kGreedy:
+      return greedy_rebalance(instance, k);
+    case Algo::kMPartition:
+      return m_partition_rebalance(instance, k);
+    case Algo::kBestOf:
+      return best_of_rebalance(instance, k);
+    case Algo::kPtas:
+      break;
+  }
+  PtasOptions options;
+  return ptas_rebalance(instance, options).result;
+}
+
+TEST(BatchSolver, MatchesSerialAcrossWorkerCountsAndRuns) {
+  const auto corpus = family_corpus();
+  std::vector<Instance> instances;
+  std::vector<std::int64_t> ks;
+  for (const auto& c : corpus) {
+    instances.push_back(c.instance);
+    ks.push_back(c.k);
+  }
+  for (Algo algo : {Algo::kGreedy, Algo::kMPartition, Algo::kBestOf}) {
+    std::vector<RebalanceResult> expected;
+    for (const auto& c : corpus) {
+      expected.push_back(serial_reference(algo, c.instance, c.k));
+    }
+    for (std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                std::size_t{8}}) {
+      BatchOptions options;
+      options.workers = workers;
+      options.algo = algo;
+      BatchSolver solver(options);
+      for (int run = 0; run < 2; ++run) {
+        const auto results = solver.solve(instances, ks);
+        ASSERT_EQ(results.size(), corpus.size());
+        for (std::size_t i = 0; i < corpus.size(); ++i) {
+          expect_same(results[i], expected[i],
+                      std::string(engine::algo_name(algo)) + " workers=" +
+                          std::to_string(workers) + " run=" +
+                          std::to_string(run) + " case=" + corpus[i].name);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchSolver, ForcedIntraParallelPathStaysIdentical) {
+  // Drop the intra-instance threshold to 0 so even tiny instances route
+  // through the chunked parallel scan; results must not change.
+  const auto corpus = family_corpus();
+  std::vector<Instance> instances;
+  std::vector<std::int64_t> ks;
+  for (const auto& c : corpus) {
+    instances.push_back(c.instance);
+    ks.push_back(c.k);
+  }
+  std::vector<RebalanceResult> expected;
+  for (const auto& c : corpus) {
+    expected.push_back(serial_reference(Algo::kMPartition, c.instance, c.k));
+  }
+  BatchOptions options;
+  options.workers = 4;
+  options.algo = Algo::kMPartition;
+  options.intra_parallel_min_jobs = 0;
+  BatchSolver solver(options);
+  const auto results = solver.solve(instances, ks);
+  ASSERT_EQ(results.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    expect_same(results[i], expected[i], "intra-parallel " + corpus[i].name);
+  }
+}
+
+TEST(BatchSolver, PtasMatchesSerial) {
+  GeneratorOptions gen;
+  gen.num_jobs = 10;
+  gen.num_procs = 3;
+  gen.max_size = 25;
+  gen.placement = PlacementPolicy::kHotspot;
+  gen.cost_model = CostModel::kUniform;
+  gen.max_cost = 5;
+  std::vector<Instance> instances;
+  std::vector<std::int64_t> ks;
+  std::vector<RebalanceResult> expected;
+  PtasOptions ptas;
+  ptas.budget = 8;
+  ptas.eps = 0.5;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    instances.push_back(random_instance(gen, seed));
+    ks.push_back(3);
+    expected.push_back(ptas_rebalance(instances.back(), ptas).result);
+  }
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    BatchOptions options;
+    options.workers = workers;
+    options.algo = Algo::kPtas;
+    options.ptas_budget = ptas.budget;
+    options.ptas_eps = ptas.eps;
+    BatchSolver solver(options);
+    const auto results = solver.solve(instances, ks);
+    ASSERT_EQ(results.size(), instances.size());
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      expect_same(results[i], expected[i],
+                  "ptas workers=" + std::to_string(workers) + " i=" +
+                      std::to_string(i));
+    }
+  }
+}
+
+TEST(BatchSolver, SolveOneMatchesSolveAndFillsLatencies) {
+  const auto corpus = family_corpus();
+  BatchOptions options;
+  options.workers = 2;
+  BatchSolver solver(options);
+  std::vector<Instance> instances;
+  std::vector<std::int64_t> ks;
+  for (const auto& c : corpus) {
+    instances.push_back(c.instance);
+    ks.push_back(c.k);
+  }
+  std::vector<double> latencies;
+  const auto results = solver.solve(instances, ks, &latencies);
+  ASSERT_EQ(latencies.size(), corpus.size());
+  for (double l : latencies) EXPECT_GE(l, 0.0);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    expect_same(solver.solve_one(instances[i], ks[i]), results[i],
+                "solve_one " + corpus[i].name);
+  }
+}
+
+TEST(BatchSolver, EmptyBatchIsFine) {
+  BatchSolver solver;
+  const auto results = solver.solve({}, {});
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(BatchSolver, AlgoNamesRoundTrip) {
+  for (Algo algo : {Algo::kGreedy, Algo::kMPartition, Algo::kBestOf,
+                    Algo::kPtas}) {
+    Algo parsed{};
+    ASSERT_TRUE(engine::parse_algo(engine::algo_name(algo), &parsed));
+    EXPECT_EQ(parsed, algo);
+  }
+  Algo parsed{};
+  EXPECT_FALSE(engine::parse_algo("nope", &parsed));
+}
+
+TEST(ParallelMPartition, BitIdenticalIncludingStatsForAnyChunkCount) {
+  ThreadPool pool(4);
+  const auto corpus = family_corpus();
+  for (const auto& c : corpus) {
+    MPartitionStats serial_stats;
+    const auto serial = m_partition_rebalance(c.instance, c.k, &serial_stats);
+    for (std::size_t chunks : {std::size_t{2}, std::size_t{3},
+                               std::size_t{8}}) {
+      MPartitionStats par_stats;
+      const auto par = m_partition_rebalance_parallel(c.instance, c.k, pool,
+                                                      &par_stats, chunks);
+      expect_same(par, serial,
+                  c.name + " chunks=" + std::to_string(chunks));
+      EXPECT_EQ(par_stats.accepted_threshold, serial_stats.accepted_threshold)
+          << c.name;
+      EXPECT_EQ(par_stats.start_threshold, serial_stats.start_threshold)
+          << c.name;
+      EXPECT_EQ(par_stats.removals, serial_stats.removals) << c.name;
+      EXPECT_EQ(par_stats.guesses_evaluated, serial_stats.guesses_evaluated)
+          << c.name;
+    }
+  }
+}
+
+TEST(ParallelMPartition, LargerInstanceAutoChunking) {
+  ThreadPool pool(4);
+  GeneratorOptions gen;
+  gen.num_jobs = 5000;
+  gen.num_procs = 32;
+  gen.max_size = 2000;
+  gen.placement = PlacementPolicy::kHotspot;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto inst = random_instance(gen, seed);
+    MPartitionStats serial_stats, par_stats;
+    const auto serial = m_partition_rebalance(inst, 50, &serial_stats);
+    // chunks = 0: the implementation picks the chunking itself.
+    const auto par =
+        m_partition_rebalance_parallel(inst, 50, pool, &par_stats, 0);
+    expect_same(par, serial, "auto-chunk seed=" + std::to_string(seed));
+    EXPECT_EQ(par_stats.guesses_evaluated, serial_stats.guesses_evaluated);
+  }
+}
+
+TEST(ParallelPtas, BitIdenticalForAnyWaveSize) {
+  ThreadPool pool(4);
+  GeneratorOptions gen;
+  gen.num_jobs = 10;
+  gen.num_procs = 3;
+  gen.max_size = 25;
+  gen.placement = PlacementPolicy::kHotspot;
+  gen.cost_model = CostModel::kUniform;
+  gen.max_cost = 5;
+  PtasOptions options;
+  options.budget = 8;
+  options.eps = 0.5;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto inst = random_instance(gen, seed);
+    const auto serial = ptas_rebalance(inst, options);
+    for (std::size_t wave : {std::size_t{1}, std::size_t{3}, std::size_t{0}}) {
+      const auto par = ptas_rebalance_parallel(inst, options, pool, wave);
+      const std::string label =
+          "seed=" + std::to_string(seed) + " wave=" + std::to_string(wave);
+      EXPECT_EQ(par.success, serial.success) << label;
+      expect_same(par.result, serial.result, label);
+      EXPECT_EQ(par.accepted_guess, serial.accepted_guess) << label;
+      EXPECT_EQ(par.states, serial.states) << label;
+      EXPECT_EQ(par.guesses_evaluated, serial.guesses_evaluated) << label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lrb

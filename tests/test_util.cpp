@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "util/rng.h"
@@ -247,6 +250,91 @@ TEST(ThreadPool, WaitIdleDrains) {
   }
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, WaitIdleCoversNestedSubmissions) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &counter] {
+      ++counter;
+      // Tasks submitted from inside tasks must also be drained before
+      // wait_idle returns.
+      pool.submit([&counter] { ++counter; });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    // One long task wedges the single worker so the rest are still queued
+    // when the destructor runs; it must finish them, not drop them.
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++counter;
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ManyProducersStress) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(8);
+  for (int p = 0; p < 8; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(200);
+      for (int i = 0; i < 200; ++i) {
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(counter.load(), 8 * 200);
+}
+
+TEST(ThreadPool, TryRunOneExecutesQueuedTask) {
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  auto blocker = pool.submit([&started, &release] {
+    started = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Only submit more work once the single worker is provably wedged inside
+  // the blocker; otherwise try_run_one below could pop the blocker itself
+  // and spin forever on the calling thread.
+  while (!started.load()) std::this_thread::yield();
+  std::atomic<int> counter{0};
+  auto queued = pool.submit([&counter] { ++counter; });
+  EXPECT_TRUE(pool.try_run_one());
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_FALSE(pool.try_run_one());
+  release = true;
+  blocker.get();
+  queued.get();
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::array<std::array<std::atomic<int>, 8>, 8> hits{};
+  // More outer iterations than workers, each spawning an inner
+  // parallel_for: without caller-helping this wedges the pool.
+  parallel_for(pool, 0, 8, [&](std::size_t i) {
+    parallel_for(pool, 0, 8, [&](std::size_t j) { ++hits[i][j]; });
+  });
+  for (auto& row : hits) {
+    for (auto& h : row) EXPECT_EQ(h.load(), 1);
+  }
 }
 
 TEST(Timer, MeasuresElapsed) {

@@ -25,21 +25,31 @@
 //                         found (and every repro obeyed --expect-max-jobs)
 //   --expect-max-jobs N (0)  with --expect-violation: require every
 //                         minimized repro to have at most N jobs
+//   --jobs N (1)          run iterations in waves of N on a thread pool;
+//                         also adds the engine's parallel M-PARTITION to
+//                         the roster (certified like m-partition) and
+//                         bit-compares it against the serial scan, so the
+//                         concurrent path is differentially fuzzed too.
+//                         Violations are still shrunk and written serially,
+//                         in iteration order.
 //   --verbose             print every violation in full
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "algo/m_partition.h"
 #include "check/differential.h"
 #include "check/shrink.h"
 #include "core/generators.h"
 #include "core/io.h"
 #include "util/flags.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace {
@@ -151,6 +161,26 @@ FuzzCase draw_case(Rng& rng, std::int64_t max_jobs, std::int64_t max_procs) {
   return out;
 }
 
+/// True iff the engine's chunked parallel scan reproduces the serial scan
+/// bit-for-bit (results and stats) on this instance — the engine's core
+/// determinism contract, checked here under real pool contention.
+bool engine_matches_serial(const Instance& instance, std::int64_t k,
+                           ThreadPool& pool) {
+  MPartitionStats serial_stats;
+  MPartitionStats parallel_stats;
+  const auto serial = m_partition_rebalance(instance, k, &serial_stats);
+  const auto parallel =
+      m_partition_rebalance_parallel(instance, k, pool, &parallel_stats, 2);
+  return serial.assignment == parallel.assignment &&
+         serial.makespan == parallel.makespan &&
+         serial.moves == parallel.moves && serial.cost == parallel.cost &&
+         serial.threshold == parallel.threshold &&
+         serial_stats.accepted_threshold == parallel_stats.accepted_threshold &&
+         serial_stats.start_threshold == parallel_stats.start_threshold &&
+         serial_stats.removals == parallel_stats.removals &&
+         serial_stats.guesses_evaluated == parallel_stats.guesses_evaluated;
+}
+
 void write_repro(const std::filesystem::path& path, const Instance& instance,
                  const DifferentialOptions& options,
                  const DifferentialReport& report, std::uint64_t seed,
@@ -180,7 +210,7 @@ int main(int argc, char** argv) {
     static const char* known[] = {"seed",      "iters",           "time-budget",
                                   "corpus",    "max-jobs",        "max-procs",
                                   "mutant",    "expect-violation",
-                                  "expect-max-jobs", "verbose"};
+                                  "expect-max-jobs", "verbose",   "jobs"};
     if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
           return key == k;
         }) == std::end(known)) {
@@ -198,9 +228,14 @@ int main(int argc, char** argv) {
   const bool expect_violation = flags.has("expect-violation");
   const std::int64_t expect_max_jobs = flags.get_int("expect-max-jobs", 0);
   const bool verbose = flags.has("verbose");
+  const std::int64_t jobs_raw = flags.get_int("jobs", 1);
   if (iters <= 0 && time_budget <= 0.0) {
     return fail("need --iters > 0 or --time-budget > 0");
   }
+  if (jobs_raw < 1 || jobs_raw > 256) return fail("--jobs must be in [1, 256]");
+  const auto jobs = static_cast<std::size_t>(jobs_raw);
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
 
   Timer timer;
   std::int64_t violations = 0;
@@ -208,68 +243,172 @@ int main(int argc, char** argv) {
   bool corpus_ready = false;
   std::uint64_t iteration = 0;
 
-  for (;; ++iteration) {
-    if (iters > 0 && iteration >= static_cast<std::uint64_t>(iters)) break;
-    if (time_budget > 0.0 && timer.millis() >= time_budget * 1000.0) break;
+  struct IterationResult {
+    FuzzCase fuzz_case;
+    DifferentialReport report;
+    bool engine_deterministic = true;
+  };
 
+  // One fuzz iteration: deterministic in (seed, iter) regardless of which
+  // worker runs it or in what order.
+  const auto run_iteration = [&](std::uint64_t iter) {
+    IterationResult out;
     std::uint64_t stream = seed;
     (void)splitmix64(stream);
-    Rng rng(stream ^ (iteration * 0x9e3779b97f4a7c15ULL));
-    FuzzCase fuzz_case = draw_case(rng, max_jobs, max_procs);
+    Rng rng(stream ^ (iter * 0x9e3779b97f4a7c15ULL));
+    out.fuzz_case = draw_case(rng, max_jobs, max_procs);
     if (with_mutant) {
-      fuzz_case.options.extra.push_back(CheckedRebalancer{
+      out.fuzz_case.options.extra.push_back(CheckedRebalancer{
           NamedRebalancer{"mutant-greedy", mutant_greedy},
           [](const Instance& inst, std::int64_t k, const RebalanceResult& r) {
             return roster_certify_options("greedy", inst, k, r);
           }});
     }
-
-    const auto report = differential_check(fuzz_case.instance,
-                                           fuzz_case.options);
-    if (report.ok()) continue;
-
-    ++violations;
-    std::cerr << "lrb_fuzz: violation at iteration " << iteration << " ("
-              << fuzz_case.family << ", n=" << fuzz_case.instance.num_jobs()
-              << ", m=" << fuzz_case.instance.num_procs
-              << ", k=" << fuzz_case.options.k << ")\n";
-    if (verbose) std::cerr << report.to_string() << "\n";
-
-    // Minimize: any of the original (algorithm, kind) signatures counts as
-    // the same failure.
-    const auto signatures = report.signatures();
-    const auto& shrink_options_ref = fuzz_case.options;
-    const auto still_fails = [&](const Instance& candidate) {
-      const auto candidate_report =
-          differential_check(candidate, shrink_options_ref);
-      for (const auto& sig : candidate_report.signatures()) {
-        for (const auto& wanted : signatures) {
-          if (sig == wanted) return true;
-        }
-      }
-      return false;
-    };
-    ShrinkOptions shrink_options;
-    shrink_options.max_evaluations = 2'000;
-    const auto minimized =
-        shrink_instance(fuzz_case.instance, still_fails, shrink_options);
-    largest_repro = std::max(largest_repro, minimized.instance.num_jobs());
-    const auto minimized_report =
-        differential_check(minimized.instance, fuzz_case.options);
-
-    if (!corpus_ready) {
-      std::error_code ec;
-      std::filesystem::create_directories(corpus, ec);
-      if (ec) return fail("cannot create corpus dir " + corpus);
-      corpus_ready = true;
+    if (pool != nullptr) {
+      // Route M-PARTITION through the engine's chunked parallel scan (on
+      // the shared, already-busy pool) and certify it like the serial one.
+      ThreadPool* p = pool.get();
+      out.fuzz_case.options.extra.push_back(CheckedRebalancer{
+          NamedRebalancer{"engine-m-partition",
+                          [p](const Instance& inst, std::int64_t k) {
+                            return m_partition_rebalance_parallel(inst, k, *p,
+                                                                  nullptr, 2);
+                          }},
+          [](const Instance& inst, std::int64_t k, const RebalanceResult& r) {
+            return roster_certify_options("m-partition", inst, k, r);
+          }});
     }
-    const auto path = std::filesystem::path(corpus) /
-                      ("repro_" + std::to_string(iteration) + ".lrb");
-    write_repro(path, minimized.instance, fuzz_case.options, minimized_report,
-                seed, iteration, fuzz_case.family);
-    std::cerr << "lrb_fuzz: minimized to n=" << minimized.instance.num_jobs()
-              << ", m=" << minimized.instance.num_procs << " -> "
-              << path.string() << "\n";
+    out.report =
+        differential_check(out.fuzz_case.instance, out.fuzz_case.options);
+    if (pool != nullptr) {
+      out.engine_deterministic = engine_matches_serial(
+          out.fuzz_case.instance, out.fuzz_case.options.k, *pool);
+    }
+    return out;
+  };
+
+  const auto ensure_corpus = [&]() -> bool {
+    if (corpus_ready) return true;
+    std::error_code ec;
+    std::filesystem::create_directories(corpus, ec);
+    if (ec) return false;
+    corpus_ready = true;
+    return true;
+  };
+
+  const std::size_t wave = pool != nullptr ? 4 * jobs : 1;
+  for (;;) {
+    if (iters > 0 && iteration >= static_cast<std::uint64_t>(iters)) break;
+    if (time_budget > 0.0 && timer.millis() >= time_budget * 1000.0) break;
+
+    std::vector<std::uint64_t> batch;
+    for (std::size_t i = 0; i < wave; ++i) {
+      const std::uint64_t it = iteration + i;
+      if (iters > 0 && it >= static_cast<std::uint64_t>(iters)) break;
+      batch.push_back(it);
+    }
+    if (batch.empty()) break;
+    std::vector<IterationResult> results(batch.size());
+    if (pool != nullptr) {
+      parallel_for(*pool, 0, batch.size(),
+                   [&](std::size_t i) { results[i] = run_iteration(batch[i]); });
+    } else {
+      results[0] = run_iteration(batch[0]);
+    }
+    iteration += batch.size();
+
+    // Violations are processed strictly serially, in iteration order:
+    // shrinking replays the harness on the main thread and repro files are
+    // named by iteration.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::uint64_t it = batch[i];
+      auto& fuzz_case = results[i].fuzz_case;
+      const auto& report = results[i].report;
+
+      if (!results[i].engine_deterministic) {
+        ++violations;
+        std::cerr << "lrb_fuzz: engine determinism violation at iteration "
+                  << it << " (" << fuzz_case.family
+                  << ", n=" << fuzz_case.instance.num_jobs()
+                  << ", m=" << fuzz_case.instance.num_procs
+                  << ", k=" << fuzz_case.options.k << ")\n";
+        const auto mismatch = [&](const Instance& candidate) {
+          return !engine_matches_serial(candidate, fuzz_case.options.k, *pool);
+        };
+        ShrinkOptions shrink_options;
+        shrink_options.max_evaluations = 2'000;
+        const auto minimized =
+            shrink_instance(fuzz_case.instance, mismatch, shrink_options);
+        largest_repro = std::max(largest_repro, minimized.instance.num_jobs());
+        if (!ensure_corpus()) return fail("cannot create corpus dir " + corpus);
+        const auto path = std::filesystem::path(corpus) /
+                          ("repro_" + std::to_string(it) + "_determinism.lrb");
+        std::ofstream out(path);
+        out << "# lrb_fuzz minimized repro (engine determinism: parallel "
+               "M-PARTITION != serial)\n"
+            << "# seed=" << seed << " iteration=" << it << " family="
+            << fuzz_case.family << "\n"
+            << "# k=" << fuzz_case.options.k << "\n";
+        write_instance(out, minimized.instance);
+        std::cerr << "lrb_fuzz: minimized to n="
+                  << minimized.instance.num_jobs()
+                  << ", m=" << minimized.instance.num_procs << " -> "
+                  << path.string() << "\n";
+      }
+
+      if (report.ok()) continue;
+
+      ++violations;
+      std::cerr << "lrb_fuzz: violation at iteration " << it << " ("
+                << fuzz_case.family << ", n=" << fuzz_case.instance.num_jobs()
+                << ", m=" << fuzz_case.instance.num_procs
+                << ", k=" << fuzz_case.options.k << ")\n";
+      if (verbose) std::cerr << report.to_string() << "\n";
+
+      // Minimize: any of the original (algorithm, kind) signatures counts
+      // as the same failure. Unless the concurrent path itself is part of
+      // the signature, replay is fully serial: the engine extra is dropped
+      // from the shrink options.
+      const auto signatures = report.signatures();
+      DifferentialOptions shrink_case_options = fuzz_case.options;
+      const bool engine_in_signature =
+          std::any_of(signatures.begin(), signatures.end(), [](const auto& s) {
+            return s.first == "engine-m-partition";
+          });
+      if (!engine_in_signature) {
+        std::erase_if(shrink_case_options.extra,
+                      [](const CheckedRebalancer& extra) {
+                        return extra.rebalancer.name == "engine-m-partition";
+                      });
+      }
+      const auto still_fails = [&](const Instance& candidate) {
+        const auto candidate_report =
+            differential_check(candidate, shrink_case_options);
+        for (const auto& sig : candidate_report.signatures()) {
+          for (const auto& wanted : signatures) {
+            if (sig == wanted) return true;
+          }
+        }
+        return false;
+      };
+      ShrinkOptions shrink_options;
+      shrink_options.max_evaluations = 2'000;
+      const auto minimized =
+          shrink_instance(fuzz_case.instance, still_fails, shrink_options);
+      largest_repro = std::max(largest_repro, minimized.instance.num_jobs());
+      const auto minimized_report =
+          differential_check(minimized.instance, shrink_case_options);
+
+      if (!ensure_corpus()) return fail("cannot create corpus dir " + corpus);
+      const auto path = std::filesystem::path(corpus) /
+                        ("repro_" + std::to_string(it) + ".lrb");
+      write_repro(path, minimized.instance, shrink_case_options,
+                  minimized_report, seed, it, fuzz_case.family);
+      std::cerr << "lrb_fuzz: minimized to n="
+                << minimized.instance.num_jobs()
+                << ", m=" << minimized.instance.num_procs << " -> "
+                << path.string() << "\n";
+    }
   }
 
   std::cout << "lrb_fuzz: " << iteration << " iterations, " << violations
