@@ -2,17 +2,349 @@
 // its running time / DP state count grows steeply as eps shrinks - the
 // trade-off that makes the 1.5-approximation "more likely to be useful in
 // practice" (paper, §1).
+//
+// Engine-bench mode (--json PATH): measures the packed-state DP engine
+// against the retained reference implementation (check/ptas_reference) on
+// the same corpus, in the same binary - states/sec, peak resident state
+// bytes (via a size-accounting allocator), and per-guess latency - and
+// writes a lrb-ptas-bench-v1 JSON record. --min-speedup / --min-mem-ratio
+// turn the relative numbers into a CI gate (hardware-independent: both
+// engines run on the same machine in the same process).
+//
+//   bench_ptas                                  # E6 quality table
+//   bench_ptas --smoke                          # tiny E6 (ctest bench-smoke)
+//   bench_ptas --json out.json --min-speedup 2 --min-mem-ratio 3
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <new>
+#include <string>
+#include <vector>
 
 #include "algo/ptas.h"
 #include "bench_common.h"
+#include "check/ptas_reference.h"
 #include "util/timer.h"
 
+// ---- size-accounting allocator (whole bench binary) -----------------------
+// Every allocation carries a 16-byte size header so current/peak resident
+// heap bytes can be read around a region of interest. Single-threaded use.
+
+namespace {
+std::atomic<std::size_t> g_current_bytes{0};
+std::atomic<std::size_t> g_peak_bytes{0};
+
+void note_alloc(std::size_t size) {
+  const std::size_t current =
+      g_current_bytes.fetch_add(size, std::memory_order_relaxed) + size;
+  std::size_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (current > peak && !g_peak_bytes.compare_exchange_weak(
+                               peak, current, std::memory_order_relaxed)) {
+  }
+}
+
+/// Resets the high-water mark to the current level; the next peak reading
+/// is relative to this point.
+void reset_peak() {
+  g_peak_bytes.store(g_current_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+std::size_t peak_delta_since_reset_base() {
+  return g_peak_bytes.load(std::memory_order_relaxed);
+}
+
+constexpr std::size_t kHeader = 16;  // preserves max_align_t alignment
+}  // namespace
+
+void* operator new(std::size_t size) {
+  const std::size_t want = size == 0 ? 1 : size;
+  auto* raw = static_cast<unsigned char*>(std::malloc(want + kHeader));
+  if (raw == nullptr) throw std::bad_alloc();
+  std::memcpy(raw, &want, sizeof(want));
+  note_alloc(want);
+  return raw + kHeader;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept {
+  if (p == nullptr) return;
+  auto* raw = static_cast<unsigned char*>(p) - kHeader;
+  std::size_t size = 0;
+  std::memcpy(&size, raw, sizeof(size));
+  g_current_bytes.fetch_sub(size, std::memory_order_relaxed);
+  std::free(raw);
+}
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
+namespace {
+
+using namespace lrb;
+using namespace lrb::bench;
+
+struct EngineStats {
+  std::size_t states = 0;           // timed passes (throughput numerator)
+  double seconds = 0.0;             // timed passes (throughput denominator)
+  std::size_t cold_states = 0;      // one cold evaluation per instance
+  std::size_t sum_peak_bytes = 0;   // Σ per-instance cold-run peak deltas
+  std::size_t peak_state_bytes = 0;  // max per-guess peak delta over corpus
+  std::vector<double> per_guess_ms;
+
+  [[nodiscard]] double states_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(states) / seconds : 0.0;
+  }
+  [[nodiscard]] double bytes_per_state() const {
+    return cold_states > 0 ? static_cast<double>(sum_peak_bytes) /
+                                 static_cast<double>(cold_states)
+                           : 0.0;
+  }
+};
+
+struct LatencySummary {
+  double mean = 0.0, p50 = 0.0, max = 0.0;
+};
+
+LatencySummary summarize_latency(std::vector<double> ms) {
+  LatencySummary out;
+  if (ms.empty()) return out;
+  std::sort(ms.begin(), ms.end());
+  double total = 0.0;
+  for (const double v : ms) total += v;
+  out.mean = total / static_cast<double>(ms.size());
+  out.p50 = ms[ms.size() / 2];
+  out.max = ms.back();
+  return out;
+}
+
+std::vector<Instance> bench_corpus(std::size_t count) {
+  std::vector<Instance> corpus;
+  corpus.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    GeneratorOptions gen;
+    gen.num_jobs = 14;
+    gen.num_procs = 4;
+    gen.min_size = 1;
+    gen.max_size = 100;
+    gen.size_dist = static_cast<SizeDistribution>(i % 5);
+    gen.placement = static_cast<PlacementPolicy>((i / 5) % 5);
+    gen.cost_model = static_cast<CostModel>((i / 25) % 5);
+    gen.max_cost = 10;
+    corpus.push_back(random_instance(gen, 9000 + i));
+  }
+  return corpus;
+}
+
+constexpr double kBenchEps = 0.4;
+constexpr std::size_t kStateLimit = 4'000'000;
+
+int run_engine_bench(const std::string& json_path, double min_speedup,
+                     double min_mem_ratio) {
+  const std::size_t corpus_size = smoke_cap<std::size_t>(24, 4);
+  const int reps = smoke_cap(5, 1);
+  const auto corpus = bench_corpus(corpus_size);
+  std::vector<Size> guesses(corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    guesses[i] = ptas_scan_start(corpus[i], kInfCost);
+  }
+
+  // Peak resident state bytes: one cold (fresh-scratch) evaluation per
+  // instance so the DP's real footprint - not a warmed arena's zero - is
+  // what the high-water mark sees.
+  EngineStats engine;
+  EngineStats reference;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    {
+      PtasScratch cold;
+      reset_peak();
+      const auto base = peak_delta_since_reset_base();
+      const auto out = ptas_probe_guess(corpus[i], guesses[i], kBenchEps,
+                                        kInfCost, kStateLimit, cold);
+      const std::size_t delta = peak_delta_since_reset_base() - base;
+      engine.sum_peak_bytes += delta;
+      engine.peak_state_bytes = std::max(engine.peak_state_bytes, delta);
+      engine.cold_states += out.states;
+    }
+    {
+      reset_peak();
+      const auto base = peak_delta_since_reset_base();
+      const auto out = ptas_reference_guess(corpus[i], guesses[i], kBenchEps,
+                                            kInfCost, kStateLimit);
+      const std::size_t delta = peak_delta_since_reset_base() - base;
+      reference.sum_peak_bytes += delta;
+      reference.peak_state_bytes = std::max(reference.peak_state_bytes, delta);
+      reference.cold_states += out.states;
+    }
+  }
+  if (engine.cold_states != reference.cold_states) {
+    std::cerr << "bench_ptas: state-count mismatch between engines ("
+              << engine.cold_states << " vs " << reference.cold_states
+              << ") - differential contract broken\n";
+    return 1;
+  }
+
+  // Throughput: warmed scratch, `reps` passes per instance, keeping the
+  // minimum latency per (engine, instance) so scheduler noise on a shared
+  // runner cannot fail the gate. The reference has no scratch to warm (it
+  // allocates per call, which is exactly the engine difference measured).
+  PtasScratch scratch;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    (void)ptas_probe_guess(corpus[i], guesses[i], kBenchEps, kInfCost,
+                           kStateLimit, scratch);  // warm all shapes
+  }
+  // Interleaved per instance: a load spike on a shared runner degrades the
+  // adjacent engine and reference timings together instead of biasing one.
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    double engine_best_ms = 0.0;
+    double reference_best_ms = 0.0;
+    std::size_t states = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      Timer engine_timer;
+      const auto out = ptas_probe_guess(corpus[i], guesses[i], kBenchEps,
+                                        kInfCost, kStateLimit, scratch);
+      const double engine_ms = engine_timer.millis();
+      Timer reference_timer;
+      (void)ptas_reference_guess(corpus[i], guesses[i], kBenchEps, kInfCost,
+                                 kStateLimit);
+      const double reference_ms = reference_timer.millis();
+      if (rep == 0 || engine_ms < engine_best_ms) engine_best_ms = engine_ms;
+      if (rep == 0 || reference_ms < reference_best_ms) {
+        reference_best_ms = reference_ms;
+      }
+      states = out.states;
+    }
+    engine.per_guess_ms.push_back(engine_best_ms);
+    engine.seconds += engine_best_ms / 1000.0;
+    engine.states += states;
+    reference.per_guess_ms.push_back(reference_best_ms);
+    reference.seconds += reference_best_ms / 1000.0;
+    reference.states += states;
+  }
+
+  const double speedup = reference.states_per_sec() > 0.0
+                             ? engine.states_per_sec() /
+                                   reference.states_per_sec()
+                             : 0.0;
+  const double mem_ratio = engine.bytes_per_state() > 0.0
+                               ? reference.bytes_per_state() /
+                                     engine.bytes_per_state()
+                               : 0.0;
+  const auto engine_lat = summarize_latency(engine.per_guess_ms);
+  const auto reference_lat = summarize_latency(reference.per_guess_ms);
+
+  std::cout << "PTAS DP engine bench (eps=" << kBenchEps << ", "
+            << corpus.size() << " instances x " << reps << " reps)\n"
+            << "  engine:    " << engine.states_per_sec() << " states/s, "
+            << engine.bytes_per_state() << " bytes/state, mean "
+            << engine_lat.mean << " ms/guess\n"
+            << "  reference: " << reference.states_per_sec() << " states/s, "
+            << reference.bytes_per_state() << " bytes/state, mean "
+            << reference_lat.mean << " ms/guess\n"
+            << "  speedup (states/s): " << speedup
+            << "  memory ratio (bytes/state): " << mem_ratio << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "bench_ptas: cannot write " << json_path << "\n";
+      return 1;
+    }
+    const auto emit_engine = [&](const char* name, const EngineStats& s,
+                                 const LatencySummary& lat) {
+      json << "  \"" << name << "\": {\n"
+           << "    \"states\": " << s.states << ",\n"
+           << "    \"seconds\": " << s.seconds << ",\n"
+           << "    \"states_per_sec\": " << s.states_per_sec() << ",\n"
+           << "    \"cold_states\": " << s.cold_states << ",\n"
+           << "    \"peak_state_bytes\": " << s.peak_state_bytes << ",\n"
+           << "    \"bytes_per_state\": " << s.bytes_per_state() << ",\n"
+           << "    \"per_guess_ms\": {\"mean\": " << lat.mean
+           << ", \"p50\": " << lat.p50 << ", \"max\": " << lat.max << "}\n"
+           << "  }";
+    };
+    json << "{\n"
+         << "  \"schema\": \"lrb-ptas-bench-v1\",\n"
+         << "  \"corpus\": {\"instances\": " << corpus.size()
+         << ", \"num_jobs\": 14, \"num_procs\": 4, \"eps\": " << kBenchEps
+         << ", \"seed_base\": 9000},\n"
+         << "  \"reps\": " << reps << ",\n";
+    emit_engine("engine", engine, engine_lat);
+    json << ",\n";
+    emit_engine("reference", reference, reference_lat);
+    json << ",\n"
+         << "  \"speedup_states_per_sec\": " << speedup << ",\n"
+         << "  \"memory_ratio_bytes_per_state\": " << mem_ratio << ",\n"
+         << "  \"states_identical\": true\n"
+         << "}\n";
+  }
+
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::cerr << "bench_ptas: FAIL speedup " << speedup << " < required "
+              << min_speedup << "\n";
+    return 1;
+  }
+  if (min_mem_ratio > 0.0 && mem_ratio < min_mem_ratio) {
+    std::cerr << "bench_ptas: FAIL memory ratio " << mem_ratio
+              << " < required " << min_mem_ratio << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace lrb;
-  using namespace lrb::bench;
-  if (!parse_bench_flags(argc, argv)) return 2;
+  // Custom flag parsing: the engine-bench flags are not part of the shared
+  // --smoke-only bench contract.
+  std::string json_path;
+  double min_speedup = 0.0;
+  double min_mem_ratio = 0.0;
+  bool engine_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--smoke") {
+      smoke_mode() = true;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::cerr << "bench_ptas: --json needs a path\n";
+        return 2;
+      }
+      json_path = v;
+      engine_mode = true;
+    } else if (arg == "--min-speedup") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::cerr << "bench_ptas: --min-speedup needs a value\n";
+        return 2;
+      }
+      min_speedup = std::atof(v);
+      engine_mode = true;
+    } else if (arg == "--min-mem-ratio") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::cerr << "bench_ptas: --min-mem-ratio needs a value\n";
+        return 2;
+      }
+      min_mem_ratio = std::atof(v);
+      engine_mode = true;
+    } else {
+      std::cerr << "bench_ptas: unknown argument '" << arg
+                << "' (accepts --smoke, --json PATH, --min-speedup X, "
+                   "--min-mem-ratio Y)\n";
+      return 2;
+    }
+  }
+  if (engine_mode) {
+    return run_engine_bench(json_path, min_speedup, min_mem_ratio);
+  }
 
   std::cout << "E6 / §4: PTAS quality-vs-eps sweep (12 seeds per row)\n\n";
   GeneratorOptions gen;

@@ -29,7 +29,8 @@ struct Attempt {
 };
 
 Attempt attempt_guess(const Instance& instance, Size A,
-                      const CostPartitionOptions& options) {
+                      const CostPartitionOptions& options,
+                      KnapsackScratch& knapsack_scratch) {
   Attempt out;
   const ProcId m = instance.num_procs;
   auto is_large = [&](JobId j) { return 2 * instance.sizes[j] > A; };
@@ -75,8 +76,9 @@ Attempt attempt_guess(const Instance& instance, Size A,
         items[i] = {instance.sizes[smalls[i]], instance.move_costs[smalls[i]]};
         total_cost += items[i].value;
       }
-      const auto kept =
-          knapsack_auto(items, A / 2, eps, options.max_knapsack_cells);
+      const auto kept = knapsack_auto(items, A / 2, eps,
+                                      options.max_knapsack_cells,
+                                      &knapsack_scratch);
       plan.a_cost += total_cost - kept.value;
       std::vector<char> keep_flag(smalls.size(), 0);
       for (std::size_t i : kept.chosen) keep_flag[i] = 1;
@@ -94,7 +96,9 @@ Attempt attempt_guess(const Instance& instance, Size A,
         items[i] = {instance.sizes[jobs[i]], instance.move_costs[jobs[i]]};
         total_cost += items[i].value;
       }
-      const auto kept = knapsack_auto(items, A, eps, options.max_knapsack_cells);
+      const auto kept = knapsack_auto(items, A, eps,
+                                      options.max_knapsack_cells,
+                                      &knapsack_scratch);
       plan.b_cost = total_cost - kept.value;
       std::vector<char> keep_flag(jobs.size(), 0);
       for (std::size_t i : kept.chosen) keep_flag[i] = 1;
@@ -196,9 +200,10 @@ RebalanceResult cost_partition_rebalance(const Instance& instance,
                          budget_removal_bound(instance, options.budget),
                          Size{1}});
   std::size_t evaluated = 0;
+  KnapsackScratch knapsack_scratch;  // DP buffers shared across all guesses
   for (;;) {
     ++evaluated;
-    auto attempt = attempt_guess(instance, guess, options);
+    auto attempt = attempt_guess(instance, guess, options, knapsack_scratch);
     if (attempt.feasible && attempt.planned_cost <= options.budget) {
       if (stats != nullptr) {
         stats->accepted_guess = guess;

@@ -24,14 +24,32 @@
 //
 // Final loads are <= W + u = (1 + 3*delta) * Â <= (1 + eps) * OPT for the
 // accepted guess (Lemma 11 plus the guess granularity).
+//
+// Engine notes (see docs/performance.md, "PTAS state representation"): DP
+// states are packed fixed-width integer keys (util/packed_key.h) living in
+// per-layer arenas indexed by a flat open-addressing table
+// (util/flat_hash.h); nodes carry only a cost and a uint32 parent index,
+// and the per-processor choice vector is re-derived during reconstruction
+// by differencing adjacent state keys. The class-vector enumeration is
+// incremental branch-and-bound: partial eviction cost plus an optimistic
+// remaining-classes bound prunes branches whose every completion would
+// exceed the budget - exactly the transitions the unpruned DP would reject,
+// so acceptance decisions, costs, state counts, and reconstructed
+// assignments are bit-identical to the retained reference implementation
+// (check/ptas_reference.h). Iteration over a layer is in state insertion
+// order, which both engines share; that order is the determinism contract
+// the differential suite (tools/lrb_fuzz --algo ptas) enforces.
 
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "core/assignment.h"
 #include "core/instance.h"
+#include "util/flat_hash.h"
+#include "util/packed_key.h"
 
 namespace lrb {
 
@@ -53,8 +71,73 @@ struct PtasResult {
   std::size_t guesses_evaluated = 0;
 };
 
+/// Reusable working memory for the PTAS DP. Every per-guess buffer -
+/// classification, per-processor flattened class/small data, key codec,
+/// layer arenas, hash tables, and enumeration temporaries - lives here, so
+/// a warmed scratch makes the steady-state guess scan allocation-free: the
+/// first solve of a given shape grows the arenas, repeats reuse them (the
+/// same discipline as MPartitionScratch; the accepted guess's one-off
+/// assignment reconstruction still allocates the returned solution).
+struct PtasScratch {
+  // ---- classification ----
+  std::vector<std::int32_t> job_class;   ///< class of each job (-1 small)
+  std::vector<std::int64_t> totals;      ///< global class counts
+  std::vector<Size> class_size;          ///< rounded class ceilings L_t
+  // ---- per-processor flattened segments ----
+  std::vector<std::int64_t> proc_count;  ///< m*s large counts x_p[t]
+  std::vector<JobId> class_jobs;         ///< large jobs by (proc, class, cost)
+  std::vector<std::size_t> class_off;    ///< m*s+1 segment boundaries
+  std::vector<Cost> class_prefix;        ///< per-segment eviction prefix sums
+  std::vector<std::size_t> prefix_off;   ///< m*s+1 prefix segment boundaries
+  std::vector<JobId> smalls;             ///< small jobs by (proc, cost/size)
+  std::vector<std::size_t> small_off;    ///< m+1 segment boundaries
+  std::vector<Size> small_size_prefix;
+  std::vector<Cost> small_cost_prefix;
+  std::vector<Size> small_total;         ///< m per-processor small loads
+  std::vector<std::size_t> cursor;       ///< counting-sort fill positions
+  // ---- DP state storage ----
+  PackedKeyCodec codec;
+  struct DpLayer {
+    std::vector<std::uint64_t> keys;   ///< codec.words() words per state
+    std::vector<Cost> cost;
+    std::vector<std::uint32_t> parent; ///< index into the previous layer
+    FlatIndexTable table;
+  };
+  std::vector<DpLayer> layers;           ///< m+1, reused across guesses
+  // ---- enumeration temporaries ----
+  std::vector<std::int64_t> rem;         ///< decoded source state
+  std::vector<std::int64_t> next_vals;   ///< child state fields being built
+  std::vector<Cost> tail_min;            ///< optimistic eviction cost suffix
+  std::vector<std::uint64_t> key_words;
+  std::vector<std::int64_t> maxima;      ///< codec planning input
+
+  /// Pre-sizes the per-job / per-processor buffers for instances up to
+  /// (max_jobs, max_procs) with up to `max_classes` large-size classes
+  /// (~48 covers eps >= 0.25). DP layer arenas size themselves on first
+  /// use and are retained, so repeat solves stay allocation-free.
+  void warm(std::size_t max_jobs, ProcId max_procs,
+            std::size_t max_classes = 48);
+};
+
+/// One DP guess evaluated in isolation - the unit the scan, the benchmark
+/// harness (bench/bench_ptas), and the differential suite all speak.
+struct PtasGuessOutcome {
+  bool representable = false;  ///< guess >= max job and DP stayed in limits
+  bool within_limit = true;
+  bool constructed = false;    ///< assignment successfully reconstructed
+  Cost cost = kInfCost;
+  std::size_t states = 0;
+  Assignment assignment;
+};
+
 [[nodiscard]] PtasResult ptas_rebalance(const Instance& instance,
                                         const PtasOptions& options);
+
+/// Scratch-arena variant: bit-identical to the plain overload, but all DP
+/// buffers live in (and are reused from) `scratch`.
+[[nodiscard]] PtasResult ptas_rebalance(const Instance& instance,
+                                        const PtasOptions& options,
+                                        PtasScratch& scratch);
 
 /// Wave-parallel guess scan over `pool`: the same deterministic guess
 /// sequence is evaluated `wave` guesses at a time (0 = automatic, ~2 per
@@ -65,5 +148,37 @@ struct PtasResult {
                                                  const PtasOptions& options,
                                                  ThreadPool& pool,
                                                  std::size_t wave = 0);
+
+/// Scratch variant of the wave-parallel scan: wave slot i always uses
+/// `scratches[i]` (the vector is resized to the wave count), so per-worker
+/// reuse is deterministic and repeat solves reuse warmed arenas.
+[[nodiscard]] PtasResult ptas_rebalance_parallel(
+    const Instance& instance, const PtasOptions& options, ThreadPool& pool,
+    std::vector<PtasScratch>& scratches, std::size_t wave = 0);
+
+// ---- test / bench / differential hooks ------------------------------------
+
+/// The guess-granularity delta for a target eps:
+/// (1 + 3*delta) * (1 + delta) <= 1 + eps.
+[[nodiscard]] double ptas_delta(double eps);
+
+/// First guess of the scan (certified lower bounds), its geometric
+/// successor, and the scan's hard stop. Shared by the serial scan, the
+/// wave-parallel scan, and the reference implementation so the three can
+/// never drift apart.
+[[nodiscard]] Size ptas_scan_start(const Instance& instance, Cost budget);
+[[nodiscard]] Size ptas_next_guess(Size guess, double delta);
+[[nodiscard]] Size ptas_scan_stop(const Instance& instance);
+
+/// Evaluates a single guess of the DP. With `reconstruct` false the
+/// accepted assignment is not rebuilt, which keeps the call allocation-free
+/// within warmed scratch bounds (the property tests/test_ptas_dp.cpp
+/// asserts with an allocation-counting hook).
+[[nodiscard]] PtasGuessOutcome ptas_probe_guess(const Instance& instance,
+                                                Size guess, double eps,
+                                                Cost budget,
+                                                std::size_t state_limit,
+                                                PtasScratch& scratch,
+                                                bool reconstruct = false);
 
 }  // namespace lrb

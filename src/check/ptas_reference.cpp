@@ -1,0 +1,356 @@
+#include "check/ptas_reference.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace lrb {
+namespace {
+
+// ---- The pre-overhaul DP, kept byte-for-byte except where noted. ----------
+
+struct Discretization {
+  Size guess = 0;
+  double delta = 0.0;
+  Size u = 1;
+  Size w = 0;
+  std::vector<Size> class_size;
+
+  [[nodiscard]] int class_of(Size size) const {
+    if (static_cast<double>(size) <= delta * static_cast<double>(guess)) {
+      return -1;
+    }
+    // The historical linear scan (the production engine binary-searches).
+    for (std::size_t t = 0; t < class_size.size(); ++t) {
+      if (size <= class_size[t]) return static_cast<int>(t);
+    }
+    return -2;
+  }
+};
+
+Discretization make_discretization(Size guess, double delta) {
+  Discretization d;
+  d.guess = guess;
+  d.delta = delta;
+  d.u = std::max<Size>(1, static_cast<Size>(std::floor(
+                              delta * static_cast<double>(guess))));
+  d.w = static_cast<Size>(
+      std::floor((1.0 + 2.0 * delta) * static_cast<double>(guess)));
+  double boundary = delta * static_cast<double>(guess);
+  while (boundary < static_cast<double>(guess)) {
+    boundary *= (1.0 + delta);
+    d.class_size.push_back(
+        std::min<Size>(guess, static_cast<Size>(std::ceil(boundary))));
+  }
+  return d;
+}
+
+struct ProcData {
+  std::vector<std::int64_t> x;
+  std::vector<std::vector<JobId>> class_jobs;
+  std::vector<std::vector<Cost>> class_cost_prefix;
+  std::vector<JobId> smalls;
+  std::vector<Size> small_size_prefix;
+  std::vector<Cost> small_cost_prefix;
+  Size small_total = 0;
+
+  [[nodiscard]] std::pair<Cost, std::size_t> small_trim(Size cap) const {
+    const Size need = small_total - cap;
+    if (need <= 0) return {0, 0};
+    const auto it = std::lower_bound(small_size_prefix.begin(),
+                                     small_size_prefix.end(), need);
+    assert(it != small_size_prefix.end());
+    const auto r =
+        static_cast<std::size_t>(it - small_size_prefix.begin()) + 1;
+    return {small_cost_prefix[r - 1], r};
+  }
+};
+
+struct DpNode {
+  Cost cost = kInfCost;
+  std::string prev;
+  std::vector<std::int32_t> choice;
+  Size vmax = 0;
+};
+
+/// Insertion-ordered DP layer: the historical unordered_map plus a side
+/// vector of keys in first-insertion order. This is the one deliberate
+/// change from the historical code - hash-order iteration was never a
+/// pinned contract, and canonicalizing both engines on insertion order is
+/// what makes tie-broken parents (and thus reconstructed assignments)
+/// comparable.
+struct Layer {
+  std::vector<std::string> order;
+  std::unordered_map<std::string, DpNode> nodes;
+};
+
+std::string encode(const std::vector<std::int64_t>& counts,
+                   std::int64_t need) {
+  std::string key;
+  key.resize((counts.size() + 1) * sizeof(std::int64_t));
+  std::memcpy(key.data(), counts.data(),
+              counts.size() * sizeof(std::int64_t));
+  std::memcpy(key.data() + counts.size() * sizeof(std::int64_t), &need,
+              sizeof(std::int64_t));
+  return key;
+}
+
+PtasGuessOutcome run_guess(const Instance& instance, Size guess, double delta,
+                           Cost budget, std::size_t state_limit) {
+  PtasGuessOutcome out;
+  const Discretization d = make_discretization(guess, delta);
+  const ProcId m = instance.num_procs;
+  const auto s = d.class_size.size();
+
+  std::vector<int> job_class(instance.num_jobs());
+  std::vector<std::int64_t> totals(s, 0);
+  Size small_total_all = 0;
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    const int t = d.class_of(instance.sizes[j]);
+    if (t == -2) return out;
+    job_class[j] = t;
+    if (t >= 0) {
+      ++totals[static_cast<std::size_t>(t)];
+    } else {
+      small_total_all += instance.sizes[j];
+    }
+  }
+  const std::int64_t v_need = (small_total_all + d.u - 1) / d.u;
+
+  std::vector<ProcData> procs(m);
+  {
+    auto by_proc = instance.jobs_by_proc();
+    for (ProcId p = 0; p < m; ++p) {
+      auto& pd = procs[p];
+      pd.x.assign(s, 0);
+      pd.class_jobs.assign(s, {});
+      for (JobId j : by_proc[p]) {
+        const int t = job_class[j];
+        if (t >= 0) {
+          ++pd.x[static_cast<std::size_t>(t)];
+          pd.class_jobs[static_cast<std::size_t>(t)].push_back(j);
+        } else {
+          pd.smalls.push_back(j);
+          pd.small_total += instance.sizes[j];
+        }
+      }
+      pd.class_cost_prefix.assign(s, {});
+      for (std::size_t t = 0; t < s; ++t) {
+        auto& jobs = pd.class_jobs[t];
+        std::sort(jobs.begin(), jobs.end(), [&](JobId a, JobId b) {
+          if (instance.move_costs[a] != instance.move_costs[b]) {
+            return instance.move_costs[a] < instance.move_costs[b];
+          }
+          return a < b;
+        });
+        auto& prefix = pd.class_cost_prefix[t];
+        prefix.reserve(jobs.size() + 1);
+        prefix.push_back(0);
+        for (JobId j : jobs) {
+          prefix.push_back(prefix.back() + instance.move_costs[j]);
+        }
+      }
+      std::sort(pd.smalls.begin(), pd.smalls.end(), [&](JobId a, JobId b) {
+        const Size sa = instance.sizes[a], sb = instance.sizes[b];
+        const Cost ca = instance.move_costs[a], cb = instance.move_costs[b];
+        if ((sa == 0) != (sb == 0)) return sb == 0;
+        const double ra = sa == 0 ? 0.0
+                                  : static_cast<double>(ca) /
+                                        static_cast<double>(sa);
+        const double rb = sb == 0 ? 0.0
+                                  : static_cast<double>(cb) /
+                                        static_cast<double>(sb);
+        if (ra != rb) return ra < rb;
+        return a < b;
+      });
+      pd.small_size_prefix.reserve(pd.smalls.size());
+      pd.small_cost_prefix.reserve(pd.smalls.size());
+      Size acc_size = 0;
+      Cost acc_cost = 0;
+      for (JobId j : pd.smalls) {
+        acc_size += instance.sizes[j];
+        acc_cost += instance.move_costs[j];
+        pd.small_size_prefix.push_back(acc_size);
+        pd.small_cost_prefix.push_back(acc_cost);
+      }
+    }
+  }
+
+  std::vector<Layer> layers(m + 1);
+  {
+    DpNode root;
+    root.cost = 0;
+    std::string root_key = encode(totals, v_need);
+    layers[0].nodes.emplace(root_key, std::move(root));
+    layers[0].order.push_back(std::move(root_key));
+  }
+  std::size_t total_states = 1;
+
+  for (ProcId p = 0; p < m; ++p) {
+    const auto& pd = procs[p];
+    for (const std::string& key : layers[p].order) {
+      const DpNode& node = layers[p].nodes.at(key);
+      std::vector<std::int64_t> rem(s);
+      std::int64_t need = 0;
+      std::memcpy(rem.data(), key.data(), s * sizeof(std::int64_t));
+      std::memcpy(&need, key.data() + s * sizeof(std::int64_t),
+                  sizeof(std::int64_t));
+
+      std::vector<std::int32_t> xprime(s, 0);
+      auto emit = [&](Size load_used) {
+        const Size vmax = (d.w - load_used) / d.u;
+        Cost cost = node.cost;
+        for (std::size_t t = 0; t < s; ++t) {
+          const auto have = pd.x[t];
+          const auto want = static_cast<std::int64_t>(xprime[t]);
+          if (have > want) {
+            cost +=
+                pd.class_cost_prefix[t][static_cast<std::size_t>(have - want)];
+          }
+        }
+        cost += pd.small_trim(vmax * d.u + d.u).first;
+        if (cost >= kInfCost || cost > budget) return;
+
+        std::vector<std::int64_t> next_rem(s);
+        for (std::size_t t = 0; t < s; ++t) {
+          next_rem[t] = rem[t] - static_cast<std::int64_t>(xprime[t]);
+        }
+        const std::int64_t next_need = std::max<std::int64_t>(0, need - vmax);
+        std::string next_key = encode(next_rem, next_need);
+        auto [it, inserted] = layers[p + 1].nodes.try_emplace(next_key);
+        if (inserted) {
+          layers[p + 1].order.push_back(std::move(next_key));
+          ++total_states;
+        }
+        if (cost < it->second.cost) {
+          it->second.cost = cost;
+          it->second.prev = key;
+          it->second.choice = xprime;
+          it->second.vmax = vmax;
+        }
+      };
+      auto enumerate = [&](auto&& self, std::size_t t, Size load_used) -> void {
+        if (total_states > state_limit) return;
+        if (t == s) {
+          emit(load_used);
+          return;
+        }
+        for (std::int64_t cnt = 0;; ++cnt) {
+          if (cnt > rem[t]) break;
+          const Size load =
+              load_used + static_cast<Size>(cnt) * d.class_size[t];
+          if (load > d.w) break;
+          xprime[t] = static_cast<std::int32_t>(cnt);
+          self(self, t + 1, load);
+        }
+        xprime[t] = 0;
+      };
+      enumerate(enumerate, 0, 0);
+      if (total_states > state_limit) {
+        out.within_limit = false;
+        out.states = total_states;
+        return out;
+      }
+    }
+  }
+  out.states = total_states;
+
+  const std::string final_key =
+      encode(std::vector<std::int64_t>(s, 0), std::int64_t{0});
+  const auto final_it = layers[m].nodes.find(final_key);
+  if (final_it == layers[m].nodes.end()) return out;
+  out.representable = true;
+  out.cost = final_it->second.cost;
+  if (out.cost > budget) return out;
+
+  std::vector<std::vector<std::int32_t>> choice(m);
+  std::vector<Size> vmax(m, 0);
+  {
+    std::string key = final_key;
+    for (ProcId p = m; p-- > 0;) {
+      const auto& node = layers[p + 1].nodes.at(key);
+      choice[p] = node.choice;
+      vmax[p] = node.vmax;
+      key = node.prev;
+    }
+  }
+
+  Assignment assignment = instance.initial;
+  std::vector<std::vector<JobId>> evicted_by_class(s);
+  std::vector<JobId> evicted_smalls;
+  std::vector<Size> small_load(m, 0);
+  for (ProcId p = 0; p < m; ++p) {
+    const auto& pd = procs[p];
+    for (std::size_t t = 0; t < s; ++t) {
+      const auto surplus = pd.x[t] - static_cast<std::int64_t>(choice[p][t]);
+      for (std::int64_t i = 0; i < surplus; ++i) {
+        evicted_by_class[t].push_back(
+            pd.class_jobs[t][static_cast<std::size_t>(i)]);
+      }
+    }
+    const auto [trim_cost, trim_count] = pd.small_trim(vmax[p] * d.u + d.u);
+    (void)trim_cost;
+    for (std::size_t i = 0; i < trim_count; ++i) {
+      evicted_smalls.push_back(pd.smalls[i]);
+    }
+    small_load[p] =
+        pd.small_total -
+        (trim_count == 0 ? 0 : pd.small_size_prefix[trim_count - 1]);
+  }
+  std::vector<std::size_t> pool_next(s, 0);
+  for (ProcId p = 0; p < m; ++p) {
+    const auto& pd = procs[p];
+    for (std::size_t t = 0; t < s; ++t) {
+      const auto deficit = static_cast<std::int64_t>(choice[p][t]) - pd.x[t];
+      for (std::int64_t i = 0; i < deficit; ++i) {
+        assert(pool_next[t] < evicted_by_class[t].size());
+        assignment[evicted_by_class[t][pool_next[t]++]] = p;
+      }
+    }
+  }
+  for (std::size_t t = 0; t < s; ++t) {
+    assert(pool_next[t] == evicted_by_class[t].size());
+  }
+  std::sort(evicted_smalls.begin(), evicted_smalls.end(),
+            [&](JobId a, JobId b) {
+              if (instance.sizes[a] != instance.sizes[b]) {
+                return instance.sizes[a] > instance.sizes[b];
+              }
+              return a < b;
+            });
+  for (JobId j : evicted_smalls) {
+    if (instance.sizes[j] == 0) {
+      assignment[j] = instance.initial[j];
+      continue;
+    }
+    bool placed = false;
+    for (ProcId p = 0; p < m; ++p) {
+      if (small_load[p] < vmax[p] * d.u) {
+        small_load[p] += instance.sizes[j];
+        assignment[j] = p;
+        placed = true;
+        break;
+      }
+    }
+    assert(placed);
+    if (!placed) return out;
+  }
+  out.assignment = std::move(assignment);
+  out.constructed = true;
+  return out;
+}
+
+}  // namespace
+
+PtasGuessOutcome ptas_reference_guess(const Instance& instance, Size guess,
+                                      double eps, Cost budget,
+                                      std::size_t state_limit) {
+  return run_guess(instance, guess, ptas_delta(eps), budget, state_limit);
+}
+
+}  // namespace lrb

@@ -1,0 +1,33 @@
+// Reference implementation of the §4 PTAS configuration DP.
+//
+// This is the pre-overhaul engine, retained verbatim for differential
+// checking: std::string state keys, one std::unordered_map per layer, full
+// per-node prev/choice storage, linear class_of, and no branch-and-bound.
+// The only change from the historical code is that each layer additionally
+// keeps its states in a side vector so iteration is in *insertion order* -
+// the canonical order the production engine (algo/ptas.cpp) also uses. That
+// makes every observable of the two engines comparable bit-for-bit:
+// acceptance decision, cost, state count (including the exact count at
+// which a state_limit abort fires), and the reconstructed assignment.
+//
+// tools/lrb_fuzz --algo ptas and tests/test_ptas_dp.cpp drive both engines
+// over the shared guess sequence (ptas_scan_start / ptas_next_guess /
+// ptas_scan_stop) and fail on any divergence.
+
+#pragma once
+
+#include <cstddef>
+
+#include "algo/ptas.h"
+#include "core/instance.h"
+
+namespace lrb {
+
+/// Evaluates one guess with the reference DP. Mirrors
+/// ptas_probe_guess(..., reconstruct=true) field for field.
+[[nodiscard]] PtasGuessOutcome ptas_reference_guess(const Instance& instance,
+                                                    Size guess, double eps,
+                                                    Cost budget,
+                                                    std::size_t state_limit);
+
+}  // namespace lrb

@@ -109,8 +109,9 @@ RebalanceResult BatchSolver::run_algo(Scratch& scratch,
       opt.eps = options_.ptas_eps;
       auto ptas = (pool_.size() > 1 &&
                    instance.num_jobs() >= options_.intra_parallel_min_jobs)
-                      ? ptas_rebalance_parallel(instance, opt, pool_)
-                      : ptas_rebalance(instance, opt);
+                      ? ptas_rebalance_parallel(instance, opt, pool_,
+                                                scratch.ptas_wave)
+                      : ptas_rebalance(instance, opt, scratch.ptas);
       result = std::move(ptas.result);
       break;
     }

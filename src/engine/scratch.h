@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "algo/m_partition.h"
+#include "algo/ptas.h"
 #include "core/types.h"
 
 namespace lrb::engine {
@@ -17,11 +18,16 @@ namespace lrb::engine {
 /// what the arena contract does and does not cover).
 struct Scratch {
   MPartitionScratch m_partition;
+  PtasScratch ptas;                 ///< serial PTAS guess-scan arena
+  std::vector<PtasScratch> ptas_wave;  ///< wave-parallel PTAS slot arenas
   std::vector<Size> loads;  ///< per-processor loads for result rechecks
 
   void warm(std::size_t max_jobs, ProcId max_procs) {
     m_partition.warm(max_jobs, max_procs);
+    ptas.warm(max_jobs, max_procs);
     loads.reserve(max_procs);
+    // ptas_wave slots are sized (and warmed by first use) lazily in
+    // BatchSolver::run_algo: the wave count depends on the pool size.
   }
 };
 

@@ -9,37 +9,40 @@ namespace lrb {
 namespace {
 
 // Shared DP core on (possibly scaled) integer sizes. `sizes[i]` is item i's
-// weight in DP units; capacity likewise. Reconstructs the chosen set.
+// weight in DP units; capacity likewise. Reconstructs the chosen set. All
+// working memory lives in `sc` (bit-packed take matrix: one bit per
+// item x budget cell).
 KnapsackSolution solve_dp(std::span<const KnapsackItem> items,
-                          std::span<const Size> sizes, Size capacity) {
+                          std::span<const Size> sizes, Size capacity,
+                          KnapsackScratch& sc) {
   const std::size_t n = items.size();
   const auto cap = static_cast<std::size_t>(std::max<Size>(capacity, 0));
   // best[w]: max value using a prefix of items with total scaled size <= w.
-  std::vector<Cost> best(cap + 1, 0);
-  // take[i * (cap+1) + w]: whether item i is taken at budget w.
-  std::vector<char> take(n * (cap + 1), 0);
+  sc.best.assign(cap + 1, 0);
+  const std::size_t row_words = (cap + 1 + 63) / 64;
+  sc.take.assign(n * row_words, 0);
 
   for (std::size_t i = 0; i < n; ++i) {
     const Size w_i = sizes[i];
     const Cost v_i = items[i].value;
     if (w_i > capacity) continue;
-    char* take_row = take.data() + i * (cap + 1);
+    std::uint64_t* take_row = sc.take.data() + i * row_words;
     // Descending weight loop keeps each item 0/1.
     for (std::size_t w = cap; w + 1 > static_cast<std::size_t>(w_i); --w) {
-      const Cost candidate = best[w - static_cast<std::size_t>(w_i)] + v_i;
-      if (candidate > best[w]) {
-        best[w] = candidate;
-        take_row[w] = 1;
+      const Cost candidate = sc.best[w - static_cast<std::size_t>(w_i)] + v_i;
+      if (candidate > sc.best[w]) {
+        sc.best[w] = candidate;
+        take_row[w / 64] |= std::uint64_t{1} << (w % 64);
       }
       if (w == 0) break;
     }
   }
 
   KnapsackSolution solution;
-  solution.value = best[cap];
+  solution.value = sc.best[cap];
   std::size_t w = cap;
   for (std::size_t i = n; i-- > 0;) {
-    if (take[i * (cap + 1) + w]) {
+    if ((sc.take[i * row_words + w / 64] >> (w % 64)) & 1u) {
       solution.chosen.push_back(i);
       solution.size += items[i].size;  // report TRUE size, not scaled
       w -= static_cast<std::size_t>(sizes[i]);
@@ -52,15 +55,17 @@ KnapsackSolution solve_dp(std::span<const KnapsackItem> items,
 }  // namespace
 
 KnapsackSolution knapsack_exact(std::span<const KnapsackItem> items,
-                                Size capacity) {
+                                Size capacity, KnapsackScratch* scratch) {
   assert(capacity >= 0);
-  std::vector<Size> sizes(items.size());
+  KnapsackScratch local;
+  KnapsackScratch& sc = scratch != nullptr ? *scratch : local;
+  sc.scaled_sizes.resize(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
     assert(items[i].size >= 0);
     assert(items[i].value >= 0);
-    sizes[i] = items[i].size;
+    sc.scaled_sizes[i] = items[i].size;
   }
-  return solve_dp(items, sizes, capacity);
+  return solve_dp(items, sc.scaled_sizes, capacity, sc);
 }
 
 KnapsackSolution knapsack_greedy(std::span<const KnapsackItem> items,
@@ -89,7 +94,8 @@ KnapsackSolution knapsack_greedy(std::span<const KnapsackItem> items,
 }
 
 KnapsackSolution knapsack_size_relaxed(std::span<const KnapsackItem> items,
-                                       Size capacity, double eps) {
+                                       Size capacity, double eps,
+                                       KnapsackScratch* scratch) {
   assert(eps > 0.0);
   assert(capacity >= 0);
   if (items.empty() || capacity == 0) {
@@ -106,12 +112,14 @@ KnapsackSolution knapsack_size_relaxed(std::span<const KnapsackItem> items,
   const auto n = static_cast<double>(items.size());
   const Size unit = std::max<Size>(
       1, static_cast<Size>(std::floor(eps * static_cast<double>(capacity) / n)));
-  std::vector<Size> scaled(items.size());
+  KnapsackScratch local;
+  KnapsackScratch& sc = scratch != nullptr ? *scratch : local;
+  sc.scaled_sizes.resize(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
-    scaled[i] = items[i].size / unit;  // round DOWN: never excludes OPT's set
+    sc.scaled_sizes[i] = items[i].size / unit;  // round DOWN: keeps OPT's set
   }
   const Size scaled_cap = capacity / unit;
-  auto solution = solve_dp(items, scaled, scaled_cap);
+  auto solution = solve_dp(items, sc.scaled_sizes, scaled_cap, sc);
   // True size exceeds the scaled size by < unit per item, so
   // size <= scaled_cap*unit + n*unit <= capacity + eps*capacity.
   return solution;
@@ -119,11 +127,21 @@ KnapsackSolution knapsack_size_relaxed(std::span<const KnapsackItem> items,
 
 KnapsackSolution knapsack_auto(std::span<const KnapsackItem> items,
                                Size capacity, double eps,
-                               std::size_t max_cells) {
-  const auto cells = static_cast<std::size_t>(std::max<Size>(capacity, 0) + 1) *
-                     std::max<std::size_t>(items.size(), 1);
-  if (cells <= max_cells) return knapsack_exact(items, capacity);
-  return knapsack_size_relaxed(items, capacity, eps);
+                               std::size_t max_cells,
+                               KnapsackScratch* scratch) {
+  // (capacity+1) * n with overflow checking: a saturated product means the
+  // exact DP table could never be allocated, so route to the relaxed DP
+  // (the historical wrapping product could alias huge capacities back into
+  // the "small" range and wrongly pick knapsack_exact).
+  const auto cap1 =
+      static_cast<std::size_t>(std::max<Size>(capacity, 0)) + 1;
+  const std::size_t n = std::max<std::size_t>(items.size(), 1);
+  std::size_t cells = 0;
+  const bool saturated = __builtin_mul_overflow(cap1, n, &cells);
+  if (!saturated && cells <= max_cells) {
+    return knapsack_exact(items, capacity, scratch);
+  }
+  return knapsack_size_relaxed(items, capacity, eps, scratch);
 }
 
 }  // namespace lrb

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -21,6 +22,17 @@ struct KnapsackItem {
   Cost value = 0;
 };
 
+/// Reusable DP buffers. The `take` matrix is bit-packed (one bit per
+/// item x budget cell, 8x smaller than the historical byte matrix) and both
+/// buffers are retained across calls, so repeat solves of instances within
+/// previously seen bounds perform no heap allocation. Pass one by pointer
+/// to the routines below; nullptr means "use a call-local scratch".
+struct KnapsackScratch {
+  std::vector<Cost> best;            ///< (cap+1) running best values
+  std::vector<std::uint64_t> take;   ///< n rows of ceil((cap+1)/64) words
+  std::vector<Size> scaled_sizes;    ///< per-item DP weights
+};
+
 struct KnapsackSolution {
   Cost value = 0;                    ///< total value of chosen items
   Size size = 0;                     ///< total size of chosen items
@@ -31,7 +43,8 @@ struct KnapsackSolution {
 /// choice bookkeeping. Requires capacity >= 0; items with size > capacity
 /// are never chosen. Intended for capacity up to ~1e6 * n cells.
 [[nodiscard]] KnapsackSolution knapsack_exact(std::span<const KnapsackItem> items,
-                                              Size capacity);
+                                              Size capacity,
+                                              KnapsackScratch* scratch = nullptr);
 
 /// Greedy by value/size ratio (items with size 0 first). No approximation
 /// guarantee by itself; used as a warm start and by the fractional bounds.
@@ -44,13 +57,18 @@ struct KnapsackSolution {
 /// Works by rounding sizes DOWN to multiples of eps*capacity/n and running
 /// the exact DP on the scaled sizes; O(n^2 / eps). eps > 0.
 [[nodiscard]] KnapsackSolution knapsack_size_relaxed(
-    std::span<const KnapsackItem> items, Size capacity, double eps);
+    std::span<const KnapsackItem> items, Size capacity, double eps,
+    KnapsackScratch* scratch = nullptr);
 
 /// Picks knapsack_exact when the DP table is small (<= max_cells), else
 /// knapsack_size_relaxed(eps). The returned set always has
 /// size <= (1 + eps) * capacity and value >= the exact optimum at capacity.
+/// The cell count is computed with overflow checking: capacities whose
+/// (capacity+1)*n product would wrap route to the relaxed DP instead of
+/// aliasing into the exact one.
 [[nodiscard]] KnapsackSolution knapsack_auto(std::span<const KnapsackItem> items,
                                              Size capacity, double eps,
-                                             std::size_t max_cells = 1u << 24);
+                                             std::size_t max_cells = 1u << 24,
+                                             KnapsackScratch* scratch = nullptr);
 
 }  // namespace lrb

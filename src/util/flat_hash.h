@@ -1,0 +1,101 @@
+// A flat open-addressing hash index over externally stored keys.
+//
+// FlatIndexTable maps 64-bit hashes to uint32_t payload indices with linear
+// probing over a power-of-two slot array. It never stores keys itself: the
+// caller keeps keys in its own arena (e.g. packed key words appended to a
+// flat vector) and supplies two callables,
+//
+//   equals(index)  - does the stored key at `index` equal the probe key?
+//   hash_of(index) - recompute the stored key's hash (used when growing),
+//
+// so the per-state overhead is exactly 4 bytes per slot at <= 0.7 load
+// factor. reset() keeps the slot capacity, which makes repeat use (the DP
+// layers of algo/ptas.*) allocation-free in steady state.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lrb {
+
+class FlatIndexTable {
+ public:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  /// Clears the table, pre-sizing for `expected` keys. Slot storage is
+  /// reused when already large enough.
+  void reset(std::size_t expected = 0) {
+    std::size_t cap = 16;
+    while (cap * 7 < expected * 10) cap *= 2;
+    if (slots_.size() < cap) {
+      slots_.assign(cap, kEmpty);
+    } else {
+      std::fill(slots_.begin(), slots_.end(), kEmpty);
+    }
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Looks up the key with hash `hash`; if absent, records `fresh` as its
+  /// payload index. Returns {payload index, inserted}. `equals(i)` must
+  /// answer "does payload i hold the probe key"; `hash_of(i)` must return
+  /// payload i's hash (only called when the table grows).
+  template <class EqFn, class HashOfFn>
+  std::pair<std::uint32_t, bool> find_or_insert(std::uint64_t hash,
+                                                std::uint32_t fresh,
+                                                EqFn&& equals,
+                                                HashOfFn&& hash_of) {
+    if ((size_ + 1) * 10 > slots_.size() * 7) grow(hash_of);
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t slot = static_cast<std::size_t>(hash) & mask;
+    for (;;) {
+      const std::uint32_t stored = slots_[slot];
+      if (stored == kEmpty) {
+        slots_[slot] = fresh;
+        ++size_;
+        return {fresh, true};
+      }
+      if (equals(stored)) return {stored, false};
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  /// Lookup only: returns the payload index or kEmpty.
+  template <class EqFn>
+  [[nodiscard]] std::uint32_t find(std::uint64_t hash, EqFn&& equals) const {
+    if (slots_.empty()) return kEmpty;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t slot = static_cast<std::size_t>(hash) & mask;
+    for (;;) {
+      const std::uint32_t stored = slots_[slot];
+      if (stored == kEmpty || equals(stored)) return stored;
+      slot = (slot + 1) & mask;
+    }
+  }
+
+ private:
+  template <class HashOfFn>
+  void grow(HashOfFn&& hash_of) {
+    scratch_.swap(slots_);
+    slots_.assign(std::max<std::size_t>(scratch_.size() * 2, 16), kEmpty);
+    const std::size_t mask = slots_.size() - 1;
+    for (const std::uint32_t stored : scratch_) {
+      if (stored == kEmpty) continue;
+      std::size_t slot = static_cast<std::size_t>(hash_of(stored)) & mask;
+      while (slots_[slot] != kEmpty) slot = (slot + 1) & mask;
+      slots_[slot] = stored;
+    }
+  }
+
+  std::vector<std::uint32_t> slots_;
+  std::vector<std::uint32_t> scratch_;  ///< old slots during growth
+  std::size_t size_ = 0;
+};
+
+}  // namespace lrb

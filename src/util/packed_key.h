@@ -1,0 +1,135 @@
+// Packed fixed-width integer keys for sparse dynamic programs.
+//
+// A PackedKeyCodec plans a bit layout for a tuple of non-negative integer
+// fields with known inclusive maxima: field t gets bit_width(max_t) bits,
+// packed LSB-first in field order across as many 64-bit words as needed.
+// Class-count DP states (the PTAS of algo/ptas.*) need ceil(log2(n+1))
+// bits per class, so a typical state fits one or two words where the old
+// representation spent (s+1) * 8 bytes of std::string.
+//
+// When the tight layout overflows 128 bits the codec falls back to
+// byte-aligned fields (each width rounded up to a multiple of 8) - the
+// "small byte-array key" regime: slightly larger, but field extraction
+// stays cheap and the encode/decode code path is identical. Both layouts
+// are exact: encode/decode round-trips every value in range.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lrb {
+
+/// Mixes `count` words into one 64-bit hash (splitmix64-style finalizer per
+/// word). Deterministic across platforms and runs: no seeding.
+[[nodiscard]] inline std::uint64_t hash_words(const std::uint64_t* words,
+                                              std::size_t count) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t x = words[i] + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    h = (h ^ x) * 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+  }
+  return h;
+}
+
+class PackedKeyCodec {
+ public:
+  /// Plans a layout for fields with inclusive maxima `maxima` (all >= 0).
+  /// Reuses internal storage: re-planning does not allocate once the field
+  /// count has been seen before.
+  void plan(std::span<const std::int64_t> maxima) {
+    fields_.clear();
+    std::size_t total_bits = 0;
+    for (const std::int64_t max : maxima) {
+      assert(max >= 0);
+      total_bits += width_of(max);
+    }
+    byte_aligned_ = total_bits > 2 * 64;
+    std::size_t bit = 0;
+    for (const std::int64_t max : maxima) {
+      std::uint32_t width = width_of(max);
+      if (byte_aligned_) width = (width + 7u) & ~7u;
+      fields_.push_back(Field{static_cast<std::uint32_t>(bit), width});
+      bit += width;
+    }
+    words_ = bit == 0 ? 1 : (bit + 63) / 64;
+  }
+
+  [[nodiscard]] std::size_t words() const noexcept { return words_; }
+  [[nodiscard]] std::size_t num_fields() const noexcept {
+    return fields_.size();
+  }
+  /// True when the tight layout overflowed and byte-aligned fields are in
+  /// use (the fallback regime).
+  [[nodiscard]] bool byte_aligned() const noexcept { return byte_aligned_; }
+
+  /// Encodes `values` (values[i] in [0, maxima[i]]) into `out[0..words())`.
+  void encode(std::span<const std::int64_t> values, std::uint64_t* out) const {
+    assert(values.size() == fields_.size());
+    for (std::size_t w = 0; w < words_; ++w) out[w] = 0;
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      const Field f = fields_[i];
+      if (f.width == 0) continue;
+      const auto v = static_cast<std::uint64_t>(values[i]);
+      assert(f.width == 64 || v < (std::uint64_t{1} << f.width));
+      const std::size_t word = f.bit / 64;
+      const std::size_t shift = f.bit % 64;
+      out[word] |= v << shift;
+      if (shift + f.width > 64) {
+        out[word + 1] |= v >> (64 - shift);
+      }
+    }
+  }
+
+  [[nodiscard]] std::int64_t decode_field(const std::uint64_t* in,
+                                          std::size_t i) const {
+    const Field f = fields_[i];
+    if (f.width == 0) return 0;
+    const std::size_t word = f.bit / 64;
+    const std::size_t shift = f.bit % 64;
+    std::uint64_t v = in[word] >> shift;
+    if (shift + f.width > 64) {
+      v |= in[word + 1] << (64 - shift);
+    }
+    const std::uint64_t mask =
+        f.width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << f.width) - 1;
+    return static_cast<std::int64_t>(v & mask);
+  }
+
+  /// Decodes every field into `out` (out.size() == num_fields()).
+  void decode(const std::uint64_t* in, std::span<std::int64_t> out) const {
+    assert(out.size() == fields_.size());
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out[i] = decode_field(in, i);
+    }
+  }
+
+ private:
+  struct Field {
+    std::uint32_t bit = 0;    ///< first bit position in the key
+    std::uint32_t width = 0;  ///< bits occupied (0 iff the field max is 0)
+  };
+
+  [[nodiscard]] static std::uint32_t width_of(std::int64_t max) {
+    std::uint32_t width = 0;
+    auto v = static_cast<std::uint64_t>(max);
+    while (v != 0) {
+      ++width;
+      v >>= 1;
+    }
+    return width;
+  }
+
+  std::vector<Field> fields_;
+  std::size_t words_ = 1;
+  bool byte_aligned_ = false;
+};
+
+}  // namespace lrb

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -125,6 +126,61 @@ TEST(KnapsackAuto, HugeCapacityFallsBackToRelaxed) {
   const auto sol = knapsack_auto(items, cap, 0.1);
   EXPECT_GT(sol.value, 0);
   EXPECT_LE(static_cast<double>(sol.size), 1.1 * static_cast<double>(cap) + 1);
+}
+
+TEST(KnapsackAuto, CellCountOverflowRoutesToRelaxed) {
+  // (capacity + 1) * n wraps in 64-bit arithmetic: with the historical
+  // unchecked product this aliased into the "small" range and tried to
+  // allocate an impossible exact DP table. Must route to the relaxed DP
+  // and terminate quickly with a feasible answer.
+  std::vector<KnapsackItem> items(64);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = {static_cast<Size>(1) << 40, static_cast<Cost>(i + 1)};
+  }
+  const Size cap = std::numeric_limits<Size>::max() / 2;
+  // Sanity: the wrapped product really is "small" (the bug precondition).
+  const std::size_t wrapped =
+      (static_cast<std::size_t>(cap) + 1) * items.size();
+  ASSERT_LE(wrapped, std::size_t{1} << 24);
+  const auto sol = knapsack_auto(items, cap, 0.5);
+  // Everything fits under cap; the relaxed DP must keep all items.
+  Cost total = 0;
+  for (const auto& item : items) total += item.value;
+  EXPECT_EQ(sol.value, total);
+}
+
+TEST(KnapsackScratchTest, ReusedScratchMatchesScratchFree) {
+  Rng rng(771);
+  KnapsackScratch scratch;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto items = random_items(rng, 12, 30, 50);
+    const Size cap = rng.uniform_int(0, Size{80});
+    const auto plain = knapsack_exact(items, cap);
+    const auto reused = knapsack_exact(items, cap, &scratch);
+    EXPECT_EQ(plain.value, reused.value);
+    EXPECT_EQ(plain.size, reused.size);
+    EXPECT_EQ(plain.chosen, reused.chosen);
+    const auto plain_rel = knapsack_size_relaxed(items, cap, 0.25);
+    const auto reused_rel = knapsack_size_relaxed(items, cap, 0.25, &scratch);
+    EXPECT_EQ(plain_rel.value, reused_rel.value);
+    EXPECT_EQ(plain_rel.chosen, reused_rel.chosen);
+  }
+}
+
+TEST(KnapsackScratchTest, BitPackedTakeMatchesBruteForceWideCapacity) {
+  // Capacities straddling the 64-bit word boundaries of the packed take
+  // matrix (63, 64, 65, ...) exercise the bit indexing.
+  Rng rng(772);
+  KnapsackScratch scratch;
+  for (Size cap = 60; cap <= 70; ++cap) {
+    const auto items = random_items(rng, 10, 25, 40);
+    const auto sol = knapsack_exact(items, cap, &scratch);
+    EXPECT_EQ(sol.value, brute_force_best(items, cap));
+    Size size = 0;
+    for (const std::size_t i : sol.chosen) size += items[i].size;
+    EXPECT_EQ(size, sol.size);
+    EXPECT_LE(size, cap);
+  }
 }
 
 }  // namespace

@@ -32,6 +32,14 @@
 //                         concurrent path is differentially fuzzed too.
 //                         Violations are still shrunk and written serially,
 //                         in iteration order.
+//   --algo NAME (roster)  "roster" is the default differential harness over
+//                         every algorithm. "ptas" instead fuzzes the PTAS
+//                         DP engine against the retained reference
+//                         implementation (check/ptas_reference): every
+//                         guess of the shared scan sequence must match on
+//                         acceptance, cost, state count, and reconstructed
+//                         assignment, and the full serial / scratch-reuse /
+//                         wave-parallel solves must be bit-identical.
 //   --verbose             print every violation in full
 
 #include <algorithm>
@@ -43,7 +51,9 @@
 #include <vector>
 
 #include "algo/m_partition.h"
+#include "algo/ptas.h"
 #include "check/differential.h"
+#include "check/ptas_reference.h"
 #include "check/shrink.h"
 #include "core/generators.h"
 #include "core/io.h"
@@ -181,6 +191,124 @@ bool engine_matches_serial(const Instance& instance, std::int64_t k,
          serial_stats.guesses_evaluated == parallel_stats.guesses_evaluated;
 }
 
+bool ensure_corpus_dir(const std::string& corpus, bool& ready) {
+  if (ready) return true;
+  std::error_code ec;
+  std::filesystem::create_directories(corpus, ec);
+  if (ec) return false;
+  ready = true;
+  return true;
+}
+
+// ---- PTAS differential mode (--algo ptas) ---------------------------------
+
+struct PtasCase {
+  Instance instance;
+  double eps = 1.0;
+  Cost budget = kInfCost;
+  std::size_t state_limit = 200'000;
+  std::string family;
+};
+
+PtasCase draw_ptas_case(Rng& rng, std::int64_t max_jobs,
+                        std::int64_t max_procs) {
+  PtasCase out;
+  GeneratorOptions gen;
+  const auto roll = rng.uniform_int(0, 99);
+  const bool small = roll < 70;
+  // The DP is exponential in 1/eps, so the PTAS tier stays below the roster
+  // tier's caps; the interesting structure (class boundaries, budget edge,
+  // state-limit aborts) shows up at tiny n already.
+  const std::int64_t job_cap = std::min<std::int64_t>(max_jobs, 14);
+  if (small) {
+    gen.num_jobs = static_cast<std::size_t>(rng.uniform_int(0, 8));
+    gen.num_procs = static_cast<ProcId>(rng.uniform_int(1, 3));
+    gen.max_size = rng.uniform_int(1, 20);
+  } else {
+    gen.num_jobs = static_cast<std::size_t>(
+        rng.uniform_int(9, std::max<std::int64_t>(9, job_cap)));
+    gen.num_procs = static_cast<ProcId>(
+        rng.uniform_int(2, std::max<std::int64_t>(2, std::min<std::int64_t>(
+                                                         max_procs, 4))));
+    const std::int64_t magnitudes[] = {10, 1000, 1'000'000};
+    gen.max_size = magnitudes[rng.uniform_int(0, 2)];
+  }
+  gen.min_size = rng.bernoulli(0.2) ? 0 : 1;
+  gen.size_dist = static_cast<SizeDistribution>(rng.uniform_int(0, 4));
+  gen.placement = static_cast<PlacementPolicy>(rng.uniform_int(0, 4));
+  gen.cost_model = static_cast<CostModel>(rng.uniform_int(0, 4));
+  gen.max_cost = rng.uniform_int(1, 12);
+  out.instance = random_instance(gen, rng());
+
+  const double eps_choices[] = {0.4, 0.6, 1.0, 2.0};
+  out.eps = eps_choices[rng.uniform_int(0, 3)];
+  const auto n = static_cast<std::int64_t>(gen.num_jobs);
+  out.budget =
+      rng.bernoulli(0.3) ? kInfCost : rng.uniform_int(0, 2 * n + 4);
+  // Occasionally force a state-limit abort: the exact state count at which
+  // both engines give up is part of the parity contract.
+  if (rng.bernoulli(0.15)) {
+    out.state_limit = static_cast<std::size_t>(rng.uniform_int(1, 200));
+  }
+  out.family = small ? "ptas-small" : "ptas-medium";
+  return out;
+}
+
+/// Empty string iff the production PTAS engine and the reference DP agree on
+/// every guess of the shared scan, and the serial / scratch-reuse /
+/// wave-parallel full solves are bit-identical.
+std::string ptas_divergence(const Instance& instance, double eps, Cost budget,
+                            std::size_t state_limit, ThreadPool& pool) {
+  PtasScratch scratch;
+  const double delta = ptas_delta(eps);
+  Size guess = ptas_scan_start(instance, budget);
+  const Size stop = ptas_scan_stop(instance);
+  while (guess <= stop) {
+    const auto eng = ptas_probe_guess(instance, guess, eps, budget,
+                                      state_limit, scratch,
+                                      /*reconstruct=*/true);
+    const auto ref =
+        ptas_reference_guess(instance, guess, eps, budget, state_limit);
+    if (eng.representable != ref.representable ||
+        eng.within_limit != ref.within_limit ||
+        eng.constructed != ref.constructed || eng.cost != ref.cost ||
+        eng.states != ref.states) {
+      return "guess " + std::to_string(guess) + ": outcome mismatch (engine " +
+             std::to_string(eng.cost) + "/" + std::to_string(eng.states) +
+             " states vs reference " + std::to_string(ref.cost) + "/" +
+             std::to_string(ref.states) + " states)";
+    }
+    if (eng.constructed && eng.assignment != ref.assignment) {
+      return "guess " + std::to_string(guess) +
+             ": reconstructed assignments differ";
+    }
+    if (!eng.within_limit) break;
+    if (eng.constructed && eng.cost <= budget) break;
+    guess = ptas_next_guess(guess, delta);
+  }
+
+  PtasOptions options;
+  options.eps = eps;
+  options.budget = budget;
+  options.state_limit = state_limit;
+  const auto same = [](const PtasResult& a, const PtasResult& b) {
+    return a.success == b.success && a.accepted_guess == b.accepted_guess &&
+           a.states == b.states &&
+           a.guesses_evaluated == b.guesses_evaluated &&
+           a.result.assignment == b.result.assignment &&
+           a.result.makespan == b.result.makespan &&
+           a.result.cost == b.result.cost && a.result.moves == b.result.moves;
+  };
+  const auto serial = ptas_rebalance(instance, options);
+  // `scratch` is warm (and dirty) from the probes above: reuse must not
+  // change anything.
+  const auto reused = ptas_rebalance(instance, options, scratch);
+  if (!same(serial, reused)) return "scratch-reuse solve diverges from fresh";
+  const auto parallel = ptas_rebalance_parallel(instance, options, pool, 3);
+  if (!same(serial, parallel)) return "wave-parallel solve diverges";
+  return {};
+}
+
 void write_repro(const std::filesystem::path& path, const Instance& instance,
                  const DifferentialOptions& options,
                  const DifferentialReport& report, std::uint64_t seed,
@@ -210,7 +338,8 @@ int main(int argc, char** argv) {
     static const char* known[] = {"seed",      "iters",           "time-budget",
                                   "corpus",    "max-jobs",        "max-procs",
                                   "mutant",    "expect-violation",
-                                  "expect-max-jobs", "verbose",   "jobs"};
+                                  "expect-max-jobs", "verbose",   "jobs",
+                                  "algo"};
     if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
           return key == k;
         }) == std::end(known)) {
@@ -234,6 +363,10 @@ int main(int argc, char** argv) {
   }
   if (jobs_raw < 1 || jobs_raw > 256) return fail("--jobs must be in [1, 256]");
   const auto jobs = static_cast<std::size_t>(jobs_raw);
+  const std::string algo = flags.get_or("algo", "roster");
+  if (algo != "roster" && algo != "ptas") {
+    return fail("--algo must be 'roster' or 'ptas'");
+  }
   std::unique_ptr<ThreadPool> pool;
   if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
 
@@ -242,6 +375,74 @@ int main(int argc, char** argv) {
   std::size_t largest_repro = 0;
   bool corpus_ready = false;
   std::uint64_t iteration = 0;
+
+  if (algo == "ptas") {
+    // PTAS differential mode: engine vs reference, serially, one case per
+    // iteration (the DP itself is the expensive part).
+    ThreadPool ptas_pool(pool != nullptr ? jobs : 2);
+    for (;;) {
+      if (iters > 0 && iteration >= static_cast<std::uint64_t>(iters)) break;
+      if (time_budget > 0.0 && timer.millis() >= time_budget * 1000.0) break;
+      const std::uint64_t it = iteration++;
+      std::uint64_t stream = seed;
+      (void)splitmix64(stream);
+      Rng rng(stream ^ (it * 0x9e3779b97f4a7c15ULL));
+      auto fuzz_case = draw_ptas_case(rng, max_jobs, max_procs);
+      const auto divergence =
+          ptas_divergence(fuzz_case.instance, fuzz_case.eps, fuzz_case.budget,
+                          fuzz_case.state_limit, ptas_pool);
+      if (divergence.empty()) continue;
+
+      ++violations;
+      std::cerr << "lrb_fuzz: ptas divergence at iteration " << it << " ("
+                << fuzz_case.family << ", n=" << fuzz_case.instance.num_jobs()
+                << ", m=" << fuzz_case.instance.num_procs
+                << ", eps=" << fuzz_case.eps << "): " << divergence << "\n";
+      const auto still_diverges = [&](const Instance& candidate) {
+        return !ptas_divergence(candidate, fuzz_case.eps, fuzz_case.budget,
+                                fuzz_case.state_limit, ptas_pool)
+                    .empty();
+      };
+      ShrinkOptions shrink_options;
+      shrink_options.max_evaluations = 2'000;
+      const auto minimized =
+          shrink_instance(fuzz_case.instance, still_diverges, shrink_options);
+      largest_repro = std::max(largest_repro, minimized.instance.num_jobs());
+      if (!ensure_corpus_dir(corpus, corpus_ready)) {
+        return fail("cannot create corpus dir " + corpus);
+      }
+      const auto path = std::filesystem::path(corpus) /
+                        ("repro_" + std::to_string(it) + "_ptas.lrb");
+      std::ofstream out(path);
+      out << "# lrb_fuzz minimized repro (ptas differential: engine vs "
+             "reference)\n"
+          << "# seed=" << seed << " iteration=" << it
+          << " family=" << fuzz_case.family << "\n"
+          << "# eps=" << fuzz_case.eps << " state-limit="
+          << fuzz_case.state_limit;
+      if (fuzz_case.budget != kInfCost) out << " budget=" << fuzz_case.budget;
+      out << "\n# divergence: "
+          << ptas_divergence(minimized.instance, fuzz_case.eps,
+                             fuzz_case.budget, fuzz_case.state_limit,
+                             ptas_pool)
+          << "\n";
+      write_instance(out, minimized.instance);
+      std::cerr << "lrb_fuzz: minimized to n=" << minimized.instance.num_jobs()
+                << ", m=" << minimized.instance.num_procs << " -> "
+                << path.string() << "\n";
+    }
+    std::cout << "lrb_fuzz: " << iteration << " ptas iterations, "
+              << violations << " violation(s) in " << timer.millis() / 1000.0
+              << " s\n";
+    if (expect_violation) {
+      if (violations == 0) {
+        std::cerr << "lrb_fuzz: expected a violation but found none\n";
+        return 1;
+      }
+      return 0;
+    }
+    return violations == 0 ? 0 : 1;
+  }
 
   struct IterationResult {
     FuzzCase fuzz_case;
