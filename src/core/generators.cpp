@@ -201,4 +201,27 @@ Instance unit_instance(const std::vector<std::int64_t>& counts_per_proc) {
                        static_cast<ProcId>(counts_per_proc.size()));
 }
 
+Instance mixed_corpus_instance(std::size_t index, std::uint64_t seed) {
+  static constexpr SizeDistribution kDists[] = {
+      SizeDistribution::kUniform, SizeDistribution::kBimodal,
+      SizeDistribution::kZipf, SizeDistribution::kExponential,
+      SizeDistribution::kUnit};
+  static constexpr PlacementPolicy kPlacements[] = {
+      PlacementPolicy::kRandom, PlacementPolicy::kHotspot,
+      PlacementPolicy::kZipfProcs, PlacementPolicy::kBalanced,
+      PlacementPolicy::kSingleProc};
+  static constexpr std::size_t kJobs[] = {32, 128, 512};
+  static constexpr ProcId kProcs[] = {4, 8, 16};
+
+  GeneratorOptions options;
+  options.size_dist = kDists[index % std::size(kDists)];
+  options.placement =
+      kPlacements[(index / std::size(kDists)) % std::size(kPlacements)];
+  const std::size_t tier =
+      (index / (std::size(kDists) * std::size(kPlacements))) % std::size(kJobs);
+  options.num_jobs = kJobs[tier];
+  options.num_procs = kProcs[tier];
+  return random_instance(options, seed + index);
+}
+
 }  // namespace lrb

@@ -87,4 +87,11 @@ struct KnownOptInstance {
 /// (the equal-size model of Rudolph et al. / Ghosh et al. from the intro).
 [[nodiscard]] Instance unit_instance(const std::vector<std::int64_t>& counts_per_proc);
 
+/// The mixed benchmark corpus shared by lrb_batch and lrb_load: every size
+/// distribution crossed with every placement policy, cycled over three
+/// (jobs, procs) tiers. Deterministic in (index, seed), so a load
+/// generator and a checker can regenerate instance `index` independently.
+[[nodiscard]] Instance mixed_corpus_instance(std::size_t index,
+                                             std::uint64_t seed);
+
 }  // namespace lrb

@@ -8,6 +8,7 @@
 #include "algo/greedy.h"
 #include "algo/m_partition.h"
 #include "algo/ptas.h"
+#include "algo/rebalancer.h"
 
 namespace lrb::engine {
 
@@ -40,8 +41,32 @@ bool parse_algo(std::string_view name, Algo* out) {
   return true;
 }
 
+RebalanceResult solve_serial_reference(Algo algo, const Instance& instance,
+                                       std::int64_t k, Cost ptas_budget,
+                                       double ptas_eps) {
+  switch (algo) {
+    case Algo::kGreedy:
+      return greedy_rebalance(instance, k);
+    case Algo::kMPartition:
+      return m_partition_rebalance(instance, k);
+    case Algo::kBestOf:
+      return best_of_rebalance(instance, k);
+    case Algo::kPtas:
+      break;
+  }
+  PtasOptions options;
+  options.budget = ptas_budget;
+  options.eps = ptas_eps;
+  return ptas_rebalance(instance, options).result;
+}
+
 BatchSolver::BatchSolver(BatchOptions options)
-    : options_(options), pool_(options.workers) {
+    : options_(options),
+      pool_(options.workers),
+      solved_counter_(options_.metrics->counter("engine.instances_solved")),
+      batch_counter_(options_.metrics->counter("engine.batches")),
+      solve_latency_ms_(
+          options_.metrics->histogram("engine.solve_latency_ms")) {
   // One warmed arena per worker plus one for the submitting thread (it
   // helps drain the queue while blocked in parallel_for).
   std::lock_guard lock(scratch_mutex_);
@@ -85,10 +110,11 @@ RebalanceResult BatchSolver::run_m_partition(Scratch& scratch,
 }
 
 RebalanceResult BatchSolver::run_algo(Scratch& scratch,
-                                      const Instance& instance,
-                                      std::int64_t k) {
+                                      const TickItem& item) {
+  const Instance& instance = *item.instance;
+  const std::int64_t k = item.k;
   RebalanceResult result;
-  switch (options_.algo) {
+  switch (item.algo) {
     case Algo::kGreedy:
       result = greedy_rebalance(instance, k);
       break;
@@ -105,8 +131,8 @@ RebalanceResult BatchSolver::run_algo(Scratch& scratch,
     }
     case Algo::kPtas: {
       PtasOptions opt;
-      opt.budget = options_.ptas_budget;
-      opt.eps = options_.ptas_eps;
+      opt.budget = item.ptas_budget;
+      opt.eps = item.ptas_eps;
       auto ptas = (pool_.size() > 1 &&
                    instance.num_jobs() >= options_.intra_parallel_min_jobs)
                       ? ptas_rebalance_parallel(instance, opt, pool_,
@@ -132,28 +158,61 @@ RebalanceResult BatchSolver::run_algo(Scratch& scratch,
 
 RebalanceResult BatchSolver::solve_one(const Instance& instance,
                                        std::int64_t k) {
-  ScratchLease lease(*this);
-  return run_algo(lease.get(), instance, k);
+  TickItem item;
+  item.instance = &instance;
+  item.k = k;
+  item.algo = options_.algo;
+  item.ptas_budget = options_.ptas_budget;
+  item.ptas_eps = options_.ptas_eps;
+  const auto begin = std::chrono::steady_clock::now();
+  RebalanceResult result;
+  {
+    ScratchLease lease(*this);
+    result = run_algo(lease.get(), item);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  solved_counter_.add(1);
+  solve_latency_ms_.record(
+      std::chrono::duration<double, std::milli>(end - begin).count());
+  return result;
+}
+
+std::vector<RebalanceResult> BatchSolver::solve_items(
+    std::span<const TickItem> items, std::vector<double>* latencies_ms) {
+  batch_counter_.add(1);
+  std::vector<RebalanceResult> results(items.size());
+  if (latencies_ms != nullptr) {
+    latencies_ms->assign(items.size(), 0.0);
+  }
+  parallel_for(pool_, 0, items.size(), [&](std::size_t i) {
+    const auto begin = std::chrono::steady_clock::now();
+    {
+      ScratchLease lease(*this);
+      results[i] = run_algo(lease.get(), items[i]);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - begin).count();
+    solved_counter_.add(1);
+    solve_latency_ms_.record(ms);
+    if (latencies_ms != nullptr) (*latencies_ms)[i] = ms;
+  });
+  return results;
 }
 
 std::vector<RebalanceResult> BatchSolver::solve(
     const std::vector<Instance>& instances,
     const std::vector<std::int64_t>& ks, std::vector<double>* latencies_ms) {
   assert(instances.size() == ks.size());
-  std::vector<RebalanceResult> results(instances.size());
-  if (latencies_ms != nullptr) {
-    latencies_ms->assign(instances.size(), 0.0);
+  std::vector<TickItem> items(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    items[i].instance = &instances[i];
+    items[i].k = ks[i];
+    items[i].algo = options_.algo;
+    items[i].ptas_budget = options_.ptas_budget;
+    items[i].ptas_eps = options_.ptas_eps;
   }
-  parallel_for(pool_, 0, instances.size(), [&](std::size_t i) {
-    const auto begin = std::chrono::steady_clock::now();
-    results[i] = solve_one(instances[i], ks[i]);
-    if (latencies_ms != nullptr) {
-      const auto end = std::chrono::steady_clock::now();
-      (*latencies_ms)[i] =
-          std::chrono::duration<double, std::milli>(end - begin).count();
-    }
-  });
-  return results;
+  return solve_items(items, latencies_ms);
 }
 
 }  // namespace lrb::engine

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "core/instance.h"
 #include "core/types.h"
 #include "engine/scratch.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace lrb::engine {
@@ -44,6 +46,13 @@ enum class Algo {
 /// an unknown name.
 [[nodiscard]] bool parse_algo(std::string_view name, Algo* out);
 
+/// The serial reference every concurrent path is checked against: calls
+/// the library's serial entry point for `algo` directly (no pool, no
+/// arenas). Shared by lrb_batch --check, lrb_load --check and the tests.
+[[nodiscard]] RebalanceResult solve_serial_reference(
+    Algo algo, const Instance& instance, std::int64_t k,
+    Cost ptas_budget = kInfCost, double ptas_eps = 1.0);
+
 struct BatchOptions {
   std::size_t workers = 0;  ///< pool size; 0 = hardware concurrency
   Algo algo = Algo::kBestOf;
@@ -58,6 +67,10 @@ struct BatchOptions {
   /// the scan hot path.
   std::size_t warm_jobs = std::size_t{1} << 12;
   ProcId warm_procs = 64;
+  /// Metrics sink ("engine.*" counters and latency histogram). Defaults to
+  /// the process-wide registry; tests and embedding servers may pass their
+  /// own. Never read on a path that affects results.
+  obs::Registry* metrics = &obs::Registry::global();
 };
 
 class BatchSolver {
@@ -76,6 +89,24 @@ class BatchSolver {
   [[nodiscard]] std::vector<RebalanceResult> solve(
       const std::vector<Instance>& instances,
       const std::vector<std::int64_t>& ks,
+      std::vector<double>* latencies_ms = nullptr);
+
+  /// One request of a serving tick: a borrowed instance plus per-request
+  /// algorithm parameters (the serving layer mixes algos within a tick).
+  struct TickItem {
+    const Instance* instance = nullptr;
+    std::int64_t k = 0;
+    Algo algo = Algo::kBestOf;
+    Cost ptas_budget = kInfCost;
+    double ptas_eps = 1.0;
+  };
+
+  /// Same determinism contract over borrowed instances with per-item
+  /// parameters: the tick entry point used by the serving layer
+  /// (src/svc), which coalesces in-flight requests without copying their
+  /// instances. All instance pointers must be non-null.
+  [[nodiscard]] std::vector<RebalanceResult> solve_items(
+      std::span<const TickItem> items,
       std::vector<double>* latencies_ms = nullptr);
 
   /// Solves a single instance on the calling thread (intra-instance
@@ -101,8 +132,7 @@ class BatchSolver {
   };
 
   [[nodiscard]] RebalanceResult run_algo(Scratch& scratch,
-                                         const Instance& instance,
-                                         std::int64_t k);
+                                         const TickItem& item);
   [[nodiscard]] RebalanceResult run_m_partition(Scratch& scratch,
                                                 const Instance& instance,
                                                 std::int64_t k);
@@ -111,6 +141,10 @@ class BatchSolver {
   ThreadPool pool_;
   std::mutex scratch_mutex_;
   std::vector<std::unique_ptr<Scratch>> free_scratch_;
+  // Engine observability (hot-path wait-free; see obs/metrics.h).
+  obs::Counter& solved_counter_;
+  obs::Counter& batch_counter_;
+  obs::Histogram& solve_latency_ms_;
 };
 
 }  // namespace lrb::engine

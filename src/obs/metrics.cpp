@@ -1,0 +1,117 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "util/stats.h"
+
+namespace lrb::obs {
+
+namespace {
+
+std::size_t bucket_index(double ms) noexcept {
+  const auto* begin = std::begin(kLatencyBucketBoundsMs);
+  const auto* end = std::end(kLatencyBucketBoundsMs);
+  return static_cast<std::size_t>(std::lower_bound(begin, end, ms) - begin);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::size_t reservoir_capacity)
+    : reservoir_(std::max<std::size_t>(1, reservoir_capacity)) {
+  for (auto& slot : reservoir_) {
+    slot.store(kEmptySlot, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::record(double ms) noexcept {
+  if (!(ms >= 0.0)) ms = 0.0;  // clamps negatives and NaN
+  const std::uint64_t seq = count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(ms);
+  if (bits == kEmptySlot) bits = std::bit_cast<std::uint64_t>(0.0);
+  reservoir_[seq % reservoir_.size()].store(bits, std::memory_order_relaxed);
+  bucket_counts_[bucket_index(ms)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
+    snap.buckets[b] = bucket_counts_[b].load(std::memory_order_relaxed);
+  }
+  std::vector<double> samples;
+  const std::size_t live = std::min<std::uint64_t>(snap.count, reservoir_.size());
+  samples.reserve(live);
+  for (std::size_t i = 0; i < live; ++i) {
+    const std::uint64_t bits = reservoir_[i].load(std::memory_order_relaxed);
+    if (bits == kEmptySlot) continue;  // claimed but not yet stored
+    samples.push_back(std::bit_cast<double>(bits));
+  }
+  snap.retained = samples.size();
+  if (samples.empty()) return snap;
+  std::sort(samples.begin(), samples.end());
+  snap.min = samples.front();
+  snap.max = samples.back();
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  snap.mean = sum / static_cast<double>(samples.size());
+  snap.p50 = percentile_sorted(samples, 0.50);
+  snap.p90 = percentile_sorted(samples, 0.90);
+  snap.p99 = percentile_sorted(samples, 0.99);
+  return snap;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::size_t reservoir_capacity) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(reservoir_capacity);
+  return *slot;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << name
+       << "\": " << counter->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot s = histogram->snapshot();
+    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": "
+       << s.count << ", \"retained\": " << s.retained << ", \"min\": "
+       << s.min << ", \"max\": " << s.max << ", \"mean\": " << s.mean
+       << ",\n      \"p50\": " << s.p50 << ", \"p90\": " << s.p90
+       << ", \"p99\": " << s.p99 << ", \"buckets\": [";
+    for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
+      os << (b ? ", " : "") << s.buckets[b];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace lrb::obs

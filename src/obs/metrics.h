@@ -1,0 +1,119 @@
+// Embedded metrics: relaxed-atomic counters, fixed-bucket latency
+// histograms with exact percentiles, and a registry that snapshots to JSON.
+//
+// Hot-path contract: Counter::add and Histogram::record are lock-free
+// (relaxed atomics only) and never allocate; snapshotting takes the
+// registry's registration mutex but never blocks a writer, so recording
+// stays wait-free while a snapshot is being cut. Metric objects are
+// registered once (cold path, mutexed) and live for the registry's
+// lifetime; hot paths hold plain references.
+//
+// Percentiles are exact, not bucket-interpolated: each histogram keeps a
+// bounded reservoir of raw samples (a ring over the most recent
+// `reservoir_capacity` values) and the snapshot sorts it and calls
+// lrb::percentile_sorted. Up to `reservoir_capacity` recorded samples the
+// reservoir holds every sample, so p50/p90/p99 are exact over the full
+// history; past that they are exact over the retained window. The fixed
+// log-scale buckets cover the full (unbounded) history for rate/shape
+// dashboards.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lrb::obs {
+
+/// Monotone event counter. add() is wait-free; value() is a relaxed load
+/// (snapshots tolerate being a few events behind concurrent writers).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Upper bounds (inclusive) of the fixed latency buckets, in milliseconds;
+/// the last bucket is the +inf overflow. Shared by every histogram so
+/// snapshots are comparable across metrics.
+inline constexpr double kLatencyBucketBoundsMs[] = {
+    0.01, 0.02, 0.05, 0.1, 0.2,  0.5,  1.0,  2.0,   5.0,   10.0,
+    20.0, 50.0, 100., 200., 500., 1e3,  2e3,  5e3,   1e4};
+inline constexpr std::size_t kLatencyBuckets =
+    sizeof(kLatencyBucketBoundsMs) / sizeof(double) + 1;  // + overflow
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;      ///< total samples ever recorded
+  std::uint64_t retained = 0;   ///< reservoir samples the percentiles cover
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;            ///< over the retained reservoir
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::uint64_t buckets[kLatencyBuckets] = {};
+};
+
+/// Fixed-bucket latency histogram with an exact-percentile reservoir.
+class Histogram {
+ public:
+  static constexpr std::size_t kDefaultReservoir = 8192;
+
+  explicit Histogram(std::size_t reservoir_capacity = kDefaultReservoir);
+
+  /// Records one sample (milliseconds). Wait-free: one fetch_add plus two
+  /// relaxed stores; negative samples are clamped to 0.
+  void record(double ms) noexcept;
+
+  /// Cuts a consistent-enough snapshot without blocking writers. Samples
+  /// racing with the snapshot may be missed; committed samples are never
+  /// misread (slots carry a sentinel until their value store lands).
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  // Samples are stored as bit-cast uint64 with an all-ones sentinel for
+  // "slot claimed but value not yet visible", so a racing snapshot can
+  // skip in-flight slots instead of reading garbage.
+  static constexpr std::uint64_t kEmptySlot = ~std::uint64_t{0};
+
+  std::atomic<std::uint64_t> count_{0};
+  std::vector<std::atomic<std::uint64_t>> reservoir_;
+  std::atomic<std::uint64_t> bucket_counts_[kLatencyBuckets] = {};
+};
+
+/// Named metrics for one process (or one Server in tests). counter() /
+/// histogram() register on first use under a mutex and return a stable
+/// reference; hot paths call them once at setup and keep the reference.
+class Registry {
+ public:
+  /// The process-wide default registry (what the tools export).
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::size_t reservoir_capacity = Histogram::kDefaultReservoir);
+
+  /// Snapshot of every registered metric as a stable-key-order JSON object:
+  /// {"counters": {...}, "histograms": {name: {count, retained, min, max,
+  /// mean, p50, p90, p99, buckets: [...]}}}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;  // guards the maps, never the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace lrb::obs

@@ -1,0 +1,200 @@
+#include "svc/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace lrb::svc {
+
+namespace {
+
+bool set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+bool set_errno_error(std::string* error, const std::string& what) {
+  return set_error(error, what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      recv_buf_(std::move(other.recv_buf_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    recv_buf_ = std::move(other.recv_buf_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  recv_buf_.clear();
+}
+
+std::optional<Client> Client::connect_unix(const std::string& path,
+                                           std::string* error) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path) {
+    set_error(error, "unix path too long");
+    return std::nullopt;
+  }
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_errno_error(error, "socket(AF_UNIX)");
+    return std::nullopt;
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    set_errno_error(error, "connect(" + path + ")");
+    ::close(fd);
+    return std::nullopt;
+  }
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+std::optional<Client> Client::connect_tcp(const std::string& host, int port,
+                                          std::string* error) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_errno_error(error, "socket(AF_INET)");
+    return std::nullopt;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    set_error(error, "bad address " + host);
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    set_errno_error(error, "connect(" + host + ":" + std::to_string(port) + ")");
+    ::close(fd);
+    return std::nullopt;
+  }
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+bool Client::send_bytes(std::string_view bytes, std::string* error) {
+  if (fd_ < 0) return set_error(error, "not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return set_errno_error(error, "send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::send_frame(MsgType type, std::uint64_t request_id,
+                        std::string_view payload, std::string* error) {
+  std::string frame;
+  encode_frame(frame, type, request_id, payload);
+  return send_bytes(frame, error);
+}
+
+bool Client::recv_frame(FrameHeader* header, std::string* payload,
+                        std::string* error) {
+  if (fd_ < 0) return set_error(error, "not connected");
+  char chunk[65536];
+  for (;;) {
+    switch (decode_header(recv_buf_, header)) {
+      case DecodeStatus::kNeedMore:
+        break;
+      case DecodeStatus::kOk:
+        if (recv_buf_.size() - kHeaderSize >= header->payload_len) {
+          payload->assign(recv_buf_, kHeaderSize, header->payload_len);
+          recv_buf_.erase(0, kHeaderSize + header->payload_len);
+          return true;
+        }
+        break;
+      case DecodeStatus::kBadMagic:
+        return set_error(error, "reply has bad magic");
+      case DecodeStatus::kBadVersion:
+        return set_error(error, "reply has unsupported version");
+      case DecodeStatus::kTooLarge:
+        return set_error(error, "reply payload exceeds cap");
+    }
+    const ssize_t n = recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0) return set_error(error, "connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return set_errno_error(error, "recv");
+    }
+    recv_buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::call(MsgType type, std::uint64_t request_id,
+                  std::string_view payload, FrameHeader* reply_header,
+                  std::string* reply_payload, std::string* error) {
+  if (!send_frame(type, request_id, payload, error)) return false;
+  if (!recv_frame(reply_header, reply_payload, error)) return false;
+  if (reply_header->request_id != request_id) {
+    return set_error(error, "reply request id mismatch");
+  }
+  return true;
+}
+
+std::optional<Client::SolveOutcome> Client::solve(const SolveRequest& request,
+                                                  std::uint64_t request_id,
+                                                  std::string* error) {
+  FrameHeader header;
+  std::string payload;
+  if (!call(MsgType::kSolve, request_id, encode_solve_request(request),
+            &header, &payload, error)) {
+    return std::nullopt;
+  }
+  SolveOutcome outcome;
+  if (header.type == MsgType::kSolveOk) {
+    std::string decode_error;
+    auto result = decode_solve_reply_payload(payload, &decode_error);
+    if (!result) {
+      set_error(error, "bad solve reply: " + decode_error);
+      return std::nullopt;
+    }
+    outcome.result = std::move(*result);
+    outcome.raw_payload = std::move(payload);
+    return outcome;
+  }
+  if (header.type == MsgType::kError) {
+    outcome.server_error = decode_error_payload(payload);
+    if (!outcome.server_error) {
+      set_error(error, "malformed error reply");
+      return std::nullopt;
+    }
+    return outcome;
+  }
+  set_error(error, "unexpected reply type");
+  return std::nullopt;
+}
+
+}  // namespace lrb::svc

@@ -1,0 +1,67 @@
+// A small blocking client for the lrb_serve wire protocol, used by the
+// lrb_load generator and the loopback tests. One Client = one connection;
+// not thread-safe (use one per thread).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/assignment.h"
+#include "svc/wire.h"
+
+namespace lrb::svc {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] static std::optional<Client> connect_unix(
+      const std::string& path, std::string* error);
+  [[nodiscard]] static std::optional<Client> connect_tcp(
+      const std::string& host, int port, std::string* error);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends one complete frame (blocking until written).
+  [[nodiscard]] bool send_frame(MsgType type, std::uint64_t request_id,
+                                std::string_view payload, std::string* error);
+
+  /// Sends raw bytes as-is — lets tests split frames at arbitrary
+  /// boundaries to exercise the server's partial-read handling.
+  [[nodiscard]] bool send_bytes(std::string_view bytes, std::string* error);
+
+  /// Blocks until one complete reply frame arrives (or EOF/error).
+  [[nodiscard]] bool recv_frame(FrameHeader* header, std::string* payload,
+                                std::string* error);
+
+  /// send_frame + recv_frame; fails if the reply's request id differs.
+  [[nodiscard]] bool call(MsgType type, std::uint64_t request_id,
+                          std::string_view payload, FrameHeader* reply_header,
+                          std::string* reply_payload, std::string* error);
+
+  /// Outcome of one Solve round-trip: either a result or a server error.
+  struct SolveOutcome {
+    std::optional<RebalanceResult> result;  ///< set iff SolveOk
+    std::string raw_payload;  ///< SolveOk payload bytes (for --check)
+    std::optional<ErrorReply> server_error;
+  };
+  [[nodiscard]] std::optional<SolveOutcome> solve(
+      const SolveRequest& request, std::uint64_t request_id,
+      std::string* error);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string recv_buf_;
+};
+
+}  // namespace lrb::svc

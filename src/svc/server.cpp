@@ -1,0 +1,578 @@
+#include "svc/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+namespace lrb::svc {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+engine::BatchOptions engine_options_for(const ServerOptions& options) {
+  engine::BatchOptions engine = options.engine;
+  // A custom server registry also captures the engine metrics unless the
+  // caller explicitly pointed the engine elsewhere.
+  if (engine.metrics == &obs::Registry::global() &&
+      options.metrics != &obs::Registry::global()) {
+    engine.metrics = options.metrics;
+  }
+  return engine;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      solver_(engine_options_for(options_)),
+      m_conns_accepted_(options_.metrics->counter("svc.connections_accepted")),
+      m_conns_closed_(options_.metrics->counter("svc.connections_closed")),
+      m_bytes_in_(options_.metrics->counter("svc.bytes_in")),
+      m_bytes_out_(options_.metrics->counter("svc.bytes_out")),
+      m_req_ping_(options_.metrics->counter("svc.requests_ping")),
+      m_req_solve_(options_.metrics->counter("svc.requests_solve")),
+      m_req_stats_(options_.metrics->counter("svc.requests_stats")),
+      m_req_drain_(options_.metrics->counter("svc.requests_drain")),
+      m_replies_ok_(options_.metrics->counter("svc.replies_solve_ok")),
+      m_shed_overloaded_(options_.metrics->counter("svc.shed_overloaded")),
+      m_shed_deadline_(options_.metrics->counter("svc.shed_deadline")),
+      m_rejected_draining_(options_.metrics->counter("svc.rejected_draining")),
+      m_bad_requests_(options_.metrics->counter("svc.bad_requests")),
+      m_ticks_(options_.metrics->counter("svc.engine_ticks")),
+      m_dropped_replies_(options_.metrics->counter("svc.dropped_replies")),
+      m_request_latency_ms_(
+          options_.metrics->histogram("svc.request_latency_ms")),
+      m_tick_batch_(options_.metrics->histogram("svc.tick_batch_size")) {}
+
+Server::~Server() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    stop_engine_ = true;
+  }
+  queue_cv_.notify_all();
+  if (engine_thread_.joinable()) engine_thread_.join();
+  for (auto& [fd, conn] : connections_) close(conn.fd);
+  if (unix_listener_ >= 0) close(unix_listener_);
+  if (tcp_listener_ >= 0) close(tcp_listener_);
+  if (wake_pipe_[0] >= 0) close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) close(wake_pipe_[1]);
+  if (!options_.unix_path.empty() && unix_listener_ >= 0) {
+    unlink(options_.unix_path.c_str());
+  }
+}
+
+bool Server::start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    return false;
+  };
+  if (options_.unix_path.empty() && options_.tcp_port < 0) {
+    if (error != nullptr) *error = "no listener configured";
+    return false;
+  }
+  if (pipe(wake_pipe_) != 0) return fail("pipe");
+  if (!set_nonblocking(wake_pipe_[0]) || !set_nonblocking(wake_pipe_[1])) {
+    return fail("pipe nonblocking");
+  }
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    if (options_.unix_path.size() >= sizeof addr.sun_path) {
+      if (error != nullptr) *error = "unix path too long";
+      return false;
+    }
+    unix_listener_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_listener_ < 0) return fail("socket(AF_UNIX)");
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    unlink(options_.unix_path.c_str());
+    if (bind(unix_listener_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+      return fail("bind(" + options_.unix_path + ")");
+    }
+    if (listen(unix_listener_, 128) != 0) return fail("listen(unix)");
+    if (!set_nonblocking(unix_listener_)) return fail("nonblocking(unix)");
+  }
+
+  if (options_.tcp_port >= 0) {
+    tcp_listener_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_listener_ < 0) return fail("socket(AF_INET)");
+    const int one = 1;
+    setsockopt(tcp_listener_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (inet_pton(AF_INET, options_.tcp_bind.c_str(), &addr.sin_addr) != 1) {
+      if (error != nullptr) *error = "bad bind address " + options_.tcp_bind;
+      return false;
+    }
+    if (bind(tcp_listener_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+      return fail("bind(tcp " + std::to_string(options_.tcp_port) + ")");
+    }
+    if (listen(tcp_listener_, 128) != 0) return fail("listen(tcp)");
+    if (!set_nonblocking(tcp_listener_)) return fail("nonblocking(tcp)");
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (getsockname(tcp_listener_, reinterpret_cast<sockaddr*>(&bound),
+                    &len) == 0) {
+      bound_tcp_port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  engine_thread_ = std::thread([this] { engine_loop(); });
+  return true;
+}
+
+void Server::notify_signal() noexcept {
+  signal_requested_.store(true, std::memory_order_relaxed);
+  const char byte = 's';
+  // The result is deliberately ignored: a full pipe already guarantees a
+  // pending wakeup, and failing inside a signal handler has no recourse.
+  [[maybe_unused]] const auto n = write(wake_pipe_[1], &byte, 1);
+}
+
+void Server::accept_ready(int listener_fd) {
+  for (;;) {
+    const int fd = accept(listener_fd, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: poll again later
+    if (draining_ || connections_.size() >= options_.max_connections) {
+      close(fd);
+      continue;
+    }
+    if (!set_nonblocking(fd)) {
+      close(fd);
+      continue;
+    }
+    Connection conn;
+    conn.fd = fd;
+    connections_.emplace(fd, std::move(conn));
+    conn_gen_[fd] = ++conn_gen_counter_;
+    m_conns_accepted_.add(1);
+  }
+}
+
+void Server::queue_reply(Connection& conn, MsgType type,
+                         std::uint64_t request_id, std::string_view payload) {
+  encode_frame(conn.write_buf, type, request_id, payload);
+}
+
+void Server::queue_error(Connection& conn, std::uint64_t request_id,
+                         ErrorCode code, std::string_view text) {
+  queue_reply(conn, MsgType::kError, request_id,
+              encode_error_payload(code, text));
+}
+
+void Server::handle_solve(Connection& conn, const FrameHeader& header,
+                          std::string_view payload) {
+  m_req_solve_.add(1);
+  if (draining_) {
+    m_rejected_draining_.add(1);
+    queue_error(conn, header.request_id, ErrorCode::kDraining,
+                "server is draining");
+    return;
+  }
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (pending_.size() >= options_.max_queue) {
+      m_shed_overloaded_.add(1);
+      queue_error(conn, header.request_id, ErrorCode::kOverloaded,
+                  "solve queue at capacity");
+      return;
+    }
+  }
+  std::string error;
+  auto request = decode_solve_request(payload, &error);
+  if (!request) {
+    m_bad_requests_.add(1);
+    queue_error(conn, header.request_id, ErrorCode::kBadRequest, error);
+    return;
+  }
+  PendingSolve pending;
+  pending.conn_gen = conn_gen_[conn.fd];
+  pending.fd = conn.fd;
+  pending.request_id = header.request_id;
+  pending.received = std::chrono::steady_clock::now();
+  if (request->deadline_ms > 0) {
+    pending.has_deadline = true;
+    pending.deadline =
+        pending.received + std::chrono::milliseconds(request->deadline_ms);
+  }
+  pending.request = std::move(*request);
+  {
+    std::lock_guard lock(queue_mutex_);
+    pending_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+}
+
+bool Server::process_frames(Connection& conn) {
+  for (;;) {
+    FrameHeader header;
+    switch (decode_header(conn.read_buf, &header)) {
+      case DecodeStatus::kNeedMore:
+        return true;
+      case DecodeStatus::kBadMagic:
+        m_bad_requests_.add(1);
+        queue_error(conn, 0, ErrorCode::kBadRequest, "bad magic");
+        return false;
+      case DecodeStatus::kBadVersion:
+        m_bad_requests_.add(1);
+        queue_error(conn, header.request_id, ErrorCode::kBadRequest,
+                    "unsupported protocol version");
+        return false;
+      case DecodeStatus::kTooLarge:
+        m_bad_requests_.add(1);
+        queue_error(conn, header.request_id, ErrorCode::kBadRequest,
+                    "payload exceeds 64 MiB cap");
+        return false;
+      case DecodeStatus::kOk:
+        break;
+    }
+    if (conn.read_buf.size() - kHeaderSize < header.payload_len) {
+      return true;  // wait for the rest of the payload
+    }
+    const std::string_view payload(conn.read_buf.data() + kHeaderSize,
+                                   header.payload_len);
+    switch (header.type) {
+      case MsgType::kPing:
+        m_req_ping_.add(1);
+        queue_reply(conn, MsgType::kPong, header.request_id, payload);
+        break;
+      case MsgType::kSolve:
+        handle_solve(conn, header, payload);
+        break;
+      case MsgType::kStats:
+        m_req_stats_.add(1);
+        queue_reply(conn, MsgType::kStatsOk, header.request_id,
+                    options_.metrics->to_json());
+        break;
+      case MsgType::kDrain:
+        m_req_drain_.add(1);
+        conn.wants_drain_ack = true;
+        begin_drain();
+        break;
+      default:
+        m_bad_requests_.add(1);
+        queue_error(conn, header.request_id, ErrorCode::kBadRequest,
+                    "unknown request type");
+        return false;
+    }
+    conn.read_buf.erase(0, kHeaderSize + header.payload_len);
+  }
+}
+
+void Server::handle_readable(Connection& conn) {
+  char chunk[65536];
+  for (;;) {
+    const ssize_t n = recv(conn.fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      m_bytes_in_.add(static_cast<std::uint64_t>(n));
+      conn.read_buf.append(chunk, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof chunk) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EOF or hard error: flush what we owe, then close.
+    conn.close_after_flush = true;
+    break;
+  }
+  if (!process_frames(conn)) conn.close_after_flush = true;
+}
+
+void Server::handle_writable(Connection& conn) {
+  while (conn.write_pos < conn.write_buf.size()) {
+    const ssize_t n =
+        send(conn.fd, conn.write_buf.data() + conn.write_pos,
+             conn.write_buf.size() - conn.write_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      m_bytes_out_.add(static_cast<std::uint64_t>(n));
+      conn.write_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // Peer vanished; nothing left to flush to it.
+    conn.write_buf.clear();
+    conn.write_pos = 0;
+    conn.close_after_flush = true;
+    return;
+  }
+  conn.write_buf.clear();
+  conn.write_pos = 0;
+}
+
+void Server::close_connection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  close(it->second.fd);
+  connections_.erase(it);
+  conn_gen_.erase(fd);
+  m_conns_closed_.add(1);
+}
+
+void Server::drain_results() {
+  std::deque<SolveOutcome> ready;
+  {
+    std::lock_guard lock(queue_mutex_);
+    ready.swap(results_);
+  }
+  for (SolveOutcome& outcome : ready) {
+    const auto gen = conn_gen_.find(outcome.fd);
+    if (gen == conn_gen_.end() || gen->second != outcome.conn_gen) {
+      m_dropped_replies_.add(1);
+      continue;
+    }
+    Connection& conn = connections_.at(outcome.fd);
+    queue_reply(conn, outcome.type, outcome.request_id, outcome.payload);
+    if (outcome.type == MsgType::kSolveOk) {
+      m_replies_ok_.add(1);
+      m_request_latency_ms_.record(outcome.request_latency_ms);
+    }
+  }
+}
+
+void Server::begin_drain() {
+  if (draining_) return;
+  draining_ = true;
+  if (unix_listener_ >= 0) {
+    close(unix_listener_);
+    if (!options_.unix_path.empty()) unlink(options_.unix_path.c_str());
+    unix_listener_ = -1;
+  }
+  if (tcp_listener_ >= 0) {
+    close(tcp_listener_);
+    tcp_listener_ = -1;
+  }
+}
+
+bool Server::drained() const {
+  if (!draining_) return false;
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (!pending_.empty() || ticking_ != 0 || !results_.empty()) return false;
+  }
+  for (const auto& [fd, conn] : connections_) {
+    if (conn.wants_drain_ack || conn.write_pos < conn.write_buf.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Server::maybe_finish_drain() {
+  if (!draining_) return;
+  bool engine_idle;
+  {
+    std::lock_guard lock(queue_mutex_);
+    engine_idle = pending_.empty() && ticking_ == 0 && results_.empty();
+  }
+  if (!engine_idle) return;
+  // Every admitted request has been answered; acknowledge the drain(s).
+  // The ack rides the same FIFO write buffer, so it is ordered after every
+  // in-flight reply on that connection.
+  for (auto& [fd, conn] : connections_) {
+    if (conn.wants_drain_ack) {
+      queue_reply(conn, MsgType::kDrainOk, 0, {});
+      conn.wants_drain_ack = false;
+    }
+  }
+}
+
+void Server::run() {
+  std::vector<pollfd> fds;
+  std::vector<int> to_close;
+  for (;;) {
+    drain_results();
+    if (signal_requested_.load(std::memory_order_relaxed)) begin_drain();
+    maybe_finish_drain();
+    if (drained()) break;
+
+    fds.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    if (unix_listener_ >= 0) fds.push_back({unix_listener_, POLLIN, 0});
+    if (tcp_listener_ >= 0) fds.push_back({tcp_listener_, POLLIN, 0});
+    for (auto& [fd, conn] : connections_) {
+      const bool backlog = conn.write_pos < conn.write_buf.size();
+      fds.push_back(
+          {fd, static_cast<short>(backlog ? (POLLIN | POLLOUT) : POLLIN), 0});
+    }
+    // The self-pipe wakes us for results/signals; the timeout is only a
+    // belt-and-braces guard against a lost wakeup.
+    if (poll(fds.data(), fds.size(), 100) < 0 && errno != EINTR) break;
+
+    for (const pollfd& entry : fds) {
+      if (entry.revents == 0) continue;
+      if (entry.fd == wake_pipe_[0]) {
+        char buf[256];
+        while (read(wake_pipe_[0], buf, sizeof buf) > 0) {
+        }
+        continue;
+      }
+      if (entry.fd == unix_listener_ || entry.fd == tcp_listener_) {
+        accept_ready(entry.fd);
+        continue;
+      }
+      const auto it = connections_.find(entry.fd);
+      if (it == connections_.end()) continue;
+      Connection& conn = it->second;
+      if ((entry.revents & (POLLERR | POLLNVAL)) != 0) {
+        to_close.push_back(entry.fd);
+        continue;
+      }
+      if ((entry.revents & (POLLIN | POLLHUP)) != 0) handle_readable(conn);
+      if ((entry.revents & POLLOUT) != 0) handle_writable(conn);
+    }
+
+    drain_results();
+    maybe_finish_drain();
+    // Flush opportunistically: most replies fit the socket buffer, so this
+    // usually completes without waiting for a POLLOUT round-trip.
+    for (auto& [fd, conn] : connections_) {
+      if (conn.write_pos < conn.write_buf.size()) handle_writable(conn);
+      if (conn.close_after_flush && conn.write_pos >= conn.write_buf.size()) {
+        to_close.push_back(fd);
+      }
+    }
+    for (const int fd : to_close) close_connection(fd);
+    to_close.clear();
+  }
+  // Drained: every reply (incl. DrainOk) is flushed; close what remains.
+  while (!connections_.empty()) {
+    close_connection(connections_.begin()->first);
+  }
+}
+
+void Server::engine_loop() {
+  std::vector<PendingSolve> batch;
+  std::vector<engine::BatchSolver::TickItem> items;
+  std::vector<std::size_t> slots;  // batch index of each solved instance
+  for (;;) {
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return stop_engine_ || !pending_.empty(); });
+      if (stop_engine_) return;
+    }
+    if (options_.tick_delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.tick_delay_ms));
+    }
+    batch.clear();
+    {
+      std::lock_guard lock(queue_mutex_);
+      while (!pending_.empty() && batch.size() < options_.max_batch) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+      ticking_ = batch.size();
+    }
+    if (batch.empty()) continue;
+    m_ticks_.add(1);
+    m_tick_batch_.record(static_cast<double>(batch.size()));
+
+    const auto now = std::chrono::steady_clock::now();
+    std::deque<SolveOutcome> outcomes;
+    items.clear();
+    slots.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].has_deadline && now > batch[i].deadline) {
+        m_shed_deadline_.add(1);
+        SolveOutcome shed;
+        shed.conn_gen = batch[i].conn_gen;
+        shed.fd = batch[i].fd;
+        shed.request_id = batch[i].request_id;
+        shed.type = MsgType::kError;
+        shed.payload = encode_error_payload(
+            ErrorCode::kDeadlineExceeded,
+            "deadline passed before the solve was dispatched");
+        outcomes.push_back(std::move(shed));
+        continue;
+      }
+      engine::BatchSolver::TickItem item;
+      item.instance = &batch[i].request.instance;
+      item.k = batch[i].request.k;
+      item.algo = batch[i].request.algo;
+      item.ptas_budget = batch[i].request.ptas_budget;
+      item.ptas_eps = batch[i].request.ptas_eps;
+      items.push_back(item);
+      slots.push_back(i);
+    }
+    if (!items.empty()) {
+      // One tick = one BatchSolver call: everything admitted while the
+      // previous tick ran is coalesced here, with per-request algorithm
+      // parameters carried by the TickItems. Batching composition cannot
+      // change results — BatchSolver is bit-identical to the serial entry
+      // point per instance.
+      const auto results = solver_.solve_items(items);
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        const PendingSolve& solve = batch[slots[i]];
+        SolveOutcome outcome;
+        outcome.conn_gen = solve.conn_gen;
+        outcome.fd = solve.fd;
+        outcome.request_id = solve.request_id;
+        outcome.type = MsgType::kSolveOk;
+        outcome.payload = encode_solve_reply_payload(results[i]);
+        outcome.request_latency_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - solve.received)
+                .count();
+        outcomes.push_back(std::move(outcome));
+      }
+    }
+    {
+      std::lock_guard lock(queue_mutex_);
+      for (SolveOutcome& outcome : outcomes) {
+        results_.push_back(std::move(outcome));
+      }
+      ticking_ = 0;
+    }
+    const char byte = 'r';
+    [[maybe_unused]] const auto n = write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+namespace {
+
+std::atomic<Server*> g_signal_server{nullptr};
+struct sigaction g_old_term;
+struct sigaction g_old_int;
+
+void forward_signal(int) {
+  if (Server* server = g_signal_server.load(std::memory_order_relaxed)) {
+    server->notify_signal();
+  }
+}
+
+}  // namespace
+
+void install_signal_drain(Server* server) {
+  if (server != nullptr) {
+    g_signal_server.store(server, std::memory_order_relaxed);
+    struct sigaction action{};
+    action.sa_handler = forward_signal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGTERM, &action, &g_old_term);
+    sigaction(SIGINT, &action, &g_old_int);
+  } else {
+    sigaction(SIGTERM, &g_old_term, nullptr);
+    sigaction(SIGINT, &g_old_int, nullptr);
+    g_signal_server.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace lrb::svc

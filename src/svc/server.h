@@ -1,0 +1,206 @@
+// The rebalancing service: a long-running daemon that answers wire-protocol
+// requests (svc/wire.h) over TCP and/or Unix-domain sockets.
+//
+// Architecture (two threads, one direction of ownership):
+//
+//   poll(2) event loop (run())          engine thread
+//   ─ accepts connections               ─ waits for pending solves
+//   ─ non-blocking reads, incremental   ─ coalesces everything pending
+//     frame parsing (partial reads OK)    (up to max_batch) into ONE
+//   ─ admission control: queue depth      engine::BatchSolver tick over
+//     >= max_queue -> Overloaded reply     leased Scratch arenas
+//   ─ answers Ping/Stats inline         ─ sheds requests whose deadline
+//   ─ queues Solve for the engine         passed before dispatch
+//   ─ writes replies, partial writes    ─ posts results back through the
+//     buffered and driven by POLLOUT      self-pipe
+//
+// Backpressure never blocks and never hangs: a request is either answered
+// with its solve result or with an explicit Error (Overloaded /
+// DeadlineExceeded / Draining / BadRequest).
+//
+// Drain: a Drain request or SIGTERM (wired via notify_signal(), which is
+// async-signal-safe) stops accepting new connections and new Solves;
+// every request already admitted is still solved and its reply flushed
+// before run() returns — zero dropped in-flight requests.
+//
+// Determinism: replies are byte-identical to the serial entry points
+// (engine::solve_serial_reference) regardless of batching composition or
+// concurrency, because BatchSolver guarantees exactly that per instance.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/batch_solver.h"
+#include "obs/metrics.h"
+#include "svc/wire.h"
+
+namespace lrb::svc {
+
+struct ServerOptions {
+  /// Unix-domain socket path; empty disables the UDS listener. An existing
+  /// socket file at the path is replaced.
+  std::string unix_path;
+  /// TCP port; -1 disables the TCP listener, 0 binds an ephemeral port
+  /// (query the result with tcp_port()).
+  int tcp_port = -1;
+  std::string tcp_bind = "127.0.0.1";
+
+  engine::BatchOptions engine;  ///< pool size, default algo params, metrics
+
+  /// Coalescing cap: at most this many Solves per engine tick.
+  std::size_t max_batch = 64;
+  /// Admission control: Solves arriving while this many are already
+  /// pending (queued, not yet dispatched) are shed with Overloaded.
+  std::size_t max_queue = 256;
+  std::size_t max_connections = 256;
+  /// Testing/chaos knob: the engine thread sleeps this long before each
+  /// tick's deadline check, simulating a slow engine. Lets tests exercise
+  /// deadline shedding and queue backpressure deterministically.
+  std::uint32_t tick_delay_ms = 0;
+  /// Metrics registry for "svc.*" metrics (and, unless options.engine
+  /// overrides it separately, also handed to the BatchSolver). Defaults to
+  /// the process-wide registry.
+  obs::Registry* metrics = &obs::Registry::global();
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Opens the listeners and starts the engine thread. Returns false (and
+  /// sets *error) on socket setup failure.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Runs the event loop until drained (Drain request or notify_signal).
+  /// Call from the thread that owns the server; tests run it in a
+  /// std::thread.
+  void run();
+
+  /// Async-signal-safe drain trigger: write one byte to the self-pipe.
+  /// Safe to call from a SIGTERM handler or any thread, once start()
+  /// returned true and until the destructor begins.
+  void notify_signal() noexcept;
+
+  /// Actual TCP port after start() (useful with tcp_port = 0).
+  [[nodiscard]] int tcp_port() const noexcept { return bound_tcp_port_; }
+
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string read_buf;
+    std::string write_buf;
+    std::size_t write_pos = 0;  ///< flushed prefix of write_buf
+    bool close_after_flush = false;
+    bool wants_drain_ack = false;
+  };
+
+  struct PendingSolve {
+    std::uint64_t conn_gen = 0;  ///< generation-checked connection handle
+    int fd = -1;
+    std::uint64_t request_id = 0;
+    SolveRequest request;
+    std::chrono::steady_clock::time_point deadline{};  ///< zero = none
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point received{};
+  };
+
+  struct SolveOutcome {
+    std::uint64_t conn_gen = 0;
+    int fd = -1;
+    std::uint64_t request_id = 0;
+    MsgType type = MsgType::kSolveOk;
+    std::string payload;
+    double request_latency_ms = 0.0;
+  };
+
+  // -- event loop side --
+  void accept_ready(int listener_fd);
+  void handle_readable(Connection& conn);
+  void handle_writable(Connection& conn);
+  bool process_frames(Connection& conn);  ///< false = close connection
+  void handle_solve(Connection& conn, const FrameHeader& header,
+                    std::string_view payload);
+  void queue_reply(Connection& conn, MsgType type, std::uint64_t request_id,
+                   std::string_view payload);
+  void queue_error(Connection& conn, std::uint64_t request_id, ErrorCode code,
+                   std::string_view text);
+  void close_connection(int fd);
+  void drain_results();
+  void begin_drain();
+  void maybe_finish_drain();
+  [[nodiscard]] bool drained() const;
+
+  // -- engine thread --
+  void engine_loop();
+
+  ServerOptions options_;
+  engine::BatchSolver solver_;
+
+  int unix_listener_ = -1;
+  int tcp_listener_ = -1;
+  int bound_tcp_port_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< [0] polled by the loop, [1] written by
+                                 ///< the engine thread and signal handlers
+
+  std::map<int, Connection> connections_;
+  std::uint64_t conn_gen_counter_ = 0;
+  std::map<int, std::uint64_t> conn_gen_;  ///< fd -> live generation
+
+  // Engine-thread handoff.
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingSolve> pending_;
+  std::size_t ticking_ = 0;  ///< Solves currently inside a tick
+  std::deque<SolveOutcome> results_;
+  bool stop_engine_ = false;
+  std::thread engine_thread_;
+
+  bool draining_ = false;
+  bool drain_acked_ = false;
+  std::atomic<bool> signal_requested_{false};
+
+  // svc.* metrics (see docs/serving.md for the catalog).
+  obs::Counter& m_conns_accepted_;
+  obs::Counter& m_conns_closed_;
+  obs::Counter& m_bytes_in_;
+  obs::Counter& m_bytes_out_;
+  obs::Counter& m_req_ping_;
+  obs::Counter& m_req_solve_;
+  obs::Counter& m_req_stats_;
+  obs::Counter& m_req_drain_;
+  obs::Counter& m_replies_ok_;
+  obs::Counter& m_shed_overloaded_;
+  obs::Counter& m_shed_deadline_;
+  obs::Counter& m_rejected_draining_;
+  obs::Counter& m_bad_requests_;
+  obs::Counter& m_ticks_;
+  obs::Counter& m_dropped_replies_;
+  obs::Histogram& m_request_latency_ms_;
+  obs::Histogram& m_tick_batch_;
+};
+
+/// Installs a SIGTERM + SIGINT handler that calls server->notify_signal().
+/// At most one server can be wired at a time; passing nullptr restores the
+/// previous handlers. Used by lrb_serve and the drain tests.
+void install_signal_drain(Server* server);
+
+}  // namespace lrb::svc

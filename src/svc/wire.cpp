@@ -1,0 +1,232 @@
+#include "svc/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace lrb::svc {
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked little-endian reader over a payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool done() const noexcept { return ok_ && pos_ == data_.size(); }
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(take(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(take(4)); }
+  std::uint64_t u64() { return take(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(take(8)); }
+  double f64() { return std::bit_cast<double>(take(8)); }
+
+ private:
+  std::uint64_t take(std::size_t bytes) {
+    if (!ok_ || data_.size() - pos_ < bytes) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bytes; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += bytes;
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+DecodeStatus decode_header(std::string_view buf, FrameHeader* header) {
+  if (buf.size() < kHeaderSize) return DecodeStatus::kNeedMore;
+  if (std::memcmp(buf.data(), kMagic, sizeof kMagic) != 0) {
+    return DecodeStatus::kBadMagic;
+  }
+  Reader r(buf.substr(sizeof kMagic, kHeaderSize - sizeof kMagic));
+  header->version = r.u16();
+  header->type = static_cast<MsgType>(r.u16());
+  header->request_id = r.u64();
+  header->payload_len = r.u32();
+  if (header->version != kWireVersion) return DecodeStatus::kBadVersion;
+  if (header->payload_len > kMaxPayload) return DecodeStatus::kTooLarge;
+  return DecodeStatus::kOk;
+}
+
+void encode_frame(std::string& out, MsgType type, std::uint64_t request_id,
+                  std::string_view payload) {
+  out.reserve(out.size() + kHeaderSize + payload.size());
+  out.append(kMagic, sizeof kMagic);
+  put_u16(out, kWireVersion);
+  put_u16(out, static_cast<std::uint16_t>(type));
+  put_u64(out, request_id);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+}
+
+std::string encode_solve_request(const SolveRequest& request) {
+  std::string out;
+  const std::size_t n = request.instance.num_jobs();
+  out.reserve(40 + n * 20);
+  out.push_back(static_cast<char>(request.algo));
+  out.push_back(0);
+  put_u16(out, 0);
+  put_u32(out, request.deadline_ms);
+  put_i64(out, request.k);
+  put_i64(out, request.ptas_budget);
+  put_f64(out, request.ptas_eps);
+  put_u32(out, request.instance.num_procs);
+  put_u32(out, static_cast<std::uint32_t>(n));
+  for (std::size_t j = 0; j < n; ++j) {
+    put_i64(out, request.instance.sizes[j]);
+    put_i64(out, request.instance.move_costs[j]);
+    put_u32(out, request.instance.initial[j]);
+  }
+  return out;
+}
+
+std::optional<SolveRequest> decode_solve_request(std::string_view payload,
+                                                 std::string* error) {
+  auto fail = [&](const char* what) -> std::optional<SolveRequest> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  Reader r(payload);
+  SolveRequest request;
+  const std::uint8_t algo = r.u8();
+  r.u8();
+  r.u16();
+  request.deadline_ms = r.u32();
+  request.k = r.i64();
+  request.ptas_budget = r.i64();
+  request.ptas_eps = r.f64();
+  request.instance.num_procs = r.u32();
+  const std::uint32_t num_jobs = r.u32();
+  if (!r.ok()) return fail("truncated solve header");
+  if (algo > static_cast<std::uint8_t>(engine::Algo::kPtas)) {
+    return fail("unknown algo id");
+  }
+  request.algo = static_cast<engine::Algo>(algo);
+  // The remaining payload must hold exactly num_jobs records; checking up
+  // front turns a lying count into one error instead of 3n reader checks.
+  if (payload.size() != 40 + std::size_t{num_jobs} * 20) {
+    return fail("job count does not match payload length");
+  }
+  request.instance.sizes.resize(num_jobs);
+  request.instance.move_costs.resize(num_jobs);
+  request.instance.initial.resize(num_jobs);
+  for (std::uint32_t j = 0; j < num_jobs; ++j) {
+    request.instance.sizes[j] = r.i64();
+    request.instance.move_costs[j] = r.i64();
+    request.instance.initial[j] = r.u32();
+  }
+  if (!r.done()) return fail("truncated job records");
+  if (request.k < 0) return fail("negative move budget");
+  if (const auto problem = validate(request.instance)) {
+    return fail(problem->c_str());
+  }
+  return request;
+}
+
+std::string encode_solve_reply_payload(const RebalanceResult& result) {
+  std::string out;
+  out.reserve(40 + result.assignment.size() * 4);
+  put_i64(out, result.makespan);
+  put_i64(out, result.moves);
+  put_i64(out, result.cost);
+  put_i64(out, result.threshold);
+  put_u32(out, static_cast<std::uint32_t>(result.assignment.size()));
+  for (const ProcId p : result.assignment) put_u32(out, p);
+  return out;
+}
+
+std::optional<RebalanceResult> decode_solve_reply_payload(
+    std::string_view payload, std::string* error) {
+  auto fail = [&](const char* what) -> std::optional<RebalanceResult> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  Reader r(payload);
+  RebalanceResult result;
+  result.makespan = r.i64();
+  result.moves = r.i64();
+  result.cost = r.i64();
+  result.threshold = r.i64();
+  const std::uint32_t num_jobs = r.u32();
+  if (!r.ok()) return fail("truncated solve reply header");
+  if (payload.size() != 36 + std::size_t{num_jobs} * 4) {
+    return fail("assignment length does not match payload length");
+  }
+  result.assignment.resize(num_jobs);
+  for (std::uint32_t j = 0; j < num_jobs; ++j) result.assignment[j] = r.u32();
+  if (!r.done()) return fail("truncated assignment");
+  return result;
+}
+
+std::string encode_error_payload(ErrorCode code, std::string_view text) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(code));
+  put_u32(out, static_cast<std::uint32_t>(text.size()));
+  out.append(text);
+  return out;
+}
+
+std::optional<ErrorReply> decode_error_payload(std::string_view payload) {
+  Reader r(payload);
+  ErrorReply reply;
+  reply.code = static_cast<ErrorCode>(r.u32());
+  const std::uint32_t len = r.u32();
+  if (!r.ok() || payload.size() != 8 + std::size_t{len}) return std::nullopt;
+  reply.text.assign(payload.substr(8));
+  return reply;
+}
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest:
+      return "bad-request";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ErrorCode::kDraining:
+      return "draining";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+}  // namespace lrb::svc

@@ -1,0 +1,132 @@
+// The lrb_serve binary wire protocol (version lrb::kWireVersion).
+//
+// Every message is one length-prefixed frame, little-endian throughout:
+//
+//   offset  size  field
+//        0     4  magic "LRBS"
+//        4     2  protocol version (= 1)
+//        6     2  message type (MsgType)
+//        8     8  request id (echoed verbatim in the reply)
+//       16     4  payload length in bytes
+//       20     -  payload
+//
+// Request payloads:
+//   Ping   arbitrary bytes (echoed back in Pong)
+//   Solve  u8 algo, u8+u16 reserved, u32 deadline_ms (0 = none, relative
+//          to server receipt), i64 k, i64 ptas_budget, f64 ptas_eps,
+//          u32 num_procs, u32 num_jobs, then per job
+//          {i64 size, i64 move_cost, u32 initial}
+//   Stats  empty
+//   Drain  empty
+//
+// Reply payloads:
+//   Pong     the Ping payload
+//   SolveOk  i64 makespan, i64 moves, i64 cost, i64 threshold,
+//            u32 num_jobs, u32 assignment[num_jobs]
+//   StatsOk  UTF-8 JSON metrics snapshot (obs::Registry::to_json)
+//   DrainOk  empty (sent once every in-flight request has been answered)
+//   Error    u32 code (ErrorCode), u32 text length, UTF-8 text
+//
+// Determinism: encode_solve_reply_payload is a pure function of the
+// RebalanceResult, so "reply payload byte-identical to the serial solver"
+// is a meaningful contract checked by lrb_load --check and tests/test_svc.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+#include "engine/batch_solver.h"
+#include "util/version.h"
+
+namespace lrb::svc {
+
+inline constexpr char kMagic[4] = {'L', 'R', 'B', 'S'};
+inline constexpr std::size_t kHeaderSize = 20;
+/// Frames advertising a larger payload are rejected with kBadRequest and
+/// the connection is closed (a lying header must not make the server
+/// buffer unbounded input).
+inline constexpr std::uint32_t kMaxPayload = 1u << 26;  // 64 MiB
+
+enum class MsgType : std::uint16_t {
+  // Requests.
+  kPing = 1,
+  kSolve = 2,
+  kStats = 3,
+  kDrain = 4,
+  // Replies.
+  kPong = 101,
+  kSolveOk = 102,
+  kStatsOk = 103,
+  kDrainOk = 104,
+  kError = 120,
+};
+
+enum class ErrorCode : std::uint32_t {
+  kBadRequest = 1,       ///< malformed frame or payload; connection closes
+  kOverloaded = 2,       ///< admission control shed: queue depth at cap
+  kDeadlineExceeded = 3, ///< deadline passed before the solve was dispatched
+  kDraining = 4,         ///< server is draining; no new work accepted
+  kInternal = 5,
+};
+
+struct FrameHeader {
+  std::uint16_t version = 0;
+  MsgType type = MsgType::kPing;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_len = 0;
+};
+
+enum class DecodeStatus {
+  kOk,         ///< *header filled; kHeaderSize bytes consumed by the caller
+  kNeedMore,   ///< fewer than kHeaderSize bytes available
+  kBadMagic,
+  kBadVersion,
+  kTooLarge,   ///< payload_len > kMaxPayload
+};
+
+/// Parses a frame header from the front of `buf` without consuming it.
+[[nodiscard]] DecodeStatus decode_header(std::string_view buf,
+                                         FrameHeader* header);
+
+/// Appends a complete frame (header + payload) to `out`.
+void encode_frame(std::string& out, MsgType type, std::uint64_t request_id,
+                  std::string_view payload);
+
+struct SolveRequest {
+  engine::Algo algo = engine::Algo::kBestOf;
+  std::uint32_t deadline_ms = 0;  ///< 0 = no deadline
+  std::int64_t k = 0;
+  Cost ptas_budget = kInfCost;
+  double ptas_eps = 1.0;
+  Instance instance;
+};
+
+[[nodiscard]] std::string encode_solve_request(const SolveRequest& request);
+/// Returns nullopt (and sets *error) on truncated/invalid payloads,
+/// including structurally invalid instances (lrb::validate).
+[[nodiscard]] std::optional<SolveRequest> decode_solve_request(
+    std::string_view payload, std::string* error);
+
+[[nodiscard]] std::string encode_solve_reply_payload(
+    const RebalanceResult& result);
+[[nodiscard]] std::optional<RebalanceResult> decode_solve_reply_payload(
+    std::string_view payload, std::string* error);
+
+[[nodiscard]] std::string encode_error_payload(ErrorCode code,
+                                               std::string_view text);
+struct ErrorReply {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string text;
+};
+[[nodiscard]] std::optional<ErrorReply> decode_error_payload(
+    std::string_view payload);
+
+[[nodiscard]] const char* error_code_name(ErrorCode code);
+
+}  // namespace lrb::svc

@@ -28,8 +28,9 @@ double OnlineStats::variance() const noexcept {
 double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 double percentile_sorted(std::span<const double> sorted, double q) {
-  assert(!sorted.empty());
-  assert(q >= 0.0 && q <= 1.0);
+  if (sorted.empty()) return 0.0;
+  if (std::isnan(q)) q = 0.0;
+  q = std::clamp(q, 0.0, 1.0);
   if (sorted.size() == 1) return sorted[0];
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto idx = static_cast<std::size_t>(pos);

@@ -47,7 +47,10 @@ struct Summary {
 [[nodiscard]] Summary summarize(std::span<const double> samples);
 
 /// Exact percentile (linear interpolation between order statistics) of an
-/// ALREADY SORTED sample vector; q in [0, 1].
+/// ALREADY SORTED sample vector. Total on all inputs so histogram
+/// snapshots can call it unconditionally: an empty span yields 0.0, q
+/// outside [0, 1] (including +-inf) is clamped to the nearest endpoint,
+/// and a NaN q is treated as 0 (the minimum).
 [[nodiscard]] double percentile_sorted(std::span<const double> sorted, double q);
 
 /// Geometric mean; all samples must be positive.

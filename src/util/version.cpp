@@ -1,0 +1,23 @@
+#include "util/version.h"
+
+#include <cstdio>
+
+namespace lrb {
+
+void print_version(const char* tool) {
+#ifndef LRB_BUILD_TYPE
+#define LRB_BUILD_TYPE "unknown"
+#endif
+#ifdef NDEBUG
+  constexpr const char* kAsserts = "asserts off";
+#else
+  constexpr const char* kAsserts = "asserts on";
+#endif
+  std::printf("%s lrb/%s (%s, %s)\n", tool, kLrbVersion, LRB_BUILD_TYPE,
+              kAsserts);
+  std::printf("wire protocol: v%u\n", static_cast<unsigned>(kWireVersion));
+  std::printf("bench schemas: %s %s %s\n", kEngineBenchSchema,
+              kPtasBenchSchema, kSvcBenchSchema);
+}
+
+}  // namespace lrb

@@ -1,0 +1,27 @@
+// Build/version identification shared by every CLI tool, plus the wire and
+// bench schema version constants, so load-test reports and fuzz repros are
+// attributable to an exact binary ("which build produced this number?").
+
+#pragma once
+
+#include <cstdint>
+
+namespace lrb {
+
+/// Library version (kept in sync with the CMake project VERSION).
+inline constexpr char kLrbVersion[] = "1.0.0";
+
+/// Version field of the lrb_serve binary wire protocol (see svc/wire.h and
+/// docs/serving.md). Bump on any incompatible frame or payload change.
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// Schema tags of the committed machine-readable bench baselines.
+inline constexpr char kEngineBenchSchema[] = "lrb-engine-bench-v1";
+inline constexpr char kPtasBenchSchema[] = "lrb-ptas-bench-v1";
+inline constexpr char kSvcBenchSchema[] = "lrb-svc-bench-v1";
+
+/// Prints "<tool> lrb/<version> (<build type>, asserts on|off)" plus the
+/// wire/bench schema versions to stdout. Every tool maps --version here.
+void print_version(const char* tool);
+
+}  // namespace lrb

@@ -255,6 +255,76 @@ TEST(BatchSolver, EmptyBatchIsFine) {
   EXPECT_TRUE(results.empty());
 }
 
+TEST(BatchSolver, EmptyBatchFillsEmptyLatencies) {
+  BatchSolver solver;
+  std::vector<double> latencies{1.0, 2.0, 3.0};  // stale contents must go
+  const auto results = solver.solve({}, {}, &latencies);
+  EXPECT_TRUE(results.empty());
+  EXPECT_TRUE(latencies.empty());
+  const auto item_results = solver.solve_items({}, &latencies);
+  EXPECT_TRUE(item_results.empty());
+  EXPECT_TRUE(latencies.empty());
+}
+
+TEST(BatchSolver, ManyMoreWorkersThanInstances) {
+  // Workers far beyond the instance count must neither deadlock nor
+  // perturb results (idle workers simply never pick up a task).
+  const auto corpus = family_corpus();
+  BatchOptions options;
+  options.workers = 16;
+  BatchSolver solver(options);
+  std::vector<Instance> instances{corpus[0].instance, corpus[1].instance};
+  std::vector<std::int64_t> ks{corpus[0].k, corpus[1].k};
+  const auto results = solver.solve(instances, ks);
+  ASSERT_EQ(results.size(), 2u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    expect_same(results[i],
+                serial_reference(Algo::kBestOf, instances[i], ks[i]),
+                "workers>>instances i=" + std::to_string(i));
+  }
+}
+
+TEST(BatchSolver, SolveItemsMixesAlgosWithinOneTick) {
+  // The serving layer's entry point: items of one tick may carry different
+  // algorithms yet each must match its own serial reference.
+  const auto corpus = family_corpus();
+  BatchOptions options;
+  options.workers = 4;
+  BatchSolver solver(options);
+  const Algo algos[] = {Algo::kGreedy, Algo::kMPartition, Algo::kBestOf};
+  std::vector<BatchSolver::TickItem> items;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    BatchSolver::TickItem item;
+    item.instance = &corpus[i].instance;
+    item.k = corpus[i].k;
+    item.algo = algos[i % std::size(algos)];
+    items.push_back(item);
+  }
+  std::vector<double> latencies;
+  const auto results = solver.solve_items(items, &latencies);
+  ASSERT_EQ(results.size(), items.size());
+  ASSERT_EQ(latencies.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_GE(latencies[i], 0.0);
+    expect_same(results[i],
+                serial_reference(items[i].algo, corpus[i].instance,
+                                 corpus[i].k),
+                "solve_items mixed i=" + std::to_string(i));
+  }
+}
+
+TEST(BatchSolver, SerialReferenceMatchesLibraryEntryPoints) {
+  const auto corpus = family_corpus();
+  for (Algo algo : {Algo::kGreedy, Algo::kMPartition, Algo::kBestOf}) {
+    for (const auto& c : corpus) {
+      expect_same(engine::solve_serial_reference(algo, c.instance, c.k),
+                  serial_reference(algo, c.instance, c.k),
+                  std::string("solve_serial_reference ") +
+                      engine::algo_name(algo) + " " + c.name);
+    }
+  }
+}
+
 TEST(BatchSolver, AlgoNamesRoundTrip) {
   for (Algo algo : {Algo::kGreedy, Algo::kMPartition, Algo::kBestOf,
                     Algo::kPtas}) {
@@ -262,8 +332,13 @@ TEST(BatchSolver, AlgoNamesRoundTrip) {
     ASSERT_TRUE(engine::parse_algo(engine::algo_name(algo), &parsed));
     EXPECT_EQ(parsed, algo);
   }
-  Algo parsed{};
-  EXPECT_FALSE(engine::parse_algo("nope", &parsed));
+  // Unknown names must be rejected and must not touch *out.
+  for (const char* bad : {"nope", "", "GREEDY", "best_of", "m partition",
+                          "greedy ", " ptas", "ptas2"}) {
+    Algo parsed = Algo::kPtas;
+    EXPECT_FALSE(engine::parse_algo(bad, &parsed)) << "'" << bad << "'";
+    EXPECT_EQ(parsed, Algo::kPtas) << "'" << bad << "'";
+  }
 }
 
 TEST(ParallelMPartition, BitIdenticalIncludingStatsForAnyChunkCount) {

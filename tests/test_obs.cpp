@@ -1,0 +1,198 @@
+// Tests for the embedded metrics layer (src/obs): counter and histogram
+// correctness, exact-percentile agreement with util/stats, registry JSON,
+// and concurrent hammering (run under TSan in CI — the hot paths must be
+// wait-free and race-free against a concurrent snapshot).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/stats.h"
+
+namespace lrb::obs {
+namespace {
+
+TEST(Counter, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ConcurrentAddsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.retained, 0u);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 0.0);
+  EXPECT_EQ(snap.p50, 0.0);
+  EXPECT_EQ(snap.p99, 0.0);
+  for (const auto b : snap.buckets) EXPECT_EQ(b, 0u);
+}
+
+TEST(Histogram, PercentilesMatchPercentileSortedExactly) {
+  // Below reservoir capacity the snapshot must reproduce percentile_sorted
+  // over the full sample set exactly (not a bucket approximation).
+  Histogram h;
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) {
+    const double ms = static_cast<double>((i * 37) % 997) / 10.0;
+    samples.push_back(ms);
+    h.record(ms);
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, samples.size());
+  EXPECT_EQ(snap.retained, samples.size());
+  EXPECT_DOUBLE_EQ(snap.min, samples.front());
+  EXPECT_DOUBLE_EQ(snap.max, samples.back());
+  EXPECT_DOUBLE_EQ(snap.p50, percentile_sorted(samples, 0.5));
+  EXPECT_DOUBLE_EQ(snap.p90, percentile_sorted(samples, 0.9));
+  EXPECT_DOUBLE_EQ(snap.p99, percentile_sorted(samples, 0.99));
+}
+
+TEST(Histogram, BucketCountsCoverFullHistory) {
+  Histogram h(/*reservoir_capacity=*/16);
+  // 100 samples of 0.3 ms with a 16-slot reservoir: buckets still see all
+  // 100 (they cover unbounded history), the reservoir only the last 16.
+  for (int i = 0; i < 100; ++i) h.record(0.3);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.retained, 16u);
+  std::uint64_t total = 0;
+  for (const auto b : snap.buckets) total += b;
+  EXPECT_EQ(total, 100u);
+  // 0.3 ms falls in the (0.2, 0.5] bucket.
+  std::size_t bucket = 0;
+  while (bucket < kLatencyBuckets - 1 &&
+         kLatencyBucketBoundsMs[bucket] < 0.3) {
+    ++bucket;
+  }
+  EXPECT_EQ(snap.buckets[bucket], 100u);
+}
+
+TEST(Histogram, NegativeAndHugeSamplesAreHandled) {
+  Histogram h;
+  h.record(-5.0);    // clamps to 0
+  h.record(1e9);     // overflow bucket
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1e9);
+  EXPECT_EQ(snap.buckets[kLatencyBuckets - 1], 1u);  // overflow
+  EXPECT_EQ(snap.buckets[0], 1u);                    // clamped negative
+}
+
+TEST(Histogram, ConcurrentRecordWithRacingSnapshots) {
+  // TSan target: writers hammer record() while a reader keeps cutting
+  // snapshots. Snapshots may miss in-flight samples but must never crash,
+  // report a sample that was never recorded, or tear a value.
+  Histogram h(1024);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 50000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto snap = h.snapshot();
+      EXPECT_LE(snap.retained, 1024u);
+      EXPECT_GE(snap.max, snap.min);
+      // Only values in [1.0, 2.0] are ever recorded.
+      if (snap.retained > 0) {
+        EXPECT_GE(snap.min, 1.0);
+        EXPECT_LE(snap.max, 2.0);
+        EXPECT_GE(snap.p50, 1.0);
+        EXPECT_LE(snap.p50, 2.0);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&h, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        h.record(1.0 + static_cast<double>((i + w) % 100) / 100.0);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kWriters) * kPerWriter);
+}
+
+TEST(Registry, CounterAndHistogramReferencesAreStable) {
+  Registry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.histogram("lat");
+  Histogram& h2 = registry.histogram("lat");
+  EXPECT_EQ(&h1, &h2);
+  a.add(3);
+  EXPECT_EQ(registry.counter("x").value(), 3u);
+}
+
+TEST(Registry, ConcurrentRegistrationIsSafe) {
+  Registry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 100; ++i) {
+        registry.counter("c" + std::to_string(i % 10)).add();
+        registry.histogram("h" + std::to_string(i % 5)).record(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(registry.counter("c" + std::to_string(i)).value(), 80u);
+  }
+}
+
+TEST(Registry, ToJsonHasStableShape) {
+  Registry registry;
+  registry.counter("b.count").add(2);
+  registry.counter("a.count").add(1);
+  registry.histogram("lat").record(0.5);
+  const std::string json = registry.to_json();
+  // Stable key order: map iteration is lexicographic.
+  const auto a_pos = json.find("\"a.count\": 1");
+  const auto b_pos = json.find("\"b.count\": 2");
+  ASSERT_NE(a_pos, std::string::npos) << json;
+  ASSERT_NE(b_pos, std::string::npos) << json;
+  EXPECT_LT(a_pos, b_pos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(Registry, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace lrb::obs

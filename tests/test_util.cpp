@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -169,6 +170,26 @@ TEST(Stats, PercentileSortedInterpolates) {
   EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 0.0);
   EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.5), 5.0);
   EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.0), 10.0);
+}
+
+TEST(Stats, PercentileSortedIsTotal) {
+  // The function is total so metrics snapshots can call it unconditionally:
+  // empty input yields 0, out-of-range q clamps, NaN q means the minimum.
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, -3.0), 0.0);
+  const std::vector<double> sorted{2.0, 4.0, 8.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 2.0), 8.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, -inf), 2.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, inf), 8.0);
+  EXPECT_DOUBLE_EQ(
+      percentile_sorted(sorted, std::numeric_limits<double>::quiet_NaN()),
+      2.0);
+  const std::vector<double> one{7.5};
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 1.0), 7.5);
 }
 
 TEST(Stats, Geomean) {

@@ -32,15 +32,12 @@
 #include <thread>
 #include <vector>
 
-#include "algo/greedy.h"
-#include "algo/m_partition.h"
-#include "algo/ptas.h"
-#include "algo/rebalancer.h"
 #include "core/generators.h"
 #include "core/io.h"
 #include "engine/batch_solver.h"
 #include "util/flags.h"
 #include "util/stats.h"
+#include "util/version.h"
 
 namespace {
 
@@ -49,29 +46,6 @@ using namespace lrb;
 int fail(const std::string& message) {
   std::cerr << "lrb_batch: " << message << "\n";
   return 1;
-}
-
-/// The mixed corpus: every size distribution crossed with every placement
-/// policy, cycled over three size tiers. Deterministic in (index, seed).
-Instance corpus_instance(std::size_t index, std::uint64_t seed) {
-  static constexpr SizeDistribution kDists[] = {
-      SizeDistribution::kUniform, SizeDistribution::kBimodal,
-      SizeDistribution::kZipf, SizeDistribution::kExponential,
-      SizeDistribution::kUnit};
-  static constexpr PlacementPolicy kPlacements[] = {
-      PlacementPolicy::kRandom, PlacementPolicy::kHotspot,
-      PlacementPolicy::kZipfProcs, PlacementPolicy::kBalanced,
-      PlacementPolicy::kSingleProc};
-  static constexpr std::size_t kJobs[] = {32, 128, 512};
-  static constexpr ProcId kProcs[] = {4, 8, 16};
-
-  GeneratorOptions options;
-  options.size_dist = kDists[index % std::size(kDists)];
-  options.placement = kPlacements[(index / std::size(kDists)) % std::size(kPlacements)];
-  const std::size_t tier = (index / (std::size(kDists) * std::size(kPlacements))) % std::size(kJobs);
-  options.num_jobs = kJobs[tier];
-  options.num_procs = kProcs[tier];
-  return random_instance(options, seed + index);
 }
 
 bool results_equal(const RebalanceResult& x, const RebalanceResult& y) {
@@ -98,11 +72,15 @@ struct RunRecord {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  if (flags.has("version")) {
+    print_version("lrb_batch");
+    return 0;
+  }
   for (const auto& key : flags.keys()) {
     static const char* known[] = {"corpus", "generate", "seed",     "algo",
                                   "k-frac", "workers",  "reps",     "check",
                                   "min-speedup", "json", "ptas-eps",
-                                  "ptas-budget"};
+                                  "ptas-budget", "version"};
     if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
           return key == k;
         }) == std::end(known)) {
@@ -142,7 +120,7 @@ int main(int argc, char** argv) {
     corpus_source = "generated";
     instances.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-      instances.push_back(corpus_instance(i, seed));
+      instances.push_back(mixed_corpus_instance(i, seed));
     }
   }
   std::vector<std::int64_t> ks(instances.size());
@@ -220,36 +198,32 @@ int main(int argc, char** argv) {
               << " p99=" << fmt(record.latency.p99) << "\n";
   }
 
-  // ---- Optional serial cross-check against the library entry points. ----
+  // ---- Optional serial cross-check against the library entry points.
+  // Every mismatch counts (first few are printed); any mismatch makes the
+  // tool exit non-zero after the JSON baseline is still written, so CI
+  // gets both the failure and the evidence. ----
+  std::size_t check_mismatches = 0;
   if (flags.has("check")) {
     for (std::size_t i = 0; i < instances.size(); ++i) {
-      RebalanceResult serial;
-      switch (algo) {
-        case engine::Algo::kGreedy:
-          serial = greedy_rebalance(instances[i], ks[i]);
-          break;
-        case engine::Algo::kMPartition:
-          serial = m_partition_rebalance(instances[i], ks[i]);
-          break;
-        case engine::Algo::kBestOf:
-          serial = best_of_rebalance(instances[i], ks[i]);
-          break;
-        case engine::Algo::kPtas: {
-          PtasOptions opt;
-          opt.eps = ptas_eps;
-          opt.budget = ptas_budget;
-          serial = ptas_rebalance(instances[i], opt).result;
-          break;
+      const RebalanceResult serial = engine::solve_serial_reference(
+          algo, instances[i], ks[i], ptas_budget, ptas_eps);
+      if (!results_equal(serial, reference[i])) {
+        ++check_mismatches;
+        if (check_mismatches <= 10) {
+          std::cerr << "lrb_batch: engine result differs from the serial "
+                       "entry point at instance "
+                    << i << "\n";
         }
       }
-      if (!results_equal(serial, reference[i])) {
-        return fail("engine result differs from the serial entry point at "
-                    "instance " +
-                    std::to_string(i));
-      }
     }
-    std::cout << "serial cross-check: OK (" << instances.size()
-              << " instances)\n";
+    if (check_mismatches == 0) {
+      std::cout << "serial cross-check: OK (" << instances.size()
+                << " instances)\n";
+    } else {
+      std::cerr << "lrb_batch: serial cross-check FAILED ("
+                << check_mismatches << " of " << instances.size()
+                << " instances differ)\n";
+    }
   }
 
   double speedup = 0.0;
@@ -271,7 +245,7 @@ int main(int argc, char** argv) {
     std::ofstream out(*path);
     if (!out) return fail("cannot write '" + *path + "'");
     out << "{\n";
-    out << "  \"schema\": \"lrb-engine-bench-v1\",\n";
+    out << "  \"schema\": \"" << kEngineBenchSchema << "\",\n";
     out << "  \"algo\": \"" << engine::algo_name(algo) << "\",\n";
     out << "  \"corpus\": {\"instances\": " << instances.size()
         << ", \"source\": \"" << corpus_source << "\", \"seed\": " << seed
@@ -299,6 +273,10 @@ int main(int argc, char** argv) {
     out << "}\n";
   }
 
+  if (check_mismatches > 0) {
+    return fail("serial cross-check found " +
+                std::to_string(check_mismatches) + " mismatching instances");
+  }
   if (!identical) return fail("determinism violation (see above)");
   if (const auto min_speedup = flags.get("min-speedup")) {
     const double want = flags.get_double("min-speedup", 0.0);

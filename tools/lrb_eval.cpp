@@ -15,6 +15,7 @@
 #include "core/analysis.h"
 #include "core/io.h"
 #include "util/flags.h"
+#include "util/version.h"
 
 namespace {
 
@@ -28,6 +29,10 @@ int fail(const std::string& message) {
 int main(int argc, char** argv) {
   using namespace lrb;
   const Flags flags(argc, argv);
+  if (flags.has("version")) {
+    print_version("lrb_eval");
+    return 0;
+  }
   if (flags.positional().size() != 2) {
     return fail("usage: lrb_eval <instance.lrb> <assignment.lrb> "
                 "[--histogram]");

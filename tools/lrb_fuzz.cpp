@@ -58,6 +58,7 @@
 #include "core/generators.h"
 #include "core/io.h"
 #include "util/flags.h"
+#include "util/version.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -334,12 +335,16 @@ void write_repro(const std::filesystem::path& path, const Instance& instance,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  if (flags.has("version")) {
+    print_version("lrb_fuzz");
+    return 0;
+  }
   for (const auto& key : flags.keys()) {
     static const char* known[] = {"seed",      "iters",           "time-budget",
                                   "corpus",    "max-jobs",        "max-procs",
                                   "mutant",    "expect-violation",
                                   "expect-max-jobs", "verbose",   "jobs",
-                                  "algo"};
+                                  "algo", "version"};
     if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
           return key == k;
         }) == std::end(known)) {

@@ -22,6 +22,7 @@
 #include "core/generators.h"
 #include "core/io.h"
 #include "util/flags.h"
+#include "util/version.h"
 
 namespace {
 
@@ -35,13 +36,17 @@ int fail(const std::string& message) {
 int main(int argc, char** argv) {
   using namespace lrb;
   const Flags flags(argc, argv);
+  if (flags.has("version")) {
+    print_version("lrb_gen");
+    return 0;
+  }
   for (const auto& key : flags.keys()) {
     static const char* known[] = {
         "jobs",        "procs",      "dist",       "min-size",
         "max-size",    "zipf-alpha", "placement",  "hotspot-fraction",
         "hotspot-mass", "cost-model", "min-cost",  "max-cost",
         "p",           "q",          "seed",       "tight-greedy",
-        "tight-partition"};
+        "tight-partition", "version"};
     if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
           return key == k;
         }) == std::end(known)) {

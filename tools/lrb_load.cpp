@@ -1,0 +1,369 @@
+// lrb_load: closed- and open-loop load generator for lrb_serve.
+//
+// Spawns --connections client threads, each sending --requests Solve
+// requests drawn from the shared mixed corpus (core/generators.h). With
+// --rate 0 (default) each connection runs closed-loop (next request as
+// soon as the reply lands); with --rate R the connections collectively
+// pace an open loop at R requests/second against an absolute schedule,
+// so a slow server shows up as queueing delay instead of a lower offered
+// rate.
+//
+//   lrb_load --unix /tmp/lrb.sock --connections 4 --requests 64 --check
+//   lrb_load --tcp 127.0.0.1:7733 --rate 200 --duration-s 10 --json out.json
+//
+// Flags (defaults in parentheses):
+//   --unix PATH            connect over a Unix-domain socket
+//   --tcp HOST:PORT        connect over TCP
+//   --connections N (4)    concurrent connections, one thread each
+//   --requests N (64)      requests per connection (ignored with --duration-s)
+//   --duration-s S (0)     run for S seconds instead of a fixed count
+//   --rate R (0)           total open-loop request rate; 0 = closed loop
+//   --algo NAME (best-of)  greedy | m-partition | best-of | ptas
+//   --k-frac F (0.25)      move budget as a fraction of num_jobs
+//   --deadline-ms N (0)    per-request deadline sent to the server; 0 = none
+//   --seed N (1)           corpus seed
+//   --check                verify every SolveOk payload is byte-identical to
+//                          engine::solve_serial_reference on the same instance
+//   --smoke                CI preset: 2 connections x 24 requests, implies
+//                          closed loop (other flags still override)
+//   --min-throughput R (0) exit non-zero unless achieved ok-replies/s >= R
+//   --json FILE            write a lrb-svc-bench-v1 report
+//   --version              print version/schema info and exit
+//
+// Exit status is non-zero on transport errors, any --check mismatch, or a
+// missed --min-throughput gate. Shed replies (Overloaded/DeadlineExceeded)
+// are counted and reported but are not failures: they are the server's
+// backpressure working as designed.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/generators.h"
+#include "engine/batch_solver.h"
+#include "svc/client.h"
+#include "svc/wire.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/version.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct LoadConfig {
+  std::string unix_path;
+  std::string tcp_host;
+  int tcp_port = -1;
+  std::size_t connections = 4;
+  std::size_t requests = 64;
+  double duration_s = 0.0;
+  double rate = 0.0;
+  lrb::engine::Algo algo = lrb::engine::Algo::kBestOf;
+  double k_frac = 0.25;
+  std::uint32_t deadline_ms = 0;
+  std::uint64_t seed = 1;
+  bool check = false;
+};
+
+struct WorkerStats {
+  std::size_t sent = 0;
+  std::size_t ok = 0;
+  std::size_t shed_overloaded = 0;
+  std::size_t shed_deadline = 0;
+  std::size_t other_errors = 0;
+  std::size_t mismatches = 0;
+  std::vector<double> latencies_ms;
+  std::vector<std::string> messages;  ///< first few failure details
+};
+
+int fail(const std::string& message) {
+  std::cerr << "lrb_load: " << message << "\n";
+  return 1;
+}
+
+std::optional<lrb::svc::Client> connect(const LoadConfig& config,
+                                        std::string* error) {
+  if (!config.unix_path.empty()) {
+    return lrb::svc::Client::connect_unix(config.unix_path, error);
+  }
+  return lrb::svc::Client::connect_tcp(config.tcp_host, config.tcp_port,
+                                       error);
+}
+
+void note(WorkerStats& stats, std::string message) {
+  if (stats.messages.size() < 5) stats.messages.push_back(std::move(message));
+}
+
+/// One connection's worth of load. Instance indices are globally unique and
+/// deterministic in (conn, i, seed) so --check can regenerate them.
+void run_worker(const LoadConfig& config, std::size_t conn, Clock::time_point
+                start, WorkerStats& stats) {
+  std::string error;
+  auto client = connect(config, &error);
+  if (!client) {
+    note(stats, "connect failed: " + error);
+    ++stats.other_errors;
+    return;
+  }
+  const double per_conn_rate =
+      config.rate > 0.0
+          ? config.rate / static_cast<double>(config.connections)
+          : 0.0;
+  const auto deadline_end =
+      config.duration_s > 0.0
+          ? start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(config.duration_s))
+          : Clock::time_point::max();
+
+  for (std::size_t i = 0;; ++i) {
+    if (config.duration_s > 0.0) {
+      if (Clock::now() >= deadline_end) break;
+    } else if (i >= config.requests) {
+      break;
+    }
+    if (per_conn_rate > 0.0) {
+      // Open loop: request i fires at its absolute scheduled time even if
+      // earlier replies were slow (lateness becomes measured latency).
+      const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(
+                                       static_cast<double>(i) / per_conn_rate));
+      std::this_thread::sleep_until(due);
+      if (config.duration_s > 0.0 && Clock::now() >= deadline_end) break;
+    }
+
+    const std::size_t index = conn * 1000003 + i;
+    lrb::svc::SolveRequest request;
+    request.algo = config.algo;
+    request.deadline_ms = config.deadline_ms;
+    request.instance = lrb::mixed_corpus_instance(index, config.seed);
+    request.k = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               config.k_frac *
+               static_cast<double>(request.instance.num_jobs())));
+
+    const auto t0 = Clock::now();
+    ++stats.sent;
+    auto outcome = client->solve(request, index, &error);
+    const auto t1 = Clock::now();
+    if (!outcome) {
+      note(stats, "request " + std::to_string(index) + ": " + error);
+      ++stats.other_errors;
+      return;  // transport broken; stop this connection
+    }
+    if (outcome->server_error) {
+      switch (outcome->server_error->code) {
+        case lrb::svc::ErrorCode::kOverloaded:
+          ++stats.shed_overloaded;
+          break;
+        case lrb::svc::ErrorCode::kDeadlineExceeded:
+          ++stats.shed_deadline;
+          break;
+        default:
+          ++stats.other_errors;
+          note(stats, "request " + std::to_string(index) + ": server error " +
+                          lrb::svc::error_code_name(
+                              outcome->server_error->code) +
+                          ": " + outcome->server_error->text);
+          break;
+      }
+      continue;
+    }
+    ++stats.ok;
+    stats.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    if (config.check) {
+      const auto reference = lrb::engine::solve_serial_reference(
+          request.algo, request.instance, request.k, request.ptas_budget,
+          request.ptas_eps);
+      if (outcome->raw_payload !=
+          lrb::svc::encode_solve_reply_payload(reference)) {
+        ++stats.mismatches;
+        note(stats, "request " + std::to_string(index) +
+                        ": reply differs from serial reference");
+      }
+    }
+  }
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lrb;
+  const Flags flags(argc, argv);
+  if (flags.has("version")) {
+    print_version("lrb_load");
+    return 0;
+  }
+  for (const auto& key : flags.keys()) {
+    static const char* known[] = {
+        "unix", "tcp",        "connections",    "requests", "duration-s",
+        "rate", "algo",       "k-frac",         "deadline-ms", "seed",
+        "check", "smoke",     "min-throughput", "json",     "version"};
+    if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
+          return key == k;
+        }) == std::end(known)) {
+      return fail("unknown flag '--" + key + "'");
+    }
+  }
+
+  LoadConfig config;
+  const bool smoke = flags.has("smoke");
+  if (smoke) {
+    config.connections = 2;
+    config.requests = 24;
+  }
+  config.unix_path = flags.get_or("unix", "");
+  if (const auto tcp = flags.get("tcp")) {
+    const auto colon = tcp->rfind(':');
+    if (colon == std::string::npos) return fail("--tcp wants HOST:PORT");
+    config.tcp_host = tcp->substr(0, colon);
+    try {
+      config.tcp_port = std::stoi(tcp->substr(colon + 1));
+    } catch (...) {
+      return fail("bad --tcp port");
+    }
+  }
+  if (config.unix_path.empty() && config.tcp_port < 0) {
+    return fail("need one of --unix PATH / --tcp HOST:PORT");
+  }
+  if (!config.unix_path.empty() && config.tcp_port >= 0) {
+    return fail("--unix and --tcp are mutually exclusive");
+  }
+  config.connections = static_cast<std::size_t>(flags.get_int(
+      "connections", static_cast<std::int64_t>(config.connections)));
+  config.requests = static_cast<std::size_t>(
+      flags.get_int("requests", static_cast<std::int64_t>(config.requests)));
+  config.duration_s = flags.get_double("duration-s", 0.0);
+  config.rate = flags.get_double("rate", 0.0);
+  config.k_frac = flags.get_double("k-frac", 0.25);
+  config.deadline_ms =
+      static_cast<std::uint32_t>(flags.get_int("deadline-ms", 0));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.check = flags.has("check");
+  const double min_throughput = flags.get_double("min-throughput", 0.0);
+  const std::string algo_text = flags.get_or("algo", "best-of");
+  if (!engine::parse_algo(algo_text, &config.algo)) {
+    return fail("unknown --algo '" + algo_text + "'");
+  }
+  if (config.connections < 1) return fail("--connections must be >= 1");
+  if (config.rate < 0.0) return fail("--rate must be >= 0");
+
+  std::vector<WorkerStats> per_worker(config.connections);
+  std::vector<std::thread> threads;
+  threads.reserve(config.connections);
+  const auto start = Clock::now();
+  for (std::size_t c = 0; c < config.connections; ++c) {
+    threads.emplace_back(run_worker, std::cref(config), c, start,
+                         std::ref(per_worker[c]));
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  WorkerStats total;
+  for (const auto& w : per_worker) {
+    total.sent += w.sent;
+    total.ok += w.ok;
+    total.shed_overloaded += w.shed_overloaded;
+    total.shed_deadline += w.shed_deadline;
+    total.other_errors += w.other_errors;
+    total.mismatches += w.mismatches;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              w.latencies_ms.begin(), w.latencies_ms.end());
+    for (const auto& m : w.messages) {
+      if (total.messages.size() < 10) total.messages.push_back(m);
+    }
+  }
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+  const auto pct = [&](double q) {
+    return percentile_sorted(total.latencies_ms, q);
+  };
+  const double throughput =
+      elapsed_s > 0.0 ? static_cast<double>(total.ok) / elapsed_s : 0.0;
+
+  std::cout << "lrb_load: " << total.sent << " sent, " << total.ok
+            << " ok, " << total.shed_overloaded << " overloaded, "
+            << total.shed_deadline << " deadline, " << total.other_errors
+            << " errors in " << elapsed_s << " s (" << throughput
+            << " ok/s)\n";
+  if (!total.latencies_ms.empty()) {
+    std::cout << "lrb_load: latency ms p50=" << pct(0.5)
+              << " p90=" << pct(0.9) << " p99=" << pct(0.99)
+              << " max=" << total.latencies_ms.back() << "\n";
+  }
+  if (config.check) {
+    std::cout << "lrb_load: check " << (total.mismatches == 0 ? "OK" : "FAIL")
+              << " (" << total.ok << " replies compared, " << total.mismatches
+              << " mismatches)\n";
+  }
+  for (const auto& m : total.messages) std::cerr << "lrb_load: " << m << "\n";
+
+  if (const auto path = flags.get("json")) {
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"schema\": \"" << kSvcBenchSchema << "\",\n"
+        << "  \"tool\": \"lrb_load\",\n"
+        << "  \"config\": {\n"
+        << "    \"transport\": \""
+        << (config.unix_path.empty() ? "tcp" : "unix") << "\",\n"
+        << "    \"connections\": " << config.connections << ",\n"
+        << "    \"requests_per_connection\": " << config.requests << ",\n"
+        << "    \"duration_s\": " << config.duration_s << ",\n"
+        << "    \"rate\": " << config.rate << ",\n"
+        << "    \"algo\": \"" << engine::algo_name(config.algo) << "\",\n"
+        << "    \"k_frac\": " << config.k_frac << ",\n"
+        << "    \"deadline_ms\": " << config.deadline_ms << ",\n"
+        << "    \"seed\": " << config.seed << ",\n"
+        << "    \"check\": " << (config.check ? "true" : "false") << "\n"
+        << "  },\n"
+        << "  \"results\": {\n"
+        << "    \"sent\": " << total.sent << ",\n"
+        << "    \"ok\": " << total.ok << ",\n"
+        << "    \"shed_overloaded\": " << total.shed_overloaded << ",\n"
+        << "    \"shed_deadline\": " << total.shed_deadline << ",\n"
+        << "    \"errors\": " << total.other_errors << ",\n"
+        << "    \"mismatches\": " << total.mismatches << ",\n"
+        << "    \"elapsed_s\": " << elapsed_s << ",\n"
+        << "    \"throughput_ok_per_s\": " << throughput << ",\n"
+        << "    \"latency_ms\": {\n"
+        << "      \"p50\": " << pct(0.5) << ",\n"
+        << "      \"p90\": " << pct(0.9) << ",\n"
+        << "      \"p99\": " << pct(0.99) << ",\n"
+        << "      \"max\": "
+        << (total.latencies_ms.empty() ? 0.0 : total.latencies_ms.back())
+        << "\n"
+        << "    }\n"
+        << "  }\n"
+        << "}\n";
+    std::ofstream file(*path);
+    if (!file) return fail("cannot write '" + json_escape(*path) + "'");
+    file << out.str();
+  }
+
+  if (total.other_errors > 0) return 1;
+  if (total.mismatches > 0) return 1;
+  if (total.ok == 0) return fail("no successful replies");
+  if (min_throughput > 0.0 && throughput < min_throughput) {
+    return fail("throughput " + std::to_string(throughput) +
+                " ok/s below gate " + std::to_string(min_throughput));
+  }
+  return 0;
+}

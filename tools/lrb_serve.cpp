@@ -1,0 +1,110 @@
+// lrb_serve: the long-running rebalancing service. Accepts the binary wire
+// protocol (docs/serving.md) over TCP and/or Unix-domain sockets, batches
+// concurrent Solve requests into engine::BatchSolver ticks, enforces
+// per-request deadlines and queue-depth backpressure, and drains
+// gracefully on SIGTERM/SIGINT or a Drain request (zero dropped in-flight
+// requests).
+//
+//   lrb_serve --unix /tmp/lrb.sock --workers 0
+//   lrb_serve --tcp 7733 --bind 0.0.0.0 --metrics-json metrics.json
+//
+// Flags (defaults in parentheses):
+//   --unix PATH          listen on a Unix-domain socket
+//   --tcp PORT           listen on TCP (0 = ephemeral; port is printed)
+//   --bind ADDR (127.0.0.1)  TCP bind address
+//   --workers N (0)      solver pool size; 0 = hardware concurrency
+//   --max-batch N (64)   solve coalescing cap per engine tick
+//   --max-queue N (256)  admission control: shed Solves beyond this depth
+//   --max-conns N (256)  connection cap
+//   --tick-delay-ms N (0)  chaos/testing knob: delay each engine tick
+//   --metrics-json FILE  dump the final metrics snapshot on clean exit
+//   --version            print version/schema info and exit
+//
+// At least one of --unix / --tcp is required.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "svc/server.h"
+#include "util/flags.h"
+#include "util/version.h"
+
+namespace {
+
+int fail(const std::string& message) {
+  std::cerr << "lrb_serve: " << message << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lrb;
+  const Flags flags(argc, argv);
+  if (flags.has("version")) {
+    print_version("lrb_serve");
+    return 0;
+  }
+  for (const auto& key : flags.keys()) {
+    static const char* known[] = {"unix",      "tcp",          "bind",
+                                  "workers",   "max-batch",    "max-queue",
+                                  "max-conns", "tick-delay-ms", "metrics-json",
+                                  "version"};
+    if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
+          return key == k;
+        }) == std::end(known)) {
+      return fail("unknown flag '--" + key + "'");
+    }
+  }
+
+  svc::ServerOptions options;
+  options.unix_path = flags.get_or("unix", "");
+  options.tcp_port = static_cast<int>(flags.get_int("tcp", -1));
+  options.tcp_bind = flags.get_or("bind", "127.0.0.1");
+  options.engine.workers =
+      static_cast<std::size_t>(flags.get_int("workers", 0));
+  const std::int64_t max_batch = flags.get_int("max-batch", 64);
+  const std::int64_t max_queue = flags.get_int("max-queue", 256);
+  const std::int64_t max_conns = flags.get_int("max-conns", 256);
+  const std::int64_t tick_delay = flags.get_int("tick-delay-ms", 0);
+  if (max_batch < 1) return fail("--max-batch must be >= 1");
+  if (max_queue < 1) return fail("--max-queue must be >= 1");
+  if (max_conns < 1) return fail("--max-conns must be >= 1");
+  if (tick_delay < 0) return fail("--tick-delay-ms must be >= 0");
+  options.max_batch = static_cast<std::size_t>(max_batch);
+  options.max_queue = static_cast<std::size_t>(max_queue);
+  options.max_connections = static_cast<std::size_t>(max_conns);
+  options.tick_delay_ms = static_cast<std::uint32_t>(tick_delay);
+  if (options.unix_path.empty() && options.tcp_port < 0) {
+    return fail("need at least one of --unix PATH / --tcp PORT");
+  }
+  if (options.tcp_port > 65535) return fail("--tcp port out of range");
+
+  svc::Server server(std::move(options));
+  std::string error;
+  if (!server.start(&error)) return fail(error);
+
+  if (!server.options().unix_path.empty()) {
+    std::cout << "lrb_serve: listening on unix:" << server.options().unix_path
+              << "\n";
+  }
+  if (server.tcp_port() >= 0) {
+    std::cout << "lrb_serve: listening on tcp:" << server.options().tcp_bind
+              << ":" << server.tcp_port() << "\n";
+  }
+  std::cout.flush();
+
+  svc::install_signal_drain(&server);
+  server.run();
+  svc::install_signal_drain(nullptr);
+  std::cout << "lrb_serve: drained cleanly\n";
+
+  if (const auto path = flags.get("metrics-json")) {
+    std::ofstream out(*path);
+    if (!out) return fail("cannot write '" + *path + "'");
+    out << server.options().metrics->to_json();
+  }
+  return 0;
+}

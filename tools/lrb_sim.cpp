@@ -18,6 +18,7 @@
 #include "sim/policies.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
+#include "util/version.h"
 #include "util/table.h"
 
 namespace {
@@ -33,6 +34,10 @@ int main(int argc, char** argv) {
   using namespace lrb;
   using namespace lrb::sim;
   const Flags flags(argc, argv);
+  if (flags.has("version")) {
+    print_version("lrb_simulate");
+    return 0;
+  }
 
   SimOptions options;
   options.workload.num_sites =

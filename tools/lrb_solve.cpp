@@ -32,6 +32,7 @@
 #include "core/lower_bounds.h"
 #include "lp/gap.h"
 #include "util/flags.h"
+#include "util/version.h"
 #include "util/timer.h"
 
 namespace {
@@ -46,6 +47,10 @@ int fail(const std::string& message) {
 int main(int argc, char** argv) {
   using namespace lrb;
   const Flags flags(argc, argv);
+  if (flags.has("version")) {
+    print_version("lrb_solve");
+    return 0;
+  }
   if (flags.positional().size() != 1) {
     return fail("usage: lrb_solve <instance.lrb|-> --algo NAME [--k K] "
                 "[--budget B] [--eps E] [--out FILE]");

@@ -18,6 +18,7 @@
 #include "core/io.h"
 #include "core/lower_bounds.h"
 #include "util/flags.h"
+#include "util/version.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -44,6 +45,10 @@ std::vector<std::int64_t> parse_budgets(const std::string& csv) {
 int main(int argc, char** argv) {
   using namespace lrb;
   const Flags flags(argc, argv);
+  if (flags.has("version")) {
+    print_version("lrb_sweep");
+    return 0;
+  }
   if (flags.positional().size() != 1) {
     return fail("usage: lrb_sweep <instance.lrb> [--k 1,2,4,...] [--csv] "
                 "[--threads N]");
