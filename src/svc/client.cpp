@@ -1,7 +1,9 @@
 #include "svc/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -23,18 +25,70 @@ bool set_errno_error(std::string* error, const std::string& what) {
   return set_error(error, what + ": " + std::strerror(errno));
 }
 
+/// Connects `fd` to `addr`, honouring a 0-means-blocking timeout. On
+/// timeout-mode success the socket is restored to blocking.
+bool connect_with_timeout(int fd, const sockaddr* addr, socklen_t addr_len,
+                          std::uint32_t timeout_ms, std::string* error,
+                          const std::string& what) {
+  if (timeout_ms == 0) {
+    if (connect(fd, addr, addr_len) != 0) {
+      return set_errno_error(error, what);
+    }
+    return true;
+  }
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return set_errno_error(error, what + " (nonblocking)");
+  }
+  if (connect(fd, addr, addr_len) != 0) {
+    if (errno != EINPROGRESS) return set_errno_error(error, what);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) return set_error(error, what + ": connect timeout");
+      pollfd entry{fd, POLLOUT, 0};
+      const int ready = poll(&entry, 1, static_cast<int>(remaining));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return set_errno_error(error, what + " (poll)");
+      }
+      if (ready == 0) return set_error(error, what + ": connect timeout");
+      int so_error = 0;
+      socklen_t len = sizeof so_error;
+      if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+        return set_errno_error(error, what + " (getsockopt)");
+      }
+      if (so_error != 0) {
+        errno = so_error;
+        return set_errno_error(error, what);
+      }
+      break;
+    }
+  }
+  if (fcntl(fd, F_SETFL, flags) != 0) {
+    return set_errno_error(error, what + " (blocking restore)");
+  }
+  return true;
+}
+
 }  // namespace
 
 Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
+      io_(other.io_),
       recv_buf_(std::move(other.recv_buf_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    io_ = other.io_;
     recv_buf_ = std::move(other.recv_buf_);
   }
   return *this;
@@ -42,6 +96,7 @@ Client& Client::operator=(Client&& other) noexcept {
 
 void Client::close() {
   if (fd_ >= 0) {
+    io_->on_close(fd_);
     ::close(fd_);
     fd_ = -1;
   }
@@ -49,7 +104,9 @@ void Client::close() {
 }
 
 std::optional<Client> Client::connect_unix(const std::string& path,
-                                           std::string* error) {
+                                           std::string* error,
+                                           fault::SocketIo* io,
+                                           std::uint32_t connect_timeout_ms) {
   sockaddr_un addr{};
   if (path.size() >= sizeof addr.sun_path) {
     set_error(error, "unix path too long");
@@ -62,19 +119,22 @@ std::optional<Client> Client::connect_unix(const std::string& path,
   }
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
-  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    set_errno_error(error, "connect(" + path + ")");
+  if (!connect_with_timeout(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof addr, connect_timeout_ms, error,
+                            "connect(" + path + ")")) {
     ::close(fd);
     return std::nullopt;
   }
   Client client;
   client.fd_ = fd;
+  client.io_ = io;
   return client;
 }
 
 std::optional<Client> Client::connect_tcp(const std::string& host, int port,
-                                          std::string* error) {
+                                          std::string* error,
+                                          fault::SocketIo* io,
+                                          std::uint32_t connect_timeout_ms) {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     set_errno_error(error, "socket(AF_INET)");
@@ -88,14 +148,16 @@ std::optional<Client> Client::connect_tcp(const std::string& host, int port,
     ::close(fd);
     return std::nullopt;
   }
-  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    set_errno_error(error, "connect(" + host + ":" + std::to_string(port) + ")");
+  if (!connect_with_timeout(
+          fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr,
+          connect_timeout_ms, error,
+          "connect(" + host + ":" + std::to_string(port) + ")")) {
     ::close(fd);
     return std::nullopt;
   }
   Client client;
   client.fd_ = fd;
+  client.io_ = io;
   return client;
 }
 
@@ -104,7 +166,7 @@ bool Client::send_bytes(std::string_view bytes, std::string* error) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n =
-        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+        io_->send(fd_, bytes.data() + sent, bytes.size() - sent);
     if (n < 0) {
       if (errno == EINTR) continue;
       return set_errno_error(error, "send");
@@ -123,7 +185,18 @@ bool Client::send_frame(MsgType type, std::uint64_t request_id,
 
 bool Client::recv_frame(FrameHeader* header, std::string* payload,
                         std::string* error) {
+  return recv_frame_until(header, payload,
+                          std::chrono::steady_clock::time_point::max(),
+                          error, nullptr);
+}
+
+bool Client::recv_frame_until(FrameHeader* header, std::string* payload,
+                              std::chrono::steady_clock::time_point deadline,
+                              std::string* error, bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
   if (fd_ < 0) return set_error(error, "not connected");
+  const bool bounded =
+      deadline != std::chrono::steady_clock::time_point::max();
   char chunk[65536];
   for (;;) {
     switch (decode_header(recv_buf_, header)) {
@@ -143,7 +216,27 @@ bool Client::recv_frame(FrameHeader* header, std::string* payload,
       case DecodeStatus::kTooLarge:
         return set_error(error, "reply payload exceeds cap");
     }
-    const ssize_t n = recv(fd_, chunk, sizeof chunk, 0);
+    if (bounded) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) {
+        if (timed_out != nullptr) *timed_out = true;
+        return set_error(error, "receive timeout");
+      }
+      pollfd entry{fd_, POLLIN, 0};
+      const int ready = io_->poll(&entry, 1, static_cast<int>(remaining));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return set_errno_error(error, "poll");
+      }
+      if (ready == 0) {
+        if (timed_out != nullptr) *timed_out = true;
+        return set_error(error, "receive timeout");
+      }
+    }
+    const ssize_t n = io_->recv(fd_, chunk, sizeof chunk);
     if (n == 0) return set_error(error, "connection closed by server");
     if (n < 0) {
       if (errno == EINTR) continue;

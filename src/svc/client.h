@@ -1,15 +1,22 @@
 // A small blocking client for the lrb_serve wire protocol, used by the
 // lrb_load generator and the loopback tests. One Client = one connection;
 // not thread-safe (use one per thread).
+//
+// All socket IO goes through a fault::SocketIo (the real syscalls by
+// default), so the chaos harness can perturb the client side of the
+// stream too. recv_frame_until adds a poll-based deadline, which is what
+// ResilientClient (svc/retry_client.h) builds its solve timeout on.
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 
 #include "core/assignment.h"
+#include "svc/fault/io_shim.h"
 #include "svc/wire.h"
 
 namespace lrb::svc {
@@ -23,10 +30,17 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
+  /// `connect_timeout_ms` 0 = blocking connect; otherwise the connect is
+  /// non-blocking and fails with "connect timeout" once the budget is
+  /// spent. `io` is the socket-IO seam (real syscalls by default).
   [[nodiscard]] static std::optional<Client> connect_unix(
-      const std::string& path, std::string* error);
+      const std::string& path, std::string* error,
+      fault::SocketIo* io = &fault::SocketIo::real(),
+      std::uint32_t connect_timeout_ms = 0);
   [[nodiscard]] static std::optional<Client> connect_tcp(
-      const std::string& host, int port, std::string* error);
+      const std::string& host, int port, std::string* error,
+      fault::SocketIo* io = &fault::SocketIo::real(),
+      std::uint32_t connect_timeout_ms = 0);
 
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
 
@@ -41,6 +55,13 @@ class Client {
   /// Blocks until one complete reply frame arrives (or EOF/error).
   [[nodiscard]] bool recv_frame(FrameHeader* header, std::string* payload,
                                 std::string* error);
+
+  /// recv_frame with an absolute deadline: fails (setting *timed_out if
+  /// non-null) once `deadline` passes without a complete frame.
+  [[nodiscard]] bool recv_frame_until(
+      FrameHeader* header, std::string* payload,
+      std::chrono::steady_clock::time_point deadline, std::string* error,
+      bool* timed_out = nullptr);
 
   /// send_frame + recv_frame; fails if the reply's request id differs.
   [[nodiscard]] bool call(MsgType type, std::uint64_t request_id,
@@ -61,6 +82,7 @@ class Client {
 
  private:
   int fd_ = -1;
+  fault::SocketIo* io_ = &fault::SocketIo::real();
   std::string recv_buf_;
 };
 

@@ -1,0 +1,79 @@
+// Chaos campaigns: seeded end-to-end fault drills for the rebalancing
+// service, shared by tools/lrb_chaos and tests/test_chaos.
+//
+// One campaign = one in-process Server behind a server-side FaultInjector
+// plus N ResilientClient threads behind client-side injectors, all driven
+// from a single campaign seed:
+//
+//   campaign seed ─┬─> FaultPlan for the server's socket IO
+//                  ├─> FaultPlan for the clients' socket IO
+//                  ├─> the request workload (mixed corpus instances)
+//                  └─> every backoff jitter stream
+//
+// so a failing campaign replays from (seed, plan) alone. The campaign
+// asserts the service's whole resilience contract:
+//
+//   * every request reaches exactly one outcome (zero lost, zero
+//     duplicated in-flight requests, across retries, resets and drains);
+//   * every completed Solve reply is byte-identical to
+//     engine::solve_serial_reference on the same instance;
+//   * no client ever gives up (the plan caps total disruptions, so
+//     bounded retry must always get through).
+//
+// With restart_server set, the backend is drained and a fresh Server is
+// started on the same socket mid-campaign; clients must ride across the
+// restart on their reconnect path.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/batch_solver.h"
+#include "svc/fault/fault.h"
+#include "svc/retry_client.h"
+
+namespace lrb::svc::fault {
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  std::size_t clients = 2;
+  std::size_t requests_per_client = 8;
+  engine::Algo algo = engine::Algo::kBestOf;
+  /// Byte-compare every completed reply against the serial reference.
+  bool check = true;
+  /// Drain the server mid-campaign and restart it on the same socket.
+  bool restart_server = false;
+  std::size_t engine_workers = 2;
+  /// Per-request retry policy; jitter_seed is re-derived from the
+  /// campaign seed per client.
+  RetryPolicy retry;
+};
+
+struct CampaignResult {
+  bool ok = false;
+  FaultPlan server_plan;
+  FaultPlan client_plan;
+  std::size_t requests = 0;   ///< issued = clients * requests_per_client
+  std::size_t completed = 0;  ///< SolveOk outcomes delivered
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t server_solves = 0;  ///< server-side svc.replies_solve_ok
+  FaultStats server_faults;
+  FaultStats client_faults;
+  std::vector<std::string> errors;  ///< mismatches, lost/dup ids, give-ups
+
+  /// One status line, e.g.
+  /// "seed=0x2a ok: 16/16 completed, 3 retries, 11+7 faults".
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] CampaignResult run_campaign(const CampaignOptions& options);
+
+/// Derives the seed of campaign `index` from a base seed (what
+/// lrb_chaos --campaigns iterates).
+[[nodiscard]] std::uint64_t campaign_seed(std::uint64_t base_seed,
+                                          std::uint64_t index);
+
+}  // namespace lrb::svc::fault

@@ -1,0 +1,224 @@
+#include "svc/fault/fault.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace lrb::svc::fault {
+
+FaultPlan FaultPlan::from_seed(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(splitmix64(seed));
+  // Non-lethal stream perturbations are the bread and butter: at least one
+  // of them is always on, at a rate that forces reassembly work without
+  // stalling progress.
+  plan.short_read = rng.bernoulli(0.75) ? rng.uniform_real(0.05, 0.35) : 0.0;
+  plan.eintr = rng.bernoulli(0.6) ? rng.uniform_real(0.05, 0.25) : 0.0;
+  plan.partial_write =
+      rng.bernoulli(0.6) ? rng.uniform_real(0.05, 0.30) : 0.0;
+  if (plan.short_read == 0.0 && plan.eintr == 0.0 &&
+      plan.partial_write == 0.0) {
+    plan.short_read = 0.2;
+  }
+  // Lethal faults and corruption are rare per operation; the caps below
+  // bound them campaign-wide so bounded-retry clients always get through.
+  plan.conn_reset = rng.bernoulli(0.4) ? rng.uniform_real(0.005, 0.03) : 0.0;
+  plan.abrupt_close =
+      rng.bernoulli(0.4) ? rng.uniform_real(0.005, 0.03) : 0.0;
+  plan.corrupt = rng.bernoulli(0.35) ? rng.uniform_real(0.01, 0.08) : 0.0;
+  plan.max_disruptions_per_conn =
+      static_cast<std::uint32_t>(rng.uniform_int(6, 20));
+  plan.max_disruptions_total =
+      static_cast<std::uint32_t>(rng.uniform_int(24, 64));
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  out << "seed=0x" << std::hex << seed << std::dec;
+  const auto rate = [&](const char* name, double value) {
+    if (value > 0.0) out << ' ' << name << '=' << value;
+  };
+  rate("short_read", short_read);
+  rate("eintr", eintr);
+  rate("partial_write", partial_write);
+  rate("conn_reset", conn_reset);
+  rate("abrupt_close", abrupt_close);
+  rate("corrupt", corrupt);
+  out << " caps=" << max_disruptions_per_conn << '/'
+      << max_disruptions_total;
+  return out.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, obs::Registry* metrics,
+                             SocketIo* base)
+    : plan_(plan),
+      base_(base),
+      m_total_(metrics->counter("svc.faults_injected")),
+      m_short_read_(metrics->counter("fault.short_read")),
+      m_eintr_(metrics->counter("fault.eintr")),
+      m_partial_write_(metrics->counter("fault.partial_write")),
+      m_conn_reset_(metrics->counter("fault.conn_reset")),
+      m_abrupt_close_(metrics->counter("fault.abrupt_close")),
+      m_corrupt_(metrics->counter("fault.corrupt")) {}
+
+FaultInjector::Stream& FaultInjector::stream_for(int fd) {
+  const auto it = streams_.find(fd);
+  if (it != streams_.end()) return it->second;
+  Stream stream;
+  std::uint64_t x = plan_.seed + 0x9e3779b97f4a7c15ULL * (next_stream_ + 1);
+  stream.rng = Rng(splitmix64(x));
+  ++next_stream_;
+  return streams_.emplace(fd, std::move(stream)).first->second;
+}
+
+bool FaultInjector::may_disrupt(Stream& stream) {
+  return stream.disruptions < plan_.max_disruptions_per_conn &&
+         total_disruptions_ < plan_.max_disruptions_total;
+}
+
+void FaultInjector::spend(Stream& stream, obs::Counter& kind) {
+  ++stream.disruptions;
+  ++total_disruptions_;
+  m_total_.add(1);
+  kind.add(1);
+}
+
+void FaultInjector::kill_socket(int fd, Stream& stream) {
+  stream.dead = true;
+  // Shut the real socket down so the peer sees EOF instead of waiting on a
+  // reply that will never come; the fd itself stays open (the owner still
+  // closes it).
+  shutdown(fd, SHUT_RDWR);
+}
+
+ssize_t FaultInjector::recv(int fd, void* buf, std::size_t len) {
+  std::size_t ask = len;
+  {
+    std::lock_guard lock(mutex_);
+    Stream& stream = stream_for(fd);
+    if (stream.dead) {
+      errno = ECONNRESET;
+      return -1;
+    }
+    if (may_disrupt(stream)) {
+      if (stream.rng.bernoulli(plan_.eintr)) {
+        spend(stream, m_eintr_);
+        errno = EINTR;
+        return -1;
+      }
+      if (stream.rng.bernoulli(plan_.conn_reset)) {
+        spend(stream, m_conn_reset_);
+        kill_socket(fd, stream);
+        errno = ECONNRESET;
+        return -1;
+      }
+      if (stream.rng.bernoulli(plan_.abrupt_close)) {
+        spend(stream, m_abrupt_close_);
+        kill_socket(fd, stream);
+        return 0;  // EOF
+      }
+      if (len > 1 && stream.rng.bernoulli(plan_.short_read)) {
+        spend(stream, m_short_read_);
+        ask = static_cast<std::size_t>(stream.rng.uniform_int(1, 8));
+        if (ask > len) ask = len;
+      }
+    }
+  }
+  const ssize_t n = base_->recv(fd, buf, ask);
+  if (n <= 0) return n;
+  {
+    std::lock_guard lock(mutex_);
+    Stream& stream = stream_for(fd);
+    // Corrupt only frame-aligned chunks (see fault.h): flipping a bit in
+    // the magic/version bytes guarantees the receiver detects it.
+    if (n >= 6 && may_disrupt(stream) &&
+        std::memcmp(buf, "LRBS", 4) == 0 &&
+        stream.rng.bernoulli(plan_.corrupt)) {
+      spend(stream, m_corrupt_);
+      const auto offset =
+          static_cast<std::size_t>(stream.rng.uniform_int(0, 5));
+      const auto bit = static_cast<unsigned char>(
+          1u << stream.rng.uniform_int(0, 7));
+      static_cast<unsigned char*>(buf)[offset] ^= bit;
+    }
+  }
+  return n;
+}
+
+ssize_t FaultInjector::send(int fd, const void* buf, std::size_t len) {
+  std::size_t ask = len;
+  {
+    std::lock_guard lock(mutex_);
+    Stream& stream = stream_for(fd);
+    if (stream.dead) {
+      errno = EPIPE;
+      return -1;
+    }
+    if (may_disrupt(stream)) {
+      if (stream.rng.bernoulli(plan_.eintr)) {
+        spend(stream, m_eintr_);
+        errno = EINTR;
+        return -1;
+      }
+      if (stream.rng.bernoulli(plan_.conn_reset)) {
+        spend(stream, m_conn_reset_);
+        kill_socket(fd, stream);
+        errno = ECONNRESET;
+        return -1;
+      }
+      if (stream.rng.bernoulli(plan_.abrupt_close)) {
+        spend(stream, m_abrupt_close_);
+        kill_socket(fd, stream);
+        errno = EPIPE;
+        return -1;
+      }
+      if (len > 1 && stream.rng.bernoulli(plan_.partial_write)) {
+        spend(stream, m_partial_write_);
+        ask = static_cast<std::size_t>(stream.rng.uniform_int(1, 8));
+        if (ask > len) ask = len;
+      }
+    }
+  }
+  return base_->send(fd, buf, ask);
+}
+
+int FaultInjector::poll(struct pollfd* fds, nfds_t nfds, int timeout_ms) {
+  {
+    std::lock_guard lock(mutex_);
+    // Poll EINTR draws from a dedicated stream keyed to fd -1 so it does
+    // not perturb any connection's schedule.
+    Stream& stream = stream_for(-1);
+    if (may_disrupt(stream) && stream.rng.bernoulli(plan_.eintr)) {
+      spend(stream, m_eintr_);
+      errno = EINTR;
+      return -1;
+    }
+  }
+  return base_->poll(fds, nfds, timeout_ms);
+}
+
+void FaultInjector::on_close(int fd) {
+  {
+    std::lock_guard lock(mutex_);
+    streams_.erase(fd);
+  }
+  base_->on_close(fd);
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats out;
+  out.total = m_total_.value();
+  out.short_reads = m_short_read_.value();
+  out.eintrs = m_eintr_.value();
+  out.partial_writes = m_partial_write_.value();
+  out.conn_resets = m_conn_reset_.value();
+  out.abrupt_closes = m_abrupt_close_.value();
+  out.corruptions = m_corrupt_.value();
+  return out;
+}
+
+}  // namespace lrb::svc::fault

@@ -1,0 +1,134 @@
+// Deterministic fault injection for the service socket paths.
+//
+// A FaultPlan is a seeded recipe: per-operation injection rates for each
+// fault kind plus disruption caps that guarantee liveness (after the caps
+// are spent the stream runs clean, so every campaign terminates). A
+// FaultInjector interposes the plan on a SocketIo: each connection gets
+// its own decision stream, seeded from (plan.seed, registration order),
+// so the schedule of faults on a stream is a pure function of
+// (seed, plan) — replaying the same seed replays the same failures.
+//
+// Fault kinds:
+//   short read     recv delivers only 1..8 bytes of what was asked
+//   EINTR          recv/send/poll fails with errno = EINTR
+//   partial write  send accepts only 1..8 bytes ("stalled" peer)
+//   conn reset     the real socket is shut down, recv/send fail with
+//                  ECONNRESET (peer sees EOF)
+//   abrupt close   the real socket is shut down, recv reports EOF and
+//                  send fails with EPIPE
+//   corruption     one bit of a frame header's magic/version bytes is
+//                  flipped on inbound data. Corruption is only applied to
+//                  chunks that begin with the "LRBS" magic so every
+//                  corrupted frame is *detectably* corrupt (bad magic or
+//                  bad version) — flipping arbitrary payload bytes could
+//                  mutate a Solve into a different valid Solve, which
+//                  would make the byte-compare-vs-reference contract
+//                  meaningless.
+//
+// Injected failures are visible in obs counters: svc.faults_injected
+// totals everything, fault.<kind> counts per kind.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+#include "svc/fault/io_shim.h"
+#include "util/rng.h"
+
+namespace lrb::svc::fault {
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  // Per-operation injection probabilities in [0, 1].
+  double short_read = 0.0;
+  double eintr = 0.0;
+  double partial_write = 0.0;
+  double conn_reset = 0.0;
+  double abrupt_close = 0.0;
+  double corrupt = 0.0;
+
+  /// Per-connection cap on injected faults; once spent, that connection's
+  /// stream runs clean. Keeps any single connection survivable.
+  std::uint32_t max_disruptions_per_conn = 16;
+  /// Injector-wide cap across all connections; once spent the campaign
+  /// runs clean, so retries are guaranteed to eventually succeed.
+  std::uint32_t max_disruptions_total = 64;
+
+  /// Derives a reproducible mixed plan: the seed picks which fault kinds
+  /// are active and at what intensity. Lethal kinds (reset/close) are kept
+  /// rare enough that a bounded-retry client always gets through.
+  [[nodiscard]] static FaultPlan from_seed(std::uint64_t seed);
+
+  /// One-line human-readable form, e.g.
+  /// "seed=0x2a short_read=0.20 eintr=0.10 caps=12/48".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Counts of what an injector actually did (reads from relaxed counters;
+/// exact once the streams are quiescent).
+struct FaultStats {
+  std::uint64_t total = 0;
+  std::uint64_t short_reads = 0;
+  std::uint64_t eintrs = 0;
+  std::uint64_t partial_writes = 0;
+  std::uint64_t conn_resets = 0;
+  std::uint64_t abrupt_closes = 0;
+  std::uint64_t corruptions = 0;
+};
+
+class FaultInjector final : public SocketIo {
+ public:
+  /// `metrics` receives svc.faults_injected / fault.* counters; `base` is
+  /// the IO being wrapped (the real syscalls by default).
+  explicit FaultInjector(FaultPlan plan,
+                         obs::Registry* metrics = &obs::Registry::global(),
+                         SocketIo* base = &SocketIo::real());
+
+  [[nodiscard]] ssize_t recv(int fd, void* buf, std::size_t len) override;
+  [[nodiscard]] ssize_t send(int fd, const void* buf,
+                             std::size_t len) override;
+  [[nodiscard]] int poll(struct pollfd* fds, nfds_t nfds,
+                         int timeout_ms) override;
+  void on_close(int fd) override;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] FaultStats stats() const;
+
+ private:
+  struct Stream {
+    Rng rng{0};
+    std::uint32_t disruptions = 0;
+    bool dead = false;  ///< a lethal fault already landed on this fd
+  };
+
+  /// The per-fd decision stream; created on first sight, seeded from
+  /// (plan.seed, registration index). Guarded by mutex_ so one injector
+  /// may serve several client threads.
+  Stream& stream_for(int fd);
+  bool may_disrupt(Stream& stream);
+  void spend(Stream& stream, obs::Counter& kind);
+  /// Kills the real socket so the peer observes EOF instead of hanging.
+  void kill_socket(int fd, Stream& stream);
+
+  FaultPlan plan_;
+  SocketIo* base_;
+  std::mutex mutex_;
+  std::map<int, Stream> streams_;
+  std::uint64_t next_stream_ = 0;
+  std::uint32_t total_disruptions_ = 0;
+
+  obs::Counter& m_total_;
+  obs::Counter& m_short_read_;
+  obs::Counter& m_eintr_;
+  obs::Counter& m_partial_write_;
+  obs::Counter& m_conn_reset_;
+  obs::Counter& m_abrupt_close_;
+  obs::Counter& m_corrupt_;
+};
+
+}  // namespace lrb::svc::fault

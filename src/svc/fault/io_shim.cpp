@@ -1,0 +1,28 @@
+#include "svc/fault/io_shim.h"
+
+#include <sys/socket.h>
+
+namespace lrb::svc::fault {
+
+SocketIo::~SocketIo() = default;
+
+ssize_t SocketIo::recv(int fd, void* buf, std::size_t len) {
+  return ::recv(fd, buf, len, 0);
+}
+
+ssize_t SocketIo::send(int fd, const void* buf, std::size_t len) {
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+int SocketIo::poll(struct pollfd* fds, nfds_t nfds, int timeout_ms) {
+  return ::poll(fds, nfds, timeout_ms);
+}
+
+void SocketIo::on_close(int) {}
+
+SocketIo& SocketIo::real() noexcept {
+  static SocketIo instance;
+  return instance;
+}
+
+}  // namespace lrb::svc::fault

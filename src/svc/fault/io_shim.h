@@ -1,0 +1,50 @@
+// The socket-IO seam for the rebalancing service.
+//
+// Server and Client never call recv/send/poll directly; every byte they
+// move goes through a SocketIo. The default implementation (SocketIo::real)
+// is a thin passthrough to the syscalls, so production behaviour is
+// unchanged. The fault-injection harness (svc/fault/fault.h) substitutes a
+// FaultInjector that perturbs the stream on a seeded, reproducible
+// schedule — short reads, EINTR, ECONNRESET, partial writes, abrupt
+// close, header-byte corruption — which is what turns "does the service
+// survive a torn frame?" into a deterministic tier-1 test.
+//
+// Contract: implementations must preserve syscall semantics (return counts
+// and errno) so callers cannot tell a shim from the kernel. on_close(fd)
+// tells the shim a descriptor is about to be closed so per-connection
+// state can be dropped before the fd number is reused.
+
+#pragma once
+
+#include <poll.h>
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace lrb::svc::fault {
+
+class SocketIo {
+ public:
+  virtual ~SocketIo();
+
+  /// recv(2) on a stream socket; returns the byte count, 0 on EOF, or -1
+  /// with errno set.
+  [[nodiscard]] virtual ssize_t recv(int fd, void* buf, std::size_t len);
+
+  /// send(2) with MSG_NOSIGNAL; returns the byte count or -1 with errno.
+  [[nodiscard]] virtual ssize_t send(int fd, const void* buf,
+                                     std::size_t len);
+
+  /// poll(2); returns the ready count, 0 on timeout, or -1 with errno.
+  [[nodiscard]] virtual int poll(struct pollfd* fds, nfds_t nfds,
+                                 int timeout_ms);
+
+  /// Notification that `fd` is about to be closed by the caller (the close
+  /// itself stays with the caller). Default: no-op.
+  virtual void on_close(int fd);
+
+  /// The passthrough instance used everywhere by default.
+  [[nodiscard]] static SocketIo& real() noexcept;
+};
+
+}  // namespace lrb::svc::fault

@@ -1,0 +1,195 @@
+#include "svc/retry_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace lrb::svc {
+
+namespace {
+
+bool fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
+ResilientClient::ResilientClient(Endpoint endpoint, RetryPolicy policy,
+                                 obs::Registry* metrics, fault::SocketIo* io)
+    : endpoint_(std::move(endpoint)),
+      policy_(policy),
+      io_(io),
+      jitter_(splitmix64(policy.jitter_seed)),
+      m_connects_(metrics->counter("client.connects")),
+      m_reconnects_(metrics->counter("client.reconnects")),
+      m_retries_(metrics->counter("client.retries")),
+      m_timeouts_(metrics->counter("client.timeouts")),
+      m_gave_up_(metrics->counter("client.gave_up")) {
+  if (policy_.max_attempts == 0) policy_.max_attempts = 1;
+}
+
+void ResilientClient::disconnect() { client_.close(); }
+
+bool ResilientClient::ensure_connected(std::string* error) {
+  if (client_.connected()) return true;
+  std::string connect_error;
+  auto client =
+      endpoint_.unix_path.empty()
+          ? Client::connect_tcp(endpoint_.tcp_host, endpoint_.tcp_port,
+                                &connect_error, io_,
+                                policy_.connect_timeout_ms)
+          : Client::connect_unix(endpoint_.unix_path, &connect_error, io_,
+                                 policy_.connect_timeout_ms);
+  if (!client) return fail(error, connect_error);
+  client_ = std::move(*client);
+  m_connects_.add(1);
+  if (ever_connected_) m_reconnects_.add(1);
+  ever_connected_ = true;
+  return true;
+}
+
+void ResilientClient::backoff(std::size_t attempt) {
+  // min(cap, base * 2^(attempt-1)), shift kept in range to avoid UB.
+  const auto shift = std::min<std::size_t>(attempt > 0 ? attempt - 1 : 0, 20);
+  const std::uint64_t raw = std::uint64_t{policy_.backoff_base_ms} << shift;
+  const auto capped = std::min<std::uint64_t>(raw, policy_.backoff_cap_ms);
+  const double jittered =
+      static_cast<double>(capped) * jitter_.uniform_real(0.5, 1.0);
+  if (jittered >= 1.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(jittered));
+  }
+}
+
+std::optional<ResilientClient::Outcome> ResilientClient::solve(
+    const SolveRequest& request, std::uint64_t request_id,
+    std::string* error) {
+  const std::string frame_payload = encode_solve_request(request);
+  std::string last_error = "no attempts made";
+  for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      m_retries_.add(1);
+      backoff(attempt - 1);
+    }
+    if (!ensure_connected(&last_error)) continue;
+    if (!client_.send_frame(MsgType::kSolve, request_id, frame_payload,
+                            &last_error)) {
+      client_.close();
+      continue;
+    }
+    const auto deadline =
+        policy_.solve_timeout_ms > 0
+            ? std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(policy_.solve_timeout_ms)
+            : std::chrono::steady_clock::time_point::max();
+    FrameHeader header;
+    std::string payload;
+    bool timed_out = false;
+    if (!client_.recv_frame_until(&header, &payload, deadline, &last_error,
+                                  &timed_out)) {
+      if (timed_out) m_timeouts_.add(1);
+      // Whatever broke (timeout, EOF, torn frame), this connection may
+      // still carry a stale reply: never reuse it.
+      client_.close();
+      continue;
+    }
+    if (header.request_id != request_id) {
+      last_error = "reply request id mismatch";
+      client_.close();
+      continue;
+    }
+    Outcome outcome;
+    outcome.attempts = attempt;
+    if (header.type == MsgType::kSolveOk) {
+      std::string decode_error;
+      auto result = decode_solve_reply_payload(payload, &decode_error);
+      if (!result) {
+        last_error = "bad solve reply: " + decode_error;
+        client_.close();
+        continue;
+      }
+      outcome.result = std::move(*result);
+      outcome.raw_payload = std::move(payload);
+      return outcome;
+    }
+    if (header.type == MsgType::kError) {
+      auto server_error = decode_error_payload(payload);
+      if (!server_error) {
+        last_error = "malformed error reply";
+        client_.close();
+        continue;
+      }
+      switch (server_error->code) {
+        case ErrorCode::kOverloaded:
+          last_error = "server overloaded";
+          continue;  // connection stays healthy; just back off
+        case ErrorCode::kDraining:
+          // This server instance is going away; a later attempt must
+          // reach its replacement.
+          last_error = "server draining";
+          client_.close();
+          continue;
+        case ErrorCode::kBadRequest:
+        case ErrorCode::kInternal:
+          // The wire has no checksum, so a BadRequest may be line
+          // corruption of a perfectly good frame — retry on a fresh
+          // connection. A genuinely malformed request recurs every
+          // attempt and surfaces as the give-up error.
+          last_error = std::string("server error: ") +
+                       error_code_name(server_error->code) + ": " +
+                       server_error->text;
+          client_.close();
+          continue;
+        default:
+          outcome.server_error = std::move(*server_error);
+          return outcome;  // definitive (DeadlineExceeded, unknown codes)
+      }
+    }
+    last_error = "unexpected reply type";
+    client_.close();
+  }
+  m_gave_up_.add(1);
+  fail(error, "gave up after " + std::to_string(policy_.max_attempts) +
+                  " attempts: " + last_error);
+  return std::nullopt;
+}
+
+bool ResilientClient::ping(std::uint64_t request_id, std::string* error) {
+  std::string last_error = "no attempts made";
+  for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      m_retries_.add(1);
+      backoff(attempt - 1);
+    }
+    if (!ensure_connected(&last_error)) continue;
+    if (!client_.send_frame(MsgType::kPing, request_id, "", &last_error)) {
+      client_.close();
+      continue;
+    }
+    const auto deadline =
+        policy_.solve_timeout_ms > 0
+            ? std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(policy_.solve_timeout_ms)
+            : std::chrono::steady_clock::time_point::max();
+    FrameHeader header;
+    std::string payload;
+    bool timed_out = false;
+    if (!client_.recv_frame_until(&header, &payload, deadline, &last_error,
+                                  &timed_out)) {
+      if (timed_out) m_timeouts_.add(1);
+      client_.close();
+      continue;
+    }
+    if (header.type == MsgType::kPong && header.request_id == request_id) {
+      return true;
+    }
+    last_error = "unexpected ping reply";
+    client_.close();
+  }
+  m_gave_up_.add(1);
+  return fail(error, "gave up after " + std::to_string(policy_.max_attempts) +
+                         " attempts: " + last_error);
+}
+
+}  // namespace lrb::svc

@@ -1,0 +1,119 @@
+// ResilientClient: a retrying wrapper around svc::Client for the
+// idempotent requests (Solve, Ping).
+//
+// Failure handling:
+//   * transport errors (send/recv failure, EOF, torn or corrupt reply
+//     frame, receive timeout) tear the connection down and retry on a
+//     fresh one — the dead connection is never reused, so a stale reply
+//     can never be matched to a later request;
+//   * Overloaded / Draining server errors back off and retry (Draining
+//     implies reconnecting, since that server instance will not accept
+//     new work again);
+//   * BadRequest / Internal also retry on a fresh connection: the wire
+//     has no checksum, so a BadRequest may be line corruption of a good
+//     frame. A genuinely malformed request fails every attempt and comes
+//     back as the give-up error;
+//   * DeadlineExceeded is a definitive outcome — the request's own
+//     deadline passed — and is returned without retrying.
+//
+// Backoff is bounded exponential with seeded jitter (deterministic for a
+// given RetryPolicy::jitter_seed), so chaos campaigns replay identically.
+// Every decision is visible in obs counters: client.connects,
+// client.reconnects, client.retries, client.timeouts, client.gave_up.
+//
+// Thread-safety: like Client, one ResilientClient per thread.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/metrics.h"
+#include "svc/client.h"
+#include "svc/fault/io_shim.h"
+#include "util/rng.h"
+
+namespace lrb::svc {
+
+/// Where to (re)connect: exactly one of unix_path / tcp_port >= 0.
+struct Endpoint {
+  std::string unix_path;
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;
+
+  [[nodiscard]] static Endpoint unix_socket(std::string path) {
+    Endpoint endpoint;
+    endpoint.unix_path = std::move(path);
+    return endpoint;
+  }
+  [[nodiscard]] static Endpoint tcp(std::string host, int port) {
+    Endpoint endpoint;
+    endpoint.tcp_host = std::move(host);
+    endpoint.tcp_port = port;
+    return endpoint;
+  }
+};
+
+struct RetryPolicy {
+  /// Attempts per request (first try included). 0 is treated as 1.
+  std::size_t max_attempts = 8;
+  std::uint32_t connect_timeout_ms = 2000;
+  /// Per-attempt budget for the reply to arrive; 0 = wait forever.
+  std::uint32_t solve_timeout_ms = 10000;
+  /// Backoff before retry a (1-based) is
+  /// min(cap, base << (a-1)) * uniform[0.5, 1.0) from the jitter stream.
+  std::uint32_t backoff_base_ms = 2;
+  std::uint32_t backoff_cap_ms = 250;
+  std::uint64_t jitter_seed = 1;
+};
+
+class ResilientClient {
+ public:
+  ResilientClient(Endpoint endpoint, RetryPolicy policy = {},
+                  obs::Registry* metrics = &obs::Registry::global(),
+                  fault::SocketIo* io = &fault::SocketIo::real());
+
+  struct Outcome {
+    std::optional<RebalanceResult> result;  ///< set iff SolveOk
+    std::string raw_payload;                ///< SolveOk payload bytes
+    std::optional<ErrorReply> server_error; ///< definitive server error
+    std::size_t attempts = 1;               ///< round-trips consumed
+  };
+
+  /// Solves with retries. nullopt (and *error) only when every attempt
+  /// failed; otherwise an Outcome carrying the result or the definitive
+  /// server error.
+  [[nodiscard]] std::optional<Outcome> solve(const SolveRequest& request,
+                                             std::uint64_t request_id,
+                                             std::string* error);
+
+  /// Ping with retries; true once a Pong with the right id comes back.
+  [[nodiscard]] bool ping(std::uint64_t request_id, std::string* error);
+
+  /// Drops the current connection (the next request reconnects).
+  void disconnect();
+
+  [[nodiscard]] const RetryPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  [[nodiscard]] bool ensure_connected(std::string* error);
+  void backoff(std::size_t attempt);
+
+  Endpoint endpoint_;
+  RetryPolicy policy_;
+  fault::SocketIo* io_;
+  Client client_;
+  bool ever_connected_ = false;
+  Rng jitter_;
+
+  obs::Counter& m_connects_;
+  obs::Counter& m_reconnects_;
+  obs::Counter& m_retries_;
+  obs::Counter& m_timeouts_;
+  obs::Counter& m_gave_up_;
+};
+
+}  // namespace lrb::svc

@@ -280,14 +280,17 @@ bool Server::process_frames(Connection& conn) {
 void Server::handle_readable(Connection& conn) {
   char chunk[65536];
   for (;;) {
-    const ssize_t n = recv(conn.fd, chunk, sizeof chunk, 0);
+    const ssize_t n = options_.io->recv(conn.fd, chunk, sizeof chunk);
     if (n > 0) {
       m_bytes_in_.add(static_cast<std::uint64_t>(n));
       conn.read_buf.append(chunk, static_cast<std::size_t>(n));
       if (static_cast<std::size_t>(n) < sizeof chunk) break;
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted, not EOF: just retry
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    }
     // EOF or hard error: flush what we owe, then close.
     conn.close_after_flush = true;
     break;
@@ -298,14 +301,20 @@ void Server::handle_readable(Connection& conn) {
 void Server::handle_writable(Connection& conn) {
   while (conn.write_pos < conn.write_buf.size()) {
     const ssize_t n =
-        send(conn.fd, conn.write_buf.data() + conn.write_pos,
-             conn.write_buf.size() - conn.write_pos, MSG_NOSIGNAL);
+        options_.io->send(conn.fd, conn.write_buf.data() + conn.write_pos,
+                          conn.write_buf.size() - conn.write_pos);
     if (n > 0) {
       m_bytes_out_.add(static_cast<std::uint64_t>(n));
       conn.write_pos += static_cast<std::size_t>(n);
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0) {
+      // EINTR must not drop the buffered replies (a signal landing during
+      // a flush used to lose the whole write buffer; the fault shim's
+      // EINTR schedule pins this as a regression test).
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    }
     // Peer vanished; nothing left to flush to it.
     conn.write_buf.clear();
     conn.write_pos = 0;
@@ -319,6 +328,7 @@ void Server::handle_writable(Connection& conn) {
 void Server::close_connection(int fd) {
   const auto it = connections_.find(fd);
   if (it == connections_.end()) return;
+  options_.io->on_close(fd);
   close(it->second.fd);
   connections_.erase(it);
   conn_gen_.erase(fd);
@@ -413,7 +423,10 @@ void Server::run() {
     }
     // The self-pipe wakes us for results/signals; the timeout is only a
     // belt-and-braces guard against a lost wakeup.
-    if (poll(fds.data(), fds.size(), 100) < 0 && errno != EINTR) break;
+    if (options_.io->poll(fds.data(), fds.size(), 100) < 0 &&
+        errno != EINTR) {
+      break;
+    }
 
     for (const pollfd& entry : fds) {
       if (entry.revents == 0) continue;

@@ -43,6 +43,7 @@
 
 #include "engine/batch_solver.h"
 #include "obs/metrics.h"
+#include "svc/fault/io_shim.h"
 #include "svc/wire.h"
 
 namespace lrb::svc {
@@ -72,6 +73,10 @@ struct ServerOptions {
   /// overrides it separately, also handed to the BatchSolver). Defaults to
   /// the process-wide registry.
   obs::Registry* metrics = &obs::Registry::global();
+  /// Socket-IO seam: every connection recv/send and the event-loop poll go
+  /// through this. Production uses the passthrough; the chaos harness
+  /// substitutes a fault::FaultInjector.
+  fault::SocketIo* io = &fault::SocketIo::real();
 };
 
 class Server {

@@ -1,0 +1,128 @@
+// Replays the committed regression corpus (tests/corpus/, see its
+// README.md) on every test run:
+//
+//   * each *.lrb file — a fuzz-style minimized repro — goes through the
+//     full differential harness: every roster algorithm certified, every
+//     proven ratio respected;
+//   * each seed in chaos_seeds.txt is re-fought as a complete chaos
+//     campaign: seeded fault injection around a real server with
+//     byte-identical replies and zero lost/duplicated requests.
+//
+// The corpus directory is baked in at build time (LRB_CORPUS_DIR), so the
+// test needs no working-directory assumptions. An unreadable or malformed
+// corpus entry is a test failure, not a skip: the corpus is a contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/differential.h"
+#include "core/io.h"
+#include "svc/fault/chaos.h"
+
+#ifndef LRB_CORPUS_DIR
+#error "LRB_CORPUS_DIR must point at the committed tests/corpus directory"
+#endif
+
+namespace lrb {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "unreadable corpus entry " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Pulls k / budget / known-opt out of a repro's "# k=..." header line.
+DifferentialOptions parse_repro_options(const std::string& text,
+                                        bool* found_k) {
+  DifferentialOptions options;
+  *found_k = false;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word) || word != "#") continue;
+    while (words >> word) {
+      if (word.rfind("k=", 0) == 0) {
+        options.k = std::stoll(word.substr(2));
+        *found_k = true;
+      } else if (word.rfind("budget=", 0) == 0) {
+        options.budget = std::stoll(word.substr(7));
+      } else if (word.rfind("known-opt=", 0) == 0) {
+        options.known_opt = std::stoll(word.substr(10));
+      }
+    }
+    if (*found_k) break;
+  }
+  return options;
+}
+
+std::vector<fs::path> corpus_files(const std::string& extension) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(LRB_CORPUS_DIR)) {
+    if (entry.path().extension() == extension) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorpusReplay, EveryInstanceRepro) {
+  const auto files = corpus_files(".lrb");
+  ASSERT_FALSE(files.empty())
+      << "no *.lrb entries under " << LRB_CORPUS_DIR;
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    const std::string text = slurp(path);
+    bool found_k = false;
+    const DifferentialOptions options = parse_repro_options(text, &found_k);
+    EXPECT_TRUE(found_k) << "repro has no '# k=' header";
+    std::string error;
+    const auto instance = instance_from_string(text, &error);
+    ASSERT_TRUE(instance) << error;
+    const DifferentialReport report = differential_check(*instance, options);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+TEST(CorpusReplay, EveryChaosSeed) {
+  const fs::path path = fs::path(LRB_CORPUS_DIR) / "chaos_seeds.txt";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing " << path;
+  std::vector<std::uint64_t> seeds;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    seeds.push_back(std::stoull(line.substr(start), nullptr, 0));
+  }
+  ASSERT_FALSE(seeds.empty()) << "no seeds in " << path;
+  for (const std::uint64_t seed : seeds) {
+    svc::fault::CampaignOptions options;
+    options.seed = seed;
+    options.clients = 2;
+    options.requests_per_client = 4;
+    options.check = true;
+    const auto result = svc::fault::run_campaign(options);
+    for (const auto& error : result.errors) {
+      ADD_FAILURE() << "seed 0x" << std::hex << seed << ": " << error;
+    }
+    EXPECT_TRUE(result.ok) << result.summary();
+  }
+}
+
+}  // namespace
+}  // namespace lrb

@@ -1,0 +1,166 @@
+// lrb_chaos: seeded fault-injection campaigns against the rebalancing
+// service (docs/testing.md, "Chaos harness").
+//
+// Each campaign spins up an in-process lrb server behind a server-side
+// FaultInjector, fires resilient clients at it through client-side
+// injectors, and asserts the full resilience contract: every request gets
+// exactly one outcome, every completed reply is byte-identical to
+// engine::solve_serial_reference, and no client gives up. Every fault
+// schedule is a pure function of the campaign seed, so any failure this
+// tool reports replays with:
+//
+//   lrb_chaos --seed BASE --campaign-index I --campaigns 1
+//
+// (the failing campaign's own seed is printed; --seed-list replays an
+// explicit set, which is how tests/corpus/chaos_seeds.txt pins past
+// failures).
+//
+//   lrb_chaos --campaigns 50 --check
+//   lrb_chaos --smoke --check            # CI preset
+//
+// Flags (defaults in parentheses):
+//   --campaigns N (50)     number of seeded campaigns
+//   --seed S (1)           base seed; campaign i uses campaign_seed(S, i)
+//   --campaign-index I (0) first campaign index (for replaying one seed)
+//   --clients N (2)        resilient clients per campaign
+//   --requests N (8)       solve requests per client
+//   --algo NAME (best-of)  greedy | m-partition | best-of
+//   --restart-every K (4)  every Kth campaign drains + restarts the
+//                          server mid-campaign (0 = never)
+//   --seed-list CSV        run exactly these campaign seeds (decimal or
+//                          0x-hex, comma-separated); overrides --campaigns
+//   --check                byte-compare every reply vs the serial solver
+//   --smoke                CI preset: 8 campaigns x 2 clients x 4 requests
+//   --verbose              print each campaign's fault plans
+//   --version              print version/schema info and exit
+//
+// Exits nonzero iff any campaign failed.
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/batch_solver.h"
+#include "svc/fault/chaos.h"
+#include "util/flags.h"
+#include "util/version.h"
+
+namespace {
+
+int fail(const std::string& message) {
+  std::cerr << "lrb_chaos: " << message << "\n";
+  return 1;
+}
+
+bool parse_seed_list(const std::string& text,
+                     std::vector<std::uint64_t>* seeds) {
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    try {
+      seeds->push_back(std::stoull(token, nullptr, 0));
+    } catch (...) {
+      return false;
+    }
+  }
+  return !seeds->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lrb;
+  const Flags flags(argc, argv);
+  if (flags.has("version")) {
+    print_version("lrb_chaos");
+    return 0;
+  }
+  for (const auto& key : flags.keys()) {
+    static const char* known[] = {
+        "campaigns", "seed",    "campaign-index", "clients",
+        "requests",  "algo",    "restart-every",  "seed-list",
+        "check",     "smoke",   "verbose",        "version"};
+    if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
+          return key == k;
+        }) == std::end(known)) {
+      return fail("unknown flag '--" + key + "'");
+    }
+  }
+
+  const bool smoke = flags.has("smoke");
+  std::int64_t campaigns = flags.get_int("campaigns", smoke ? 8 : 50);
+  const std::int64_t clients = flags.get_int("clients", 2);
+  const std::int64_t requests = flags.get_int("requests", smoke ? 4 : 8);
+  const std::int64_t restart_every = flags.get_int("restart-every", 4);
+  const std::int64_t first_index = flags.get_int("campaign-index", 0);
+  const auto base_seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  if (campaigns < 1) return fail("--campaigns must be >= 1");
+  if (clients < 1) return fail("--clients must be >= 1");
+  if (requests < 1) return fail("--requests must be >= 1");
+  if (restart_every < 0) return fail("--restart-every must be >= 0");
+  if (first_index < 0) return fail("--campaign-index must be >= 0");
+
+  engine::Algo algo = engine::Algo::kBestOf;
+  const std::string algo_text = flags.get_or("algo", "best-of");
+  if (!engine::parse_algo(algo_text, &algo)) {
+    return fail("unknown --algo '" + algo_text + "'");
+  }
+
+  std::vector<std::uint64_t> seeds;
+  if (const auto list = flags.get("seed-list")) {
+    if (!parse_seed_list(*list, &seeds)) {
+      return fail("bad --seed-list '" + *list + "'");
+    }
+  } else {
+    for (std::int64_t i = 0; i < campaigns; ++i) {
+      seeds.push_back(svc::fault::campaign_seed(
+          base_seed, static_cast<std::uint64_t>(first_index + i)));
+    }
+  }
+
+  std::size_t failures = 0;
+  std::uint64_t total_faults = 0;
+  std::uint64_t total_retries = 0;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    svc::fault::CampaignOptions options;
+    options.seed = seeds[i];
+    options.clients = static_cast<std::size_t>(clients);
+    options.requests_per_client = static_cast<std::size_t>(requests);
+    options.algo = algo;
+    options.check = flags.has("check");
+    options.restart_server =
+        restart_every > 0 &&
+        (i + 1) % static_cast<std::size_t>(restart_every) == 0;
+    const auto result = svc::fault::run_campaign(options);
+    total_faults +=
+        result.server_faults.total + result.client_faults.total;
+    total_retries += result.retries;
+    if (flags.has("verbose") || !result.ok) {
+      std::cout << "lrb_chaos: campaign " << i
+                << (options.restart_server ? " [restart]" : "") << " "
+                << result.summary() << "\n"
+                << "lrb_chaos:   server plan "
+                << result.server_plan.describe() << "\n"
+                << "lrb_chaos:   client plan "
+                << result.client_plan.describe() << "\n";
+    }
+    if (!result.ok) {
+      ++failures;
+      for (const auto& error : result.errors) {
+        std::cerr << "lrb_chaos: campaign " << i << ": " << error << "\n";
+      }
+      std::cerr << "lrb_chaos: replay with --seed-list 0x" << std::hex
+                << seeds[i] << std::dec << "\n";
+    }
+  }
+
+  std::cout << "lrb_chaos: " << seeds.size() << " campaigns, "
+            << (seeds.size() - failures) << " ok, " << failures
+            << " failed (" << total_faults << " faults injected, "
+            << total_retries << " client retries)\n";
+  return failures == 0 ? 0 : 1;
+}
