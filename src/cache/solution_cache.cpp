@@ -1,0 +1,192 @@
+#include "cache/solution_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace lrb::cache {
+
+SolutionCache::SolutionCache(CacheOptions options)
+    : hits_(options.metrics->counter("cache.hits")),
+      misses_(options.metrics->counter("cache.misses")),
+      evictions_(options.metrics->counter("cache.evictions")),
+      inserts_(options.metrics->counter("cache.inserts")),
+      single_flight_waits_(
+          options.metrics->counter("cache.single_flight_waits")),
+      bytes_gauge_(options.metrics->gauge("cache.bytes")),
+      entries_gauge_(options.metrics->gauge("cache.entries")) {
+  const std::size_t shards =
+      std::bit_ceil(std::max<std::size_t>(1, options.shards));
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = shards - 1;
+  shard_capacity_ = std::max<std::size_t>(1, options.max_bytes / shards);
+}
+
+std::size_t SolutionCache::entry_bytes(std::size_t key_size,
+                                       std::size_t num_jobs) {
+  // Key bytes + assignment payload + a flat estimate for the list node,
+  // hash slot and Entry header. The estimate keeps accounting deterministic
+  // across allocators; what matters is that it is an upper-ish bound that
+  // makes max_bytes a real cap on resident growth.
+  constexpr std::size_t kBookkeeping = 128;
+  return key_size + num_jobs * sizeof(ProcId) + kBookkeeping;
+}
+
+void SolutionCache::insert_locked(Shard& shard, const Fingerprint& fp,
+                                  std::string_view key,
+                                  const RebalanceResult& result) {
+  const std::size_t cost = entry_bytes(key.size(), result.assignment.size());
+  if (cost > shard_capacity_) return;  // would evict everything and not fit
+
+  if (const auto it = shard.map.find(fp); it != shard.map.end()) {
+    // Refresh (or, under fingerprint collision, overwrite) the entry.
+    shard.bytes -= it->second->bytes;
+    bytes_gauge_.add(-static_cast<std::int64_t>(it->second->bytes));
+    entries_gauge_.add(-1);
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+
+  while (shard.bytes + cost > shard_capacity_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    bytes_gauge_.add(-static_cast<std::int64_t>(victim.bytes));
+    entries_gauge_.add(-1);
+    evictions_.add(1);
+    shard.map.erase(victim.fp);
+    shard.lru.pop_back();
+  }
+
+  Entry entry;
+  entry.fp = fp;
+  entry.key.assign(key.data(), key.size());
+  entry.result = result;
+  entry.bytes = cost;
+  shard.lru.push_front(std::move(entry));
+  shard.map[fp] = shard.lru.begin();
+  shard.bytes += cost;
+  bytes_gauge_.add(static_cast<std::int64_t>(cost));
+  entries_gauge_.add(1);
+  inserts_.add(1);
+}
+
+SolutionCache::Probe SolutionCache::lookup_or_begin(const Fingerprint& fp,
+                                                    std::string_view key) {
+  Shard& shard = shard_for(fp);
+  std::unique_lock lock(shard.mutex);
+  for (;;) {
+    if (const auto it = shard.map.find(fp); it != shard.map.end()) {
+      if (it->second->key == key) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        hits_.add(1);
+        Probe probe;
+        probe.hit = true;
+        probe.result = it->second->result;
+        return probe;
+      }
+      // Fingerprint collision with a different key: miss; the leader path
+      // below will overwrite the colliding entry on publish.
+    }
+    const auto flight = shard.inflight.find(fp);
+    if (flight == shard.inflight.end()) {
+      auto entry = std::make_shared<InFlight>();
+      entry->key.assign(key.data(), key.size());
+      shard.inflight.emplace(fp, std::move(entry));
+      misses_.add(1);
+      Probe probe;
+      probe.leader = true;
+      return probe;
+    }
+    if (flight->second->key != key) {
+      // Collision with someone else's in-flight solve. Never block on a
+      // result that is not ours: solve uncached.
+      misses_.add(1);
+      return Probe{};
+    }
+    // Identical solve in flight: wait for the leader.
+    single_flight_waits_.add(1);
+    auto handle = flight->second;
+    shard.cv.wait(lock, [&] { return handle->done || handle->cancelled; });
+    if (handle->done) {
+      hits_.add(1);
+      Probe probe;
+      probe.hit = true;
+      probe.result = handle->result;
+      return probe;
+    }
+    // Leader cancelled: loop and race to become the new leader.
+  }
+}
+
+void SolutionCache::publish(const Fingerprint& fp, std::string_view key,
+                            const RebalanceResult& result) {
+  Shard& shard = shard_for(fp);
+  {
+    std::lock_guard lock(shard.mutex);
+    insert_locked(shard, fp, key, result);
+    const auto flight = shard.inflight.find(fp);
+    if (flight != shard.inflight.end() && flight->second->key == key) {
+      flight->second->result = result;
+      flight->second->done = true;
+      shard.inflight.erase(flight);
+    }
+  }
+  shard.cv.notify_all();
+}
+
+void SolutionCache::cancel(const Fingerprint& fp, std::string_view key) {
+  Shard& shard = shard_for(fp);
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto flight = shard.inflight.find(fp);
+    if (flight != shard.inflight.end() && flight->second->key == key) {
+      flight->second->cancelled = true;
+      shard.inflight.erase(flight);
+    }
+  }
+  shard.cv.notify_all();
+}
+
+std::optional<RebalanceResult> SolutionCache::lookup(const Fingerprint& fp,
+                                                     std::string_view key) {
+  Shard& shard = shard_for(fp);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(fp);
+  if (it == shard.map.end() || it->second->key != key) {
+    misses_.add(1);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.add(1);
+  return it->second->result;
+}
+
+void SolutionCache::insert(const Fingerprint& fp, std::string_view key,
+                           const RebalanceResult& result) {
+  Shard& shard = shard_for(fp);
+  std::lock_guard lock(shard.mutex);
+  insert_locked(shard, fp, key, result);
+}
+
+std::size_t SolutionCache::bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->bytes;
+  }
+  return total;
+}
+
+std::size_t SolutionCache::entries() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+}  // namespace lrb::cache

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <string>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 
 #include "algo/greedy.h"
@@ -60,6 +63,15 @@ RebalanceResult solve_serial_reference(Algo algo, const Instance& instance,
   return ptas_rebalance(instance, options).result;
 }
 
+RebalanceResult cached_serial_reference(Algo algo, const Instance& instance,
+                                       std::int64_t k, Cost ptas_budget,
+                                       double ptas_eps) {
+  const cache::CanonicalInstance canon = cache::canonicalize(instance);
+  const RebalanceResult canonical =
+      solve_serial_reference(algo, canon.instance, k, ptas_budget, ptas_eps);
+  return cache::map_to_original(canon, canonical);
+}
+
 BatchSolver::BatchSolver(BatchOptions options)
     : options_(options),
       pool_(options.workers),
@@ -67,6 +79,13 @@ BatchSolver::BatchSolver(BatchOptions options)
       batch_counter_(options_.metrics->counter("engine.batches")),
       solve_latency_ms_(
           options_.metrics->histogram("engine.solve_latency_ms")) {
+  if (options_.cache_bytes > 0) {
+    cache::CacheOptions cache_options;
+    cache_options.max_bytes = options_.cache_bytes;
+    cache_options.shards = options_.cache_shards;
+    cache_options.metrics = options_.metrics;
+    cache_ = std::make_unique<cache::SolutionCache>(cache_options);
+  }
   // One warmed arena per worker plus one for the submitting thread (it
   // helps drain the queue while blocked in parallel_for).
   std::lock_guard lock(scratch_mutex_);
@@ -156,6 +175,41 @@ RebalanceResult BatchSolver::run_algo(Scratch& scratch,
   return result;
 }
 
+void BatchSolver::normalized_params(const TickItem& item, Cost* budget,
+                                    double* eps) {
+  if (item.algo == Algo::kPtas) {
+    *budget = item.ptas_budget;
+    *eps = item.ptas_eps;
+  } else {
+    *budget = kInfCost;
+    *eps = 1.0;
+  }
+}
+
+RebalanceResult BatchSolver::solve_canonical(
+    const TickItem& item, const cache::CanonicalInstance& canon,
+    const cache::Fingerprint& fp, std::string_view key) {
+  auto probe = cache_->lookup_or_begin(fp, key);
+  if (probe.hit) return std::move(probe.result);
+
+  TickItem canonical_item = item;
+  canonical_item.instance = &canon.instance;
+  normalized_params(canonical_item, &canonical_item.ptas_budget,
+                    &canonical_item.ptas_eps);
+  RebalanceResult result;
+  try {
+    ScratchLease lease(*this);
+    result = run_algo(lease.get(), canonical_item);
+  } catch (...) {
+    // Never strand single-flight waiters: hand leadership to one of them.
+    if (probe.leader) cache_->cancel(fp, key);
+    throw;
+  }
+  solved_counter_.add(1);
+  if (probe.leader) cache_->publish(fp, key, result);
+  return result;
+}
+
 RebalanceResult BatchSolver::solve_one(const Instance& instance,
                                        std::int64_t k) {
   TickItem item;
@@ -166,20 +220,96 @@ RebalanceResult BatchSolver::solve_one(const Instance& instance,
   item.ptas_eps = options_.ptas_eps;
   const auto begin = std::chrono::steady_clock::now();
   RebalanceResult result;
-  {
+  if (cache_ != nullptr) {
+    const cache::CanonicalInstance canon = cache::canonicalize(instance);
+    Cost budget = kInfCost;
+    double eps = 1.0;
+    normalized_params(item, &budget, &eps);
+    const std::string key = cache::encode_cache_key(
+        canon.instance, static_cast<std::uint8_t>(item.algo), item.k, budget,
+        eps);
+    const cache::Fingerprint fp = cache::fingerprint(key);
+    result = cache::map_to_original(canon, solve_canonical(item, canon, fp, key));
+  } else {
     ScratchLease lease(*this);
     result = run_algo(lease.get(), item);
+    solved_counter_.add(1);
   }
   const auto end = std::chrono::steady_clock::now();
-  solved_counter_.add(1);
   solve_latency_ms_.record(
       std::chrono::duration<double, std::milli>(end - begin).count());
   return result;
 }
 
+std::vector<RebalanceResult> BatchSolver::solve_items_cached(
+    std::span<const TickItem> items, std::vector<double>* latencies_ms) {
+  using Clock = std::chrono::steady_clock;
+  const std::size_t n = items.size();
+  std::vector<RebalanceResult> results(n);
+  if (latencies_ms != nullptr) latencies_ms->assign(n, 0.0);
+
+  // Phase 1: canonicalize every item and derive its cache key.
+  std::vector<cache::CanonicalInstance> canons(n);
+  std::vector<std::string> keys(n);
+  std::vector<cache::Fingerprint> fps(n);
+  std::vector<double> canon_ms(n, 0.0);
+  parallel_for(pool_, 0, n, [&](std::size_t i) {
+    const auto begin = Clock::now();
+    const TickItem& item = items[i];
+    canons[i] = cache::canonicalize(*item.instance);
+    Cost budget = kInfCost;
+    double eps = 1.0;
+    normalized_params(item, &budget, &eps);
+    keys[i] = cache::encode_cache_key(canons[i].instance,
+                                      static_cast<std::uint8_t>(item.algo),
+                                      item.k, budget, eps);
+    fps[i] = cache::fingerprint(keys[i]);
+    canon_ms[i] =
+        std::chrono::duration<double, std::milli>(Clock::now() - begin)
+            .count();
+  });
+
+  // Batch dedup: items with byte-identical keys share one solve. rep[i] is
+  // the first item with item i's key; only representatives hit the cache.
+  std::vector<std::size_t> rep(n);
+  std::vector<std::size_t> uniques;
+  {
+    std::unordered_map<std::string_view, std::size_t> first;
+    first.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [it, inserted] = first.emplace(keys[i], i);
+      rep[i] = it->second;
+      if (inserted) uniques.push_back(i);
+    }
+  }
+
+  // Phase 2: probe-or-solve each representative (canonical labels).
+  std::vector<RebalanceResult> canonical_results(n);
+  std::vector<double> solve_ms(n, 0.0);
+  parallel_for(pool_, 0, uniques.size(), [&](std::size_t u) {
+    const std::size_t i = uniques[u];
+    const auto begin = Clock::now();
+    canonical_results[i] = solve_canonical(items[i], canons[i], fps[i],
+                                           keys[i]);
+    solve_ms[i] =
+        std::chrono::duration<double, std::milli>(Clock::now() - begin)
+            .count();
+  });
+
+  // Phase 3: fan out through each item's own recorded permutation.
+  parallel_for(pool_, 0, n, [&](std::size_t i) {
+    results[i] = cache::map_to_original(canons[i], canonical_results[rep[i]]);
+    const double ms = canon_ms[i] + solve_ms[rep[i]];
+    solve_latency_ms_.record(ms);
+    if (latencies_ms != nullptr) (*latencies_ms)[i] = ms;
+  });
+  return results;
+}
+
 std::vector<RebalanceResult> BatchSolver::solve_items(
     std::span<const TickItem> items, std::vector<double>* latencies_ms) {
   batch_counter_.add(1);
+  if (cache_ != nullptr) return solve_items_cached(items, latencies_ms);
   std::vector<RebalanceResult> results(items.size());
   if (latencies_ms != nullptr) {
     latencies_ms->assign(items.size(), 0.0);

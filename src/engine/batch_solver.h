@@ -22,6 +22,8 @@
 #include <string_view>
 #include <vector>
 
+#include "cache/canonical.h"
+#include "cache/solution_cache.h"
 #include "core/assignment.h"
 #include "core/instance.h"
 #include "core/types.h"
@@ -53,6 +55,17 @@ enum class Algo {
     Algo algo, const Instance& instance, std::int64_t k,
     Cost ptas_budget = kInfCost, double ptas_eps = 1.0);
 
+/// The serial reference for every CACHE-ENABLED path: canonicalize, solve
+/// the canonical instance serially, and map the plan back through the
+/// recorded permutations (docs/caching.md). The cache-enabled engine is
+/// byte-identical to this — on a cold miss and on a warm hit alike — so
+/// checkers compare against it whenever the cache is on. For an instance
+/// that is already in canonical form it coincides with
+/// solve_serial_reference.
+[[nodiscard]] RebalanceResult cached_serial_reference(
+    Algo algo, const Instance& instance, std::int64_t k,
+    Cost ptas_budget = kInfCost, double ptas_eps = 1.0);
+
 struct BatchOptions {
   std::size_t workers = 0;  ///< pool size; 0 = hardware concurrency
   Algo algo = Algo::kBestOf;
@@ -71,6 +84,13 @@ struct BatchOptions {
   /// the process-wide registry; tests and embedding servers may pass their
   /// own. Never read on a path that affects results.
   obs::Registry* metrics = &obs::Registry::global();
+  /// Byte budget for the canonicalizing solution cache; 0 disables it.
+  /// With the cache on, every solve goes canonicalize → probe → (solve
+  /// canonical on miss) → map back, so results are byte-identical to
+  /// cached_serial_reference whether they were served cold or warm.
+  std::size_t cache_bytes = 0;
+  /// Shard count for the solution cache (rounded up to a power of two).
+  std::size_t cache_shards = 8;
 };
 
 class BatchSolver {
@@ -114,6 +134,14 @@ class BatchSolver {
   [[nodiscard]] RebalanceResult solve_one(const Instance& instance,
                                           std::int64_t k);
 
+  [[nodiscard]] bool cache_enabled() const noexcept {
+    return cache_ != nullptr;
+  }
+  /// The embedded solution cache, or nullptr when cache_bytes == 0.
+  [[nodiscard]] cache::SolutionCache* solution_cache() noexcept {
+    return cache_.get();
+  }
+
  private:
   /// RAII lease on a Scratch arena from the free list. The list is
   /// self-healing: an empty list mints a fresh arena, so helping workers
@@ -136,9 +164,22 @@ class BatchSolver {
   [[nodiscard]] RebalanceResult run_m_partition(Scratch& scratch,
                                                 const Instance& instance,
                                                 std::int64_t k);
+  /// Cache-key parameters for an item: PTAS knobs are folded into the key
+  /// only for Algo::kPtas (they cannot affect any other algorithm, so
+  /// normalizing them widens the hit range without changing results).
+  static void normalized_params(const TickItem& item, Cost* budget,
+                                double* eps);
+  /// Probe-or-solve for one canonicalized item; returns the result in
+  /// CANONICAL labels. Single-flighted across threads via the cache.
+  [[nodiscard]] RebalanceResult solve_canonical(
+      const TickItem& item, const cache::CanonicalInstance& canon,
+      const cache::Fingerprint& fp, std::string_view key);
+  [[nodiscard]] std::vector<RebalanceResult> solve_items_cached(
+      std::span<const TickItem> items, std::vector<double>* latencies_ms);
 
   BatchOptions options_;
   ThreadPool pool_;
+  std::unique_ptr<cache::SolutionCache> cache_;
   std::mutex scratch_mutex_;
   std::vector<std::unique_ptr<Scratch>> free_scratch_;
   // Engine observability (hot-path wait-free; see obs/metrics.h).

@@ -75,6 +75,13 @@ Counter& Registry::counter(const std::string& name) {
   return *slot;
 }
 
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
 Histogram& Registry::histogram(const std::string& name,
                                std::size_t reservoir_capacity) {
   std::lock_guard lock(mutex_);
@@ -93,6 +100,12 @@ std::string Registry::to_json() const {
   for (const auto& [name, counter] : counters_) {
     os << (first ? "" : ",") << "\n    \"" << name
        << "\": " << counter->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << gauge->value();
     first = false;
   }
   os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";

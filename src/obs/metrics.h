@@ -45,6 +45,25 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Signed level metric for quantities that go up AND down (resident cache
+/// bytes, live entries). Same hot-path contract as Counter: wait-free
+/// relaxed atomics, no allocation.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
 /// Upper bounds (inclusive) of the fixed latency buckets, in milliseconds;
 /// the last bucket is the +inf overflow. Shared by every histogram so
 /// snapshots are comparable across metrics.
@@ -102,17 +121,19 @@ class Registry {
   static Registry& global();
 
   Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name,
                        std::size_t reservoir_capacity = Histogram::kDefaultReservoir);
 
   /// Snapshot of every registered metric as a stable-key-order JSON object:
-  /// {"counters": {...}, "histograms": {name: {count, retained, min, max,
-  /// mean, p50, p90, p99, buckets: [...]}}}.
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// retained, min, max, mean, p50, p90, p99, buckets: [...]}}}.
   [[nodiscard]] std::string to_json() const;
 
  private:
   mutable std::mutex mutex_;  // guards the maps, never the metric values
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

@@ -35,6 +35,7 @@ class ServerRunner {
     server_options.metrics = registry;
     server_options.io = &injector_;
     server_options.engine.workers = options.engine_workers;
+    server_options.cache_bytes = options.cache_bytes;
     server_ = std::make_unique<Server>(std::move(server_options));
     std::string error;
     started_ = server_->start(&error);
@@ -142,9 +143,16 @@ void run_client_phase(const CampaignOptions& options, std::size_t client,
     ledger.record(spec.id, "ok");
     completed.fetch_add(1, std::memory_order_relaxed);
     if (options.check) {
-      const auto reference = engine::solve_serial_reference(
-          spec.request.algo, spec.request.instance, spec.request.k,
-          spec.request.ptas_budget, spec.request.ptas_eps);
+      // With the cache on, every reply — cold solve or warm hit, before or
+      // after a restart — must match the canonical-solve reference.
+      const auto reference =
+          options.cache_bytes > 0
+              ? engine::cached_serial_reference(
+                    spec.request.algo, spec.request.instance, spec.request.k,
+                    spec.request.ptas_budget, spec.request.ptas_eps)
+              : engine::solve_serial_reference(
+                    spec.request.algo, spec.request.instance, spec.request.k,
+                    spec.request.ptas_budget, spec.request.ptas_eps);
       if (outcome->raw_payload != encode_solve_reply_payload(reference)) {
         ledger.error("request " + std::to_string(spec.id) +
                      ": reply differs from serial reference");

@@ -16,7 +16,10 @@
 //   * every request reaches exactly one outcome (zero lost, zero
 //     duplicated in-flight requests, across retries, resets and drains);
 //   * every completed Solve reply is byte-identical to
-//     engine::solve_serial_reference on the same instance;
+//     engine::solve_serial_reference on the same instance — or, with
+//     cache_bytes set, to engine::cached_serial_reference, proving the
+//     solution cache never serves a stale or mis-permuted reply no matter
+//     which faults, retries or re-solves happened in between;
 //   * no client ever gives up (the plan caps total disruptions, so
 //     bounded retry must always get through).
 //
@@ -46,6 +49,11 @@ struct CampaignOptions {
   /// Drain the server mid-campaign and restart it on the same socket.
   bool restart_server = false;
   std::size_t engine_workers = 2;
+  /// Solution cache budget for the server under test; 0 = cache off.
+  /// With a cache, `check` compares against cached_serial_reference (and a
+  /// restart additionally proves a cold cache answers identically to the
+  /// warm one it replaced).
+  std::size_t cache_bytes = 0;
   /// Per-request retry policy; jitter_seed is re-derived from the
   /// campaign seed per client.
   RetryPolicy retry;

@@ -26,6 +26,9 @@
 // Determinism: replies are byte-identical to the serial entry points
 // (engine::solve_serial_reference) regardless of batching composition or
 // concurrency, because BatchSolver guarantees exactly that per instance.
+// With the solution cache enabled (cache_bytes > 0) the reference is
+// engine::cached_serial_reference instead — still a pure function of the
+// request, identical on cold misses and warm hits (docs/caching.md).
 
 #pragma once
 
@@ -58,6 +61,13 @@ struct ServerOptions {
   std::string tcp_bind = "127.0.0.1";
 
   engine::BatchOptions engine;  ///< pool size, default algo params, metrics
+
+  /// Byte budget for the engine's canonicalizing solution cache
+  /// (docs/caching.md); 0 leaves it to engine.cache_bytes (default: off).
+  /// Cache hits skip the solver entirely and replies stay byte-identical
+  /// to engine::cached_serial_reference. Exposed by lrb_serve --cache-mb;
+  /// cache.* counters/gauges appear in the Stats JSON snapshot.
+  std::size_t cache_bytes = 0;
 
   /// Coalescing cap: at most this many Solves per engine tick.
   std::size_t max_batch = 64;

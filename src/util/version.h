@@ -19,6 +19,7 @@ inline constexpr std::uint16_t kWireVersion = 1;
 inline constexpr char kEngineBenchSchema[] = "lrb-engine-bench-v1";
 inline constexpr char kPtasBenchSchema[] = "lrb-ptas-bench-v1";
 inline constexpr char kSvcBenchSchema[] = "lrb-svc-bench-v1";
+inline constexpr char kCacheBenchSchema[] = "lrb-cache-bench-v1";
 
 /// Prints "<tool> lrb/<version> (<build type>, asserts on|off)" plus the
 /// wire/bench schema versions to stdout. Every tool maps --version here.

@@ -1,0 +1,552 @@
+// Property battery for the canonicalizing solution cache (src/cache/,
+// docs/caching.md): canonicalization is idempotent and invariant under
+// job/processor relabeling, fingerprints separate canonically distinct
+// instances, permutation mapping round-trips exactly, the sharded LRU
+// evicts in recency order with exact byte accounting, single-flight
+// collapses concurrent identical misses to one solve, and the
+// cache-enabled engine stays byte-identical to cached_serial_reference.
+//
+// Suite names all contain `Cache` so the thread-sanitize CI job picks the
+// concurrency tests up via its -R filter.
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/canonical.h"
+#include "cache/solution_cache.h"
+#include "core/assignment.h"
+#include "core/generators.h"
+#include "core/instance.h"
+#include "engine/batch_solver.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace lrb {
+namespace {
+
+using cache::CanonicalInstance;
+using cache::Fingerprint;
+using cache::SolutionCache;
+
+Instance corpus_instance(std::size_t index) {
+  return mixed_corpus_instance(index, /*seed=*/0xabcdefULL);
+}
+
+/// Relabels jobs and processors: job_perm[j] / proc_perm[p] are the NEW ids
+/// of old job j / old processor p. The relabeled instance describes the
+/// same problem.
+Instance relabel(const Instance& in, const std::vector<JobId>& job_perm,
+                 const std::vector<ProcId>& proc_perm) {
+  Instance out;
+  out.num_procs = in.num_procs;
+  out.sizes.resize(in.num_jobs());
+  out.move_costs.resize(in.num_jobs());
+  out.initial.resize(in.num_jobs());
+  for (std::size_t j = 0; j < in.num_jobs(); ++j) {
+    out.sizes[job_perm[j]] = in.sizes[j];
+    out.move_costs[job_perm[j]] = in.move_costs[j];
+    out.initial[job_perm[j]] = proc_perm[in.initial[j]];
+  }
+  return out;
+}
+
+std::vector<JobId> random_job_perm(std::size_t n, Rng& rng) {
+  std::vector<JobId> perm(n);
+  std::iota(perm.begin(), perm.end(), JobId{0});
+  shuffle(std::span<JobId>(perm), rng);
+  return perm;
+}
+
+std::vector<ProcId> random_proc_perm(ProcId m, Rng& rng) {
+  std::vector<ProcId> perm(m);
+  std::iota(perm.begin(), perm.end(), ProcId{0});
+  shuffle(std::span<ProcId>(perm), rng);
+  return perm;
+}
+
+std::string canonical_key(const Instance& instance) {
+  const CanonicalInstance canon = cache::canonicalize(instance);
+  return cache::encode_cache_key(canon.instance, /*algo_tag=*/2,
+                                 /*k=*/7, kInfCost, 1.0);
+}
+
+TEST(CacheCanonical, IdempotentAndIdentityOnCanonicalForm) {
+  for (std::size_t index = 0; index < 24; ++index) {
+    const Instance instance = corpus_instance(index);
+    const CanonicalInstance canon = cache::canonicalize(instance);
+    ASSERT_EQ(validate(canon.instance), std::nullopt);
+
+    // Canonicalizing the canonical instance is the identity.
+    const CanonicalInstance again = cache::canonicalize(canon.instance);
+    EXPECT_EQ(again.instance.sizes, canon.instance.sizes);
+    EXPECT_EQ(again.instance.move_costs, canon.instance.move_costs);
+    EXPECT_EQ(again.instance.initial, canon.instance.initial);
+    for (std::size_t j = 0; j < again.job_to_canonical.size(); ++j) {
+      EXPECT_EQ(again.job_to_canonical[j], static_cast<JobId>(j));
+    }
+    for (ProcId p = 0; p < again.instance.num_procs; ++p) {
+      EXPECT_EQ(again.proc_to_canonical[p], p);
+    }
+
+    // The recorded permutations are mutually inverse bijections.
+    for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+      EXPECT_EQ(canon.job_from_canonical[canon.job_to_canonical[j]],
+                static_cast<JobId>(j));
+    }
+    for (ProcId p = 0; p < instance.num_procs; ++p) {
+      EXPECT_EQ(canon.proc_from_canonical[canon.proc_to_canonical[p]], p);
+    }
+
+    // Canonicalization permutes, never alters, the job population.
+    EXPECT_EQ(canon.instance.total_size(), instance.total_size());
+    EXPECT_EQ(canon.instance.initial_makespan(), instance.initial_makespan());
+  }
+}
+
+TEST(CacheCanonical, InvariantUnderRelabeling) {
+  Rng rng(0x1234);
+  for (std::size_t index = 0; index < 24; ++index) {
+    const Instance instance = corpus_instance(index);
+    const std::string key = canonical_key(instance);
+    const Fingerprint fp = cache::fingerprint(key);
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto job_perm = random_job_perm(instance.num_jobs(), rng);
+      const auto proc_perm = random_proc_perm(instance.num_procs, rng);
+      const Instance shuffled = relabel(instance, job_perm, proc_perm);
+      const std::string shuffled_key = canonical_key(shuffled);
+      EXPECT_EQ(shuffled_key, key) << "instance " << index;
+      EXPECT_EQ(cache::fingerprint(shuffled_key), fp);
+    }
+  }
+}
+
+TEST(CacheCanonical, FingerprintSeparatesDistinctInstances) {
+  // Canonically distinct instances must get distinct fingerprints (128 bits
+  // over ~100 keys: a collision here means the hash is broken, not unlucky).
+  std::vector<std::pair<std::string, Fingerprint>> seen;
+  for (std::size_t index = 0; index < 60; ++index) {
+    const std::string key = canonical_key(corpus_instance(index));
+    const Fingerprint fp = cache::fingerprint(key);
+    for (const auto& [other_key, other_fp] : seen) {
+      if (other_key != key) {
+        EXPECT_FALSE(other_fp == fp) << "collision at index " << index;
+      }
+    }
+    seen.emplace_back(key, fp);
+  }
+  // Solve parameters are part of the key: same instance, different k /
+  // algo / eps must all be distinct.
+  const CanonicalInstance canon =
+      cache::canonicalize(corpus_instance(0));
+  const auto key_of = [&](std::uint8_t algo, std::int64_t k, double eps) {
+    return cache::encode_cache_key(canon.instance, algo, k, kInfCost, eps);
+  };
+  EXPECT_NE(key_of(0, 5, 1.0), key_of(1, 5, 1.0));
+  EXPECT_NE(key_of(0, 5, 1.0), key_of(0, 6, 1.0));
+  EXPECT_NE(key_of(3, 5, 0.5), key_of(3, 5, 0.25));
+}
+
+TEST(CacheCanonical, MappingRoundTripsAndPreservesAccounting) {
+  Rng rng(0x77);
+  for (std::size_t index = 0; index < 16; ++index) {
+    const Instance instance = corpus_instance(index);
+    const CanonicalInstance canon = cache::canonicalize(instance);
+    const std::int64_t k =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                      instance.num_jobs() / 8));
+    const RebalanceResult canonical =
+        engine::solve_serial_reference(engine::Algo::kBestOf, canon.instance,
+                                       k);
+    const RebalanceResult mapped = cache::map_to_original(canon, canonical);
+
+    // The mapped plan is a valid assignment of the ORIGINAL instance whose
+    // exact accounting equals the canonical scalars: makespan, moves and
+    // cost are invariant under relabeling.
+    ASSERT_EQ(validate(instance, mapped.assignment), std::nullopt);
+    EXPECT_EQ(makespan(instance, mapped.assignment), canonical.makespan);
+    EXPECT_EQ(moves_used(instance, mapped.assignment), canonical.moves);
+    EXPECT_EQ(relocation_cost(instance, mapped.assignment), canonical.cost);
+    EXPECT_EQ(mapped.makespan, canonical.makespan);
+    EXPECT_EQ(mapped.moves, canonical.moves);
+    EXPECT_EQ(mapped.cost, canonical.cost);
+    EXPECT_EQ(mapped.threshold, canonical.threshold);
+
+    // Inverse mapping round-trips exactly.
+    const Assignment back =
+        cache::map_assignment_to_canonical(canon, mapped.assignment);
+    EXPECT_EQ(back, canonical.assignment);
+    (void)rng;
+  }
+}
+
+TEST(CacheLru, EvictsInRecencyOrderWithExactByteAccounting) {
+  obs::Registry registry;
+  const Instance instance = corpus_instance(3);
+  const CanonicalInstance canon = cache::canonicalize(instance);
+  const RebalanceResult result = engine::solve_serial_reference(
+      engine::Algo::kGreedy, canon.instance, 4);
+
+  const auto key_for = [&](std::int64_t k) {
+    return cache::encode_cache_key(canon.instance, 0, k, kInfCost, 1.0);
+  };
+  const std::size_t per_entry = SolutionCache::entry_bytes(
+      key_for(0).size(), result.assignment.size());
+
+  cache::CacheOptions options;
+  options.shards = 1;  // deterministic: one LRU list
+  options.max_bytes = 3 * per_entry;
+  options.metrics = &registry;
+  SolutionCache cache(options);
+  ASSERT_EQ(cache.shard_count(), 1u);
+
+  const auto fp_for = [&](std::int64_t k) {
+    return cache::fingerprint(key_for(k));
+  };
+  for (std::int64_t k = 0; k < 3; ++k) {
+    cache.insert(fp_for(k), key_for(k), result);
+  }
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.bytes(), 3 * per_entry);
+  EXPECT_EQ(registry.gauge("cache.bytes").value(),
+            static_cast<std::int64_t>(3 * per_entry));
+  EXPECT_EQ(registry.gauge("cache.entries").value(), 3);
+
+  // Touch key 0 so key 1 is now the LRU tail; the next insert evicts 1.
+  EXPECT_TRUE(cache.lookup(fp_for(0), key_for(0)).has_value());
+  cache.insert(fp_for(3), key_for(3), result);
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(registry.counter("cache.evictions").value(), 1u);
+  EXPECT_FALSE(cache.lookup(fp_for(1), key_for(1)).has_value());
+  EXPECT_TRUE(cache.lookup(fp_for(0), key_for(0)).has_value());
+  EXPECT_TRUE(cache.lookup(fp_for(2), key_for(2)).has_value());
+  EXPECT_TRUE(cache.lookup(fp_for(3), key_for(3)).has_value());
+
+  // Re-inserting an existing key refreshes in place: no growth, no eviction.
+  cache.insert(fp_for(3), key_for(3), result);
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.bytes(), 3 * per_entry);
+  EXPECT_EQ(registry.counter("cache.evictions").value(), 1u);
+
+  // An entry larger than the whole budget is refused, not thrashed in.
+  cache::CacheOptions tiny;
+  tiny.shards = 1;
+  tiny.max_bytes = per_entry - 1;
+  tiny.metrics = &registry;
+  SolutionCache small(tiny);
+  small.insert(fp_for(0), key_for(0), result);
+  EXPECT_EQ(small.entries(), 0u);
+  EXPECT_EQ(small.bytes(), 0u);
+}
+
+TEST(CacheLru, HitVerifiesFullKeyBytesNotJustTheFingerprint) {
+  obs::Registry registry;
+  cache::CacheOptions options;
+  options.metrics = &registry;
+  SolutionCache cache(options);
+
+  const Instance instance = corpus_instance(5);
+  const CanonicalInstance canon = cache::canonicalize(instance);
+  const RebalanceResult result = engine::solve_serial_reference(
+      engine::Algo::kGreedy, canon.instance, 2);
+  const std::string key_a =
+      cache::encode_cache_key(canon.instance, 0, 2, kInfCost, 1.0);
+  const std::string key_b =
+      cache::encode_cache_key(canon.instance, 1, 2, kInfCost, 1.0);
+  const Fingerprint fp = cache::fingerprint(key_a);
+
+  // Deliberately look key_b up under key_a's fingerprint (a simulated
+  // 128-bit collision): the stored key bytes differ, so it must miss.
+  cache.insert(fp, key_a, result);
+  EXPECT_TRUE(cache.lookup(fp, key_a).has_value());
+  EXPECT_FALSE(cache.lookup(fp, key_b).has_value());
+
+  // Same collision against an in-flight leader: the prober is told to
+  // solve uncached (no hit, no leadership, no blocking).
+  const auto leader = cache.lookup_or_begin(cache::fingerprint(key_b), key_b);
+  EXPECT_FALSE(leader.hit);
+  EXPECT_TRUE(leader.leader);
+  const auto collided = cache.lookup_or_begin(cache::fingerprint(key_b),
+                                              key_a);
+  EXPECT_FALSE(collided.hit);
+  EXPECT_FALSE(collided.leader);
+  cache.cancel(cache::fingerprint(key_b), key_b);
+}
+
+TEST(CacheSingleFlight, ConcurrentIdenticalMissesSolveExactlyOnce) {
+  obs::Registry registry;
+  cache::CacheOptions options;
+  options.metrics = &registry;
+  SolutionCache cache(options);
+
+  const Instance instance = corpus_instance(7);
+  const CanonicalInstance canon = cache::canonicalize(instance);
+  const std::string key =
+      cache::encode_cache_key(canon.instance, 2, 5, kInfCost, 1.0);
+  const Fingerprint fp = cache::fingerprint(key);
+
+  constexpr int kThreads = 16;
+  constexpr int kRounds = 8;
+  std::atomic<int> solves{0};
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    std::vector<RebalanceResult> results(kThreads);
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        ready.fetch_add(1);
+        while (ready.load() < kThreads) {
+        }
+        const auto slot = static_cast<std::size_t>(t);
+        for (;;) {
+          auto probe = cache.lookup_or_begin(fp, key);
+          if (probe.hit) {
+            results[slot] = std::move(probe.result);
+            return;
+          }
+          if (!probe.leader) continue;  // collision path: retry
+          solves.fetch_add(1);
+          const RebalanceResult solved = engine::solve_serial_reference(
+              engine::Algo::kBestOf, canon.instance, 5);
+          cache.publish(fp, key, solved);
+          results[slot] = solved;
+          return;
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (std::size_t t = 1; t < results.size(); ++t) {
+      ASSERT_EQ(results[t].assignment, results[0].assignment);
+    }
+  }
+  // The first round has exactly one leader; later rounds are pure hits.
+  EXPECT_EQ(solves.load(), 1);
+  EXPECT_EQ(registry.counter("cache.inserts").value(), 1u);
+  EXPECT_GE(registry.counter("cache.hits").value(),
+            static_cast<std::uint64_t>(kThreads * kRounds - 1));
+}
+
+TEST(CacheSingleFlight, CancelledLeaderPromotesAWaiter) {
+  SolutionCache cache;
+  const Instance instance = corpus_instance(9);
+  const CanonicalInstance canon = cache::canonicalize(instance);
+  const std::string key =
+      cache::encode_cache_key(canon.instance, 0, 3, kInfCost, 1.0);
+  const Fingerprint fp = cache::fingerprint(key);
+
+  auto first = cache.lookup_or_begin(fp, key);
+  ASSERT_TRUE(first.leader);
+
+  std::atomic<int> solves{0};
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < 4; ++t) {
+    waiters.emplace_back([&] {
+      for (;;) {
+        auto probe = cache.lookup_or_begin(fp, key);
+        if (probe.hit) return;
+        if (!probe.leader) continue;
+        solves.fetch_add(1);
+        cache.publish(fp, key, engine::solve_serial_reference(
+                                   engine::Algo::kGreedy, canon.instance, 3));
+        return;
+      }
+    });
+  }
+  // The original leader fails; exactly one waiter must take over and
+  // everyone else must drain via its published result.
+  cache.cancel(fp, key);
+  for (auto& thread : waiters) thread.join();
+  EXPECT_EQ(solves.load(), 1);
+}
+
+TEST(CacheEngine, CachedSolvesAreByteIdenticalColdAndWarm) {
+  obs::Registry registry;
+  engine::BatchOptions options;
+  options.workers = 4;
+  options.cache_bytes = std::size_t{8} << 20;
+  options.metrics = &registry;
+  engine::BatchSolver solver(options);
+  ASSERT_TRUE(solver.cache_enabled());
+
+  std::vector<Instance> instances;
+  std::vector<std::int64_t> ks;
+  for (std::size_t index = 0; index < 12; ++index) {
+    instances.push_back(corpus_instance(index));
+    ks.push_back(static_cast<std::int64_t>(index % 5) + 1);
+  }
+  const auto cold = solver.solve(instances, ks);
+  const auto warm = solver.solve(instances, ks);
+  ASSERT_EQ(cold.size(), instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const RebalanceResult want = engine::cached_serial_reference(
+        options.algo, instances[i], ks[i]);
+    EXPECT_EQ(cold[i].assignment, want.assignment) << "cold " << i;
+    EXPECT_EQ(warm[i].assignment, want.assignment) << "warm " << i;
+    EXPECT_EQ(cold[i].makespan, want.makespan);
+    EXPECT_EQ(warm[i].moves, want.moves);
+    EXPECT_EQ(warm[i].cost, want.cost);
+    EXPECT_EQ(warm[i].threshold, want.threshold);
+  }
+  // The warm pass was served from cache: no new solves.
+  EXPECT_EQ(registry.counter("engine.instances_solved").value(),
+            instances.size());
+  EXPECT_GE(registry.counter("cache.hits").value(), instances.size());
+}
+
+TEST(CacheEngine, RelabeledInstancesHitTheSameEntry) {
+  obs::Registry registry;
+  engine::BatchOptions options;
+  options.workers = 2;
+  options.cache_bytes = std::size_t{8} << 20;
+  options.metrics = &registry;
+  engine::BatchSolver solver(options);
+
+  Rng rng(0x5150);
+  const Instance instance = corpus_instance(11);
+  const RebalanceResult original = solver.solve_one(instance, 6);
+  EXPECT_EQ(registry.counter("engine.instances_solved").value(), 1u);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto job_perm = random_job_perm(instance.num_jobs(), rng);
+    const auto proc_perm = random_proc_perm(instance.num_procs, rng);
+    const Instance shuffled = relabel(instance, job_perm, proc_perm);
+    const RebalanceResult got = solver.solve_one(shuffled, 6);
+    // Same canonical entry (no extra solve), mapped back to the relabeled
+    // instance's own labels — byte-identical to its serial reference.
+    const RebalanceResult want = engine::cached_serial_reference(
+        options.algo, shuffled, 6);
+    EXPECT_EQ(got.assignment, want.assignment);
+    EXPECT_EQ(got.makespan, original.makespan);
+    EXPECT_EQ(got.moves, original.moves);
+    EXPECT_EQ(got.cost, original.cost);
+  }
+  EXPECT_EQ(registry.counter("engine.instances_solved").value(), 1u);
+  EXPECT_EQ(registry.counter("cache.hits").value(), 5u);
+}
+
+TEST(CacheEngine, BatchDedupSolvesIdenticalItemsOnce) {
+  obs::Registry registry;
+  engine::BatchOptions options;
+  options.workers = 4;
+  options.cache_bytes = std::size_t{8} << 20;
+  options.metrics = &registry;
+  engine::BatchSolver solver(options);
+
+  const Instance instance = corpus_instance(2);
+  constexpr std::size_t kCopies = 24;
+  std::vector<engine::BatchSolver::TickItem> items(kCopies);
+  for (auto& item : items) {
+    item.instance = &instance;
+    item.k = 4;
+    item.algo = engine::Algo::kBestOf;
+  }
+  const auto results = solver.solve_items(items);
+  ASSERT_EQ(results.size(), kCopies);
+  const RebalanceResult want = engine::cached_serial_reference(
+      engine::Algo::kBestOf, instance, 4);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.assignment, want.assignment);
+  }
+  // One solve fanned out to all 24 replies.
+  EXPECT_EQ(registry.counter("engine.instances_solved").value(), 1u);
+}
+
+TEST(CacheEngine, DedupKeysDistinguishAlgoAndPtasParameters) {
+  // Satellite regression: a batch mixing per-item algorithm selections
+  // over the SAME instance must not collapse into one cache entry.
+  obs::Registry registry;
+  engine::BatchOptions options;
+  options.workers = 4;
+  options.cache_bytes = std::size_t{8} << 20;
+  options.metrics = &registry;
+  engine::BatchSolver solver(options);
+
+  const Instance instance = corpus_instance(6);
+  using Item = engine::BatchSolver::TickItem;
+  std::vector<Item> items;
+  const auto add = [&](engine::Algo algo, Cost budget, double eps) {
+    Item item;
+    item.instance = &instance;
+    item.k = 5;
+    item.algo = algo;
+    item.ptas_budget = budget;
+    item.ptas_eps = eps;
+    items.push_back(item);
+  };
+  add(engine::Algo::kGreedy, kInfCost, 1.0);
+  add(engine::Algo::kMPartition, kInfCost, 1.0);
+  add(engine::Algo::kBestOf, kInfCost, 1.0);
+  add(engine::Algo::kPtas, kInfCost, 0.5);
+  add(engine::Algo::kPtas, kInfCost, 0.25);  // distinct eps: distinct key
+  // PTAS knobs are irrelevant to greedy: normalized into the SAME key.
+  add(engine::Algo::kGreedy, 123, 0.125);
+
+  const auto results = solver.solve_items(items);
+  ASSERT_EQ(results.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const RebalanceResult want = engine::cached_serial_reference(
+        items[i].algo, instance, items[i].k, items[i].ptas_budget,
+        items[i].ptas_eps);
+    EXPECT_EQ(results[i].assignment, want.assignment) << "item " << i;
+    EXPECT_EQ(results[i].makespan, want.makespan) << "item " << i;
+  }
+  // 5 distinct keys (both greedy variants normalized together).
+  EXPECT_EQ(registry.counter("engine.instances_solved").value(), 5u);
+  EXPECT_EQ(results[0].assignment, results[5].assignment);
+}
+
+TEST(CacheEngine, ManyThreadsHammeringTheSolverStayConsistent) {
+  // TSan target: concurrent solve_one calls over a small instance pool
+  // exercise probe / single-flight / publish / eviction from many threads.
+  obs::Registry registry;
+  engine::BatchOptions options;
+  options.workers = 2;
+  options.cache_bytes = std::size_t{1} << 16;  // small: forces evictions
+  options.cache_shards = 2;
+  options.metrics = &registry;
+  engine::BatchSolver solver(options);
+
+  constexpr std::size_t kInstances = 12;
+  std::vector<Instance> instances;
+  std::vector<RebalanceResult> want;
+  instances.reserve(kInstances);
+  for (std::size_t index = 0; index < kInstances; ++index) {
+    instances.push_back(corpus_instance(index));
+    want.push_back(engine::cached_serial_reference(
+        options.algo, instances.back(), 3));
+  }
+
+  constexpr int kThreads = 8;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int iter = 0; iter < 40; ++iter) {
+        const auto index = static_cast<std::size_t>(
+            rng.uniform_int(0, kInstances - 1));
+        const RebalanceResult got = solver.solve_one(instances[index], 3);
+        if (got.assignment != want[index].assignment) failed.store(true);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  // Byte accounting must still be exact after the churn.
+  auto* cache = solver.solution_cache();
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(static_cast<std::int64_t>(cache->bytes()),
+            registry.gauge("cache.bytes").value());
+  EXPECT_EQ(static_cast<std::int64_t>(cache->entries()),
+            registry.gauge("cache.entries").value());
+}
+
+}  // namespace
+}  // namespace lrb

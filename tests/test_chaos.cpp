@@ -63,6 +63,48 @@ TEST(Chaos, RestartCampaignRidesAcrossServerRestart) {
   EXPECT_GE(result.reconnects, options.clients) << result.summary();
 }
 
+TEST(Chaos, CacheEnabledCampaignNeverServesStaleOrMisPermutedReplies) {
+  // The full fault battery with the solution cache turned on: every reply
+  // — whether solved cold, deduped inside a tick, re-solved after a lost
+  // reply, or served straight from the warm cache on a retry — must be
+  // byte-identical to engine::cached_serial_reference for ITS OWN request
+  // labels. A stale entry, a wrong permutation mapping, or a key mixup
+  // between retried requests would fail the byte-compare.
+  for (const std::uint64_t seed : {0xcac4eULL, 0xfeedULL, 0x31337ULL}) {
+    CampaignOptions options;
+    options.seed = seed;
+    options.clients = 3;
+    options.requests_per_client = 6;
+    options.check = true;
+    options.cache_bytes = std::size_t{4} << 20;
+    const CampaignResult result = run_campaign(options);
+    for (const auto& error : result.errors) {
+      ADD_FAILURE() << "seed 0x" << std::hex << seed << std::dec << ": "
+                    << error;
+    }
+    EXPECT_TRUE(result.ok) << result.summary();
+    EXPECT_EQ(result.completed, result.requests);
+  }
+}
+
+TEST(Chaos, CacheEnabledCampaignRidesAcrossServerRestart) {
+  // Restarting mid-campaign swaps a warm cache for a cold one; because a
+  // cached reply is a pure function of the request, clients must not be
+  // able to tell (identical bytes before and after the restart).
+  CampaignOptions options;
+  options.seed = 0xbeefca;
+  options.clients = 2;
+  options.requests_per_client = 6;
+  options.check = true;
+  options.restart_server = true;
+  options.cache_bytes = std::size_t{4} << 20;
+  const CampaignResult result = run_campaign(options);
+  for (const auto& error : result.errors) ADD_FAILURE() << error;
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_EQ(result.completed, result.requests);
+  EXPECT_GE(result.reconnects, options.clients) << result.summary();
+}
+
 TEST(Chaos, SameSeedDerivesSamePlans) {
   CampaignOptions options;
   options.seed = 123;

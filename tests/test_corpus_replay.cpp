@@ -24,6 +24,8 @@
 
 #include "check/differential.h"
 #include "core/io.h"
+#include "engine/batch_solver.h"
+#include "obs/metrics.h"
 #include "svc/fault/chaos.h"
 
 #ifndef LRB_CORPUS_DIR
@@ -96,6 +98,54 @@ TEST(CorpusReplay, EveryInstanceRepro) {
     const DifferentialReport report = differential_check(*instance, options);
     EXPECT_TRUE(report.ok()) << report.to_string();
   }
+}
+
+TEST(CorpusReplay, EveryInstanceReproThroughTheCachePath) {
+  // The same corpus again, but through a cache-enabled BatchSolver: each
+  // repro is solved twice per algorithm (cold miss, then warm hit) and
+  // both replies must be byte-identical to cached_serial_reference
+  // (docs/caching.md). Cached serving must never resurrect a fixed bug
+  // differently from the serial path.
+  obs::Registry registry;
+  engine::BatchOptions options;
+  options.workers = 2;
+  options.cache_bytes = std::size_t{4} << 20;
+  options.metrics = &registry;
+  engine::BatchSolver solver(options);
+
+  const auto files = corpus_files(".lrb");
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    const std::string text = slurp(path);
+    bool found_k = false;
+    const DifferentialOptions repro = parse_repro_options(text, &found_k);
+    ASSERT_TRUE(found_k);
+    std::string error;
+    const auto instance = instance_from_string(text, &error);
+    ASSERT_TRUE(instance) << error;
+    for (const auto algo : {engine::Algo::kGreedy, engine::Algo::kMPartition,
+                            engine::Algo::kBestOf}) {
+      const RebalanceResult want =
+          engine::cached_serial_reference(algo, *instance, repro.k);
+      engine::BatchSolver::TickItem item;
+      item.instance = &*instance;
+      item.k = repro.k;
+      item.algo = algo;
+      for (const char* pass : {"cold", "warm"}) {
+        const auto got = solver.solve_items({&item, 1});
+        ASSERT_EQ(got.size(), 1u);
+        EXPECT_EQ(got[0].assignment, want.assignment)
+            << engine::algo_name(algo) << " " << pass;
+        EXPECT_EQ(got[0].makespan, want.makespan);
+        EXPECT_EQ(got[0].moves, want.moves);
+        EXPECT_EQ(got[0].cost, want.cost);
+        EXPECT_EQ(got[0].threshold, want.threshold);
+      }
+    }
+  }
+  // The second pass per (repro, algo) is a guaranteed hit.
+  EXPECT_GE(registry.counter("cache.hits").value(), 3 * files.size());
 }
 
 TEST(CorpusReplay, EveryChaosSeed) {

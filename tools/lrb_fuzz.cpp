@@ -40,6 +40,15 @@
 //                         acceptance, cost, state count, and reconstructed
 //                         assignment, and the full serial / scratch-reuse /
 //                         wave-parallel solves must be bit-identical.
+//   --cache               cache differential mode: every drawn case is
+//                         solved through one process-long cache-enabled
+//                         BatchSolver twice (cold-ish, then warm) plus once
+//                         more under a random job/processor relabeling, and
+//                         each reply is byte-compared against
+//                         engine::cached_serial_reference. Violations are
+//                         shrunk (each shrink candidate gets a FRESH
+//                         cache-enabled solver, so cold and warm paths are
+//                         both replayed) and written to the corpus.
 //   --verbose             print every violation in full
 
 #include <algorithm>
@@ -57,6 +66,8 @@
 #include "check/shrink.h"
 #include "core/generators.h"
 #include "core/io.h"
+#include "engine/batch_solver.h"
+#include "obs/metrics.h"
 #include "util/flags.h"
 #include "util/version.h"
 #include "util/rng.h"
@@ -310,6 +321,127 @@ std::string ptas_divergence(const Instance& instance, double eps, Cost budget,
   return {};
 }
 
+// ---- cache differential mode (--cache) ------------------------------------
+
+struct CacheCase {
+  Instance instance;
+  std::int64_t k = 0;
+  engine::Algo algo = engine::Algo::kBestOf;
+  Cost budget = kInfCost;
+  double eps = 1.0;
+  std::uint64_t relabel_seed = 0;
+  std::string family;
+};
+
+CacheCase draw_cache_case(Rng& rng, std::int64_t max_jobs,
+                          std::int64_t max_procs) {
+  CacheCase out;
+  auto fuzz_case = draw_case(rng, max_jobs, max_procs);
+  out.instance = std::move(fuzz_case.instance);
+  out.k = fuzz_case.options.k;
+  out.family = fuzz_case.family;
+  out.relabel_seed = rng();
+  const auto roll = rng.uniform_int(0, 9);
+  if (roll >= 9 && out.instance.num_jobs() <= 10) {
+    // The PTAS tier stays tiny: the DP is exponential in 1/eps and runs
+    // (at least) twice per case here.
+    out.algo = engine::Algo::kPtas;
+    const double eps_choices[] = {0.4, 1.0, 2.0};
+    out.eps = eps_choices[rng.uniform_int(0, 2)];
+    if (rng.bernoulli(0.5)) out.budget = fuzz_case.options.budget;
+  } else {
+    const engine::Algo algos[] = {engine::Algo::kGreedy,
+                                  engine::Algo::kMPartition,
+                                  engine::Algo::kBestOf};
+    out.algo = algos[rng.uniform_int(0, 2)];
+  }
+  return out;
+}
+
+/// Random job/processor relabeling of `in` (deterministic in `seed`): the
+/// same problem under different labels, which a correct cache must answer
+/// from the same canonical entry, mapped back byte-exactly.
+Instance relabel_instance(const Instance& in, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<JobId> job_perm(in.num_jobs());
+  std::vector<ProcId> proc_perm(in.num_procs);
+  for (std::size_t j = 0; j < job_perm.size(); ++j) {
+    job_perm[j] = static_cast<JobId>(j);
+  }
+  for (ProcId p = 0; p < in.num_procs; ++p) proc_perm[p] = p;
+  shuffle(std::span<JobId>(job_perm), rng);
+  shuffle(std::span<ProcId>(proc_perm), rng);
+  Instance out;
+  out.num_procs = in.num_procs;
+  out.sizes.resize(in.num_jobs());
+  out.move_costs.resize(in.num_jobs());
+  out.initial.resize(in.num_jobs());
+  for (std::size_t j = 0; j < in.num_jobs(); ++j) {
+    out.sizes[job_perm[j]] = in.sizes[j];
+    out.move_costs[job_perm[j]] = in.move_costs[j];
+    out.initial[job_perm[j]] = proc_perm[in.initial[j]];
+  }
+  return out;
+}
+
+std::string cache_reply_mismatch(const RebalanceResult& got,
+                                 const RebalanceResult& want) {
+  if (got.assignment != want.assignment) return "assignment differs";
+  if (got.makespan != want.makespan) return "makespan differs";
+  if (got.moves != want.moves) return "moves differ";
+  if (got.cost != want.cost) return "cost differs";
+  if (got.threshold != want.threshold) return "threshold differs";
+  return {};
+}
+
+/// Empty string iff `solver` (cache-enabled) answers this case
+/// byte-identically to cached_serial_reference on a first pass, a second
+/// (guaranteed-warm) pass, and a warm pass under a random relabeling.
+std::string cache_divergence(engine::BatchSolver& solver,
+                             const CacheCase& fuzz_case) {
+  const RebalanceResult want = engine::cached_serial_reference(
+      fuzz_case.algo, fuzz_case.instance, fuzz_case.k, fuzz_case.budget,
+      fuzz_case.eps);
+  engine::BatchSolver::TickItem item;
+  item.instance = &fuzz_case.instance;
+  item.k = fuzz_case.k;
+  item.algo = fuzz_case.algo;
+  item.ptas_budget = fuzz_case.budget;
+  item.ptas_eps = fuzz_case.eps;
+  const char* pass_names[] = {"first", "warm"};
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto got = solver.solve_items({&item, 1});
+    if (const auto why = cache_reply_mismatch(got[0], want); !why.empty()) {
+      return std::string(pass_names[pass]) + "-pass reply: " + why;
+    }
+  }
+  const Instance shuffled =
+      relabel_instance(fuzz_case.instance, fuzz_case.relabel_seed);
+  const RebalanceResult shuffled_want = engine::cached_serial_reference(
+      fuzz_case.algo, shuffled, fuzz_case.k, fuzz_case.budget, fuzz_case.eps);
+  engine::BatchSolver::TickItem shuffled_item = item;
+  shuffled_item.instance = &shuffled;
+  const auto got = solver.solve_items({&shuffled_item, 1});
+  if (const auto why = cache_reply_mismatch(got[0], shuffled_want);
+      !why.empty()) {
+    return "relabeled warm-pass reply: " + why;
+  }
+  return {};
+}
+
+/// Shrink predicate: a FRESH single-worker cache-enabled solver per
+/// candidate, so the cold miss, the warm hit and the relabeled hit are all
+/// replayed from scratch.
+std::string cache_divergence_fresh(const CacheCase& fuzz_case) {
+  obs::Registry registry;
+  engine::BatchOptions options;
+  options.workers = 1;
+  options.cache_bytes = std::size_t{4} << 20;
+  options.metrics = &registry;
+  engine::BatchSolver solver(options);
+  return cache_divergence(solver, fuzz_case);
+}
+
 void write_repro(const std::filesystem::path& path, const Instance& instance,
                  const DifferentialOptions& options,
                  const DifferentialReport& report, std::uint64_t seed,
@@ -344,7 +476,7 @@ int main(int argc, char** argv) {
                                   "corpus",    "max-jobs",        "max-procs",
                                   "mutant",    "expect-violation",
                                   "expect-max-jobs", "verbose",   "jobs",
-                                  "algo", "version"};
+                                  "algo",      "cache",           "version"};
     if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
           return key == k;
         }) == std::end(known)) {
@@ -371,6 +503,10 @@ int main(int argc, char** argv) {
   const std::string algo = flags.get_or("algo", "roster");
   if (algo != "roster" && algo != "ptas") {
     return fail("--algo must be 'roster' or 'ptas'");
+  }
+  const bool cache_mode = flags.has("cache");
+  if (cache_mode && algo != "roster") {
+    return fail("--cache and --algo " + algo + " are mutually exclusive");
   }
   std::unique_ptr<ThreadPool> pool;
   if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
@@ -439,6 +575,85 @@ int main(int argc, char** argv) {
     std::cout << "lrb_fuzz: " << iteration << " ptas iterations, "
               << violations << " violation(s) in " << timer.millis() / 1000.0
               << " s\n";
+    if (expect_violation) {
+      if (violations == 0) {
+        std::cerr << "lrb_fuzz: expected a violation but found none\n";
+        return 1;
+      }
+      return 0;
+    }
+    return violations == 0 ? 0 : 1;
+  }
+
+  if (cache_mode) {
+    // Cache differential mode: one process-long cache-enabled solver, so
+    // later iterations run against a cache warmed (and evicted) by earlier
+    // ones; a small budget keeps the LRU churning.
+    obs::Registry registry;
+    engine::BatchOptions solver_options;
+    solver_options.workers = jobs > 1 ? jobs : 2;
+    solver_options.cache_bytes = std::size_t{4} << 20;
+    solver_options.cache_shards = 4;
+    solver_options.metrics = &registry;
+    engine::BatchSolver solver(solver_options);
+
+    for (;;) {
+      if (iters > 0 && iteration >= static_cast<std::uint64_t>(iters)) break;
+      if (time_budget > 0.0 && timer.millis() >= time_budget * 1000.0) break;
+      const std::uint64_t it = iteration++;
+      std::uint64_t stream = seed;
+      (void)splitmix64(stream);
+      Rng rng(stream ^ (it * 0x9e3779b97f4a7c15ULL));
+      auto fuzz_case = draw_cache_case(rng, max_jobs, max_procs);
+      const auto divergence = cache_divergence(solver, fuzz_case);
+      if (divergence.empty()) continue;
+
+      ++violations;
+      std::cerr << "lrb_fuzz: cache divergence at iteration " << it << " ("
+                << fuzz_case.family << ", n=" << fuzz_case.instance.num_jobs()
+                << ", m=" << fuzz_case.instance.num_procs
+                << ", k=" << fuzz_case.k << ", algo="
+                << engine::algo_name(fuzz_case.algo) << "): " << divergence
+                << "\n";
+      const auto still_diverges = [&](const Instance& candidate) {
+        CacheCase shrunk = fuzz_case;
+        shrunk.instance = candidate;
+        return !cache_divergence_fresh(shrunk).empty();
+      };
+      ShrinkOptions shrink_options;
+      shrink_options.max_evaluations = 2'000;
+      const auto minimized =
+          shrink_instance(fuzz_case.instance, still_diverges, shrink_options);
+      largest_repro = std::max(largest_repro, minimized.instance.num_jobs());
+      if (!ensure_corpus_dir(corpus, corpus_ready)) {
+        return fail("cannot create corpus dir " + corpus);
+      }
+      const auto path = std::filesystem::path(corpus) /
+                        ("repro_" + std::to_string(it) + "_cache.lrb");
+      CacheCase minimized_case = fuzz_case;
+      minimized_case.instance = minimized.instance;
+      std::ofstream out(path);
+      out << "# lrb_fuzz minimized repro (cache differential: cached solver "
+             "vs cached_serial_reference)\n"
+          << "# seed=" << seed << " iteration=" << it
+          << " family=" << fuzz_case.family << "\n"
+          << "# k=" << fuzz_case.k << " algo="
+          << engine::algo_name(fuzz_case.algo) << " eps=" << fuzz_case.eps
+          << " relabel-seed=" << fuzz_case.relabel_seed;
+      if (fuzz_case.budget != kInfCost) out << " budget=" << fuzz_case.budget;
+      out << "\n# divergence: " << cache_divergence_fresh(minimized_case)
+          << "\n";
+      write_instance(out, minimized.instance);
+      std::cerr << "lrb_fuzz: minimized to n=" << minimized.instance.num_jobs()
+                << ", m=" << minimized.instance.num_procs << " -> "
+                << path.string() << "\n";
+    }
+    std::cout << "lrb_fuzz: " << iteration << " cache iterations, "
+              << violations << " violation(s), "
+              << registry.counter("cache.hits").value() << " hits / "
+              << registry.counter("cache.misses").value() << " misses / "
+              << registry.counter("cache.evictions").value()
+              << " evictions in " << timer.millis() / 1000.0 << " s\n";
     if (expect_violation) {
       if (violations == 0) {
         std::cerr << "lrb_fuzz: expected a violation but found none\n";

@@ -22,8 +22,15 @@
 //   --k-frac F (0.25)      move budget as a fraction of num_jobs
 //   --deadline-ms N (0)    per-request deadline sent to the server; 0 = none
 //   --seed N (1)           corpus seed
+//   --repeat N (0)         repeated-instance preset: draw every request from a
+//                          pool of N unique instances instead of a fresh one
+//                          per request (the workload a --cache-mb server turns
+//                          into cache hits); 0 = all distinct
 //   --check                verify every SolveOk payload is byte-identical to
 //                          engine::solve_serial_reference on the same instance
+//   --cache                the server runs with --cache-mb: --check compares
+//                          against engine::cached_serial_reference instead
+//                          (see docs/caching.md)
 //   --smoke                CI preset: 2 connections x 24 requests, implies
 //                          closed loop (other flags still override)
 //   --min-throughput R (0) exit non-zero unless achieved ok-replies/s >= R
@@ -71,7 +78,9 @@ struct LoadConfig {
   double k_frac = 0.25;
   std::uint32_t deadline_ms = 0;
   std::uint64_t seed = 1;
+  std::size_t repeat = 0;
   bool check = false;
+  bool cache = false;
 };
 
 struct WorkerStats {
@@ -140,7 +149,11 @@ void run_worker(const LoadConfig& config, std::size_t conn, Clock::time_point
       if (config.duration_s > 0.0 && Clock::now() >= deadline_end) break;
     }
 
-    const std::size_t index = conn * 1000003 + i;
+    // With --repeat the pool wraps: requests across all connections draw
+    // from `repeat` distinct instances, so a cache-enabled server sees a
+    // hit-heavy steady state. Still deterministic in (conn, i, seed).
+    std::size_t index = conn * 1000003 + i;
+    if (config.repeat > 0) index %= config.repeat;
     lrb::svc::SolveRequest request;
     request.algo = config.algo;
     request.deadline_ms = config.deadline_ms;
@@ -181,9 +194,16 @@ void run_worker(const LoadConfig& config, std::size_t conn, Clock::time_point
     stats.latencies_ms.push_back(
         std::chrono::duration<double, std::milli>(t1 - t0).count());
     if (config.check) {
-      const auto reference = lrb::engine::solve_serial_reference(
-          request.algo, request.instance, request.k, request.ptas_budget,
-          request.ptas_eps);
+      // Against a --cache-mb server every reply — cold miss or warm hit —
+      // must match the canonical-solve reference (docs/caching.md).
+      const auto reference =
+          config.cache
+              ? lrb::engine::cached_serial_reference(
+                    request.algo, request.instance, request.k,
+                    request.ptas_budget, request.ptas_eps)
+              : lrb::engine::solve_serial_reference(
+                    request.algo, request.instance, request.k,
+                    request.ptas_budget, request.ptas_eps);
       if (outcome->raw_payload !=
           lrb::svc::encode_solve_reply_payload(reference)) {
         ++stats.mismatches;
@@ -216,7 +236,8 @@ int main(int argc, char** argv) {
     static const char* known[] = {
         "unix", "tcp",        "connections",    "requests", "duration-s",
         "rate", "algo",       "k-frac",         "deadline-ms", "seed",
-        "check", "smoke",     "min-throughput", "json",     "version"};
+        "repeat", "check",    "cache",          "smoke",
+        "min-throughput", "json", "version"};
     if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
           return key == k;
         }) == std::end(known)) {
@@ -257,7 +278,11 @@ int main(int argc, char** argv) {
   config.deadline_ms =
       static_cast<std::uint32_t>(flags.get_int("deadline-ms", 0));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::int64_t repeat = flags.get_int("repeat", 0);
+  if (repeat < 0) return fail("--repeat must be >= 0");
+  config.repeat = static_cast<std::size_t>(repeat);
   config.check = flags.has("check");
+  config.cache = flags.has("cache");
   const double min_throughput = flags.get_double("min-throughput", 0.0);
   const std::string algo_text = flags.get_or("algo", "best-of");
   if (!engine::parse_algo(algo_text, &config.algo)) {
@@ -332,6 +357,8 @@ int main(int argc, char** argv) {
         << "    \"k_frac\": " << config.k_frac << ",\n"
         << "    \"deadline_ms\": " << config.deadline_ms << ",\n"
         << "    \"seed\": " << config.seed << ",\n"
+        << "    \"repeat\": " << config.repeat << ",\n"
+        << "    \"cache\": " << (config.cache ? "true" : "false") << ",\n"
         << "    \"check\": " << (config.check ? "true" : "false") << "\n"
         << "  },\n"
         << "  \"results\": {\n"

@@ -17,6 +17,8 @@
 //   --max-queue N (256)  admission control: shed Solves beyond this depth
 //   --max-conns N (256)  connection cap
 //   --tick-delay-ms N (0)  chaos/testing knob: delay each engine tick
+//   --cache-mb N (0)     canonicalizing solution cache budget in MiB
+//                        (docs/caching.md); 0 disables the cache
 //   --metrics-json FILE  dump the final metrics snapshot on clean exit
 //   --version            print version/schema info and exit
 //
@@ -48,10 +50,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   for (const auto& key : flags.keys()) {
-    static const char* known[] = {"unix",      "tcp",          "bind",
-                                  "workers",   "max-batch",    "max-queue",
-                                  "max-conns", "tick-delay-ms", "metrics-json",
-                                  "version"};
+    static const char* known[] = {"unix",      "tcp",           "bind",
+                                  "workers",   "max-batch",     "max-queue",
+                                  "max-conns", "tick-delay-ms", "cache-mb",
+                                  "metrics-json", "version"};
     if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
           return key == k;
         }) == std::end(known)) {
@@ -69,14 +71,17 @@ int main(int argc, char** argv) {
   const std::int64_t max_queue = flags.get_int("max-queue", 256);
   const std::int64_t max_conns = flags.get_int("max-conns", 256);
   const std::int64_t tick_delay = flags.get_int("tick-delay-ms", 0);
+  const std::int64_t cache_mb = flags.get_int("cache-mb", 0);
   if (max_batch < 1) return fail("--max-batch must be >= 1");
   if (max_queue < 1) return fail("--max-queue must be >= 1");
   if (max_conns < 1) return fail("--max-conns must be >= 1");
   if (tick_delay < 0) return fail("--tick-delay-ms must be >= 0");
+  if (cache_mb < 0) return fail("--cache-mb must be >= 0");
   options.max_batch = static_cast<std::size_t>(max_batch);
   options.max_queue = static_cast<std::size_t>(max_queue);
   options.max_connections = static_cast<std::size_t>(max_conns);
   options.tick_delay_ms = static_cast<std::uint32_t>(tick_delay);
+  options.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
   if (options.unix_path.empty() && options.tcp_port < 0) {
     return fail("need at least one of --unix PATH / --tcp PORT");
   }
