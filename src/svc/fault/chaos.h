@@ -48,7 +48,17 @@ struct CampaignOptions {
   bool check = true;
   /// Drain the server mid-campaign and restart it on the same socket.
   bool restart_server = false;
+  /// BatchSolver pool size inside the server under test
+  /// (ServerOptions::engine.workers).
   std::size_t engine_workers = 2;
+  /// Reactor shards for the server under test (ServerOptions::reactors):
+  /// > 1 spreads the campaign's client connections across event-loop
+  /// threads, so the faulted framing/flush paths run concurrently.
+  std::size_t reactors = 1;
+  /// Engine tick workers for the server under test
+  /// (ServerOptions::engine_workers): > 1 runs concurrent BatchSolver
+  /// ticks while the byte-identity check stays in force.
+  std::size_t tick_workers = 1;
   /// Solution cache budget for the server under test; 0 = cache off.
   /// With a cache, `check` compares against cached_serial_reference (and a
   /// restart additionally proves a cold cache answers identically to the

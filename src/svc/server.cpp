@@ -8,6 +8,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cassert>
 #include <cerrno>
 #include <csignal>
@@ -35,6 +36,12 @@ engine::BatchOptions engine_options_for(const ServerOptions& options) {
     engine.cache_bytes = options.cache_bytes;
   }
   return engine;
+}
+
+void drain_pipe(int fd) {
+  char buf[256];
+  while (read(fd, buf, sizeof buf) > 0) {
+  }
 }
 
 }  // namespace
@@ -67,8 +74,18 @@ Server::~Server() {
     stop_engine_ = true;
   }
   queue_cv_.notify_all();
-  if (engine_thread_.joinable()) engine_thread_.join();
-  for (auto& [fd, conn] : connections_) close(conn.fd);
+  for (std::thread& worker : engine_threads_) {
+    if (worker.joinable()) worker.join();
+  }
+  for (auto& reactor : reactors_) {
+    // run() joins the reactor threads; this only covers "start() succeeded
+    // but run() was never called".
+    if (reactor->thread.joinable()) reactor->thread.join();
+    for (auto& [fd, conn] : reactor->connections) close(conn.fd);
+    for (const int fd : reactor->incoming) close(fd);
+    if (reactor->wake_pipe[0] >= 0) close(reactor->wake_pipe[0]);
+    if (reactor->wake_pipe[1] >= 0) close(reactor->wake_pipe[1]);
+  }
   if (unix_listener_ >= 0) close(unix_listener_);
   if (tcp_listener_ >= 0) close(tcp_listener_);
   if (wake_pipe_[0] >= 0) close(wake_pipe_[0]);
@@ -138,7 +155,32 @@ bool Server::start(std::string* error) {
     }
   }
 
-  engine_thread_ = std::thread([this] { engine_loop(); });
+  const std::size_t reactor_count = std::max<std::size_t>(1, options_.reactors);
+  reactors_.reserve(reactor_count);
+  for (std::size_t i = 0; i < reactor_count; ++i) {
+    auto reactor = std::make_unique<Reactor>();
+    reactor->index = i;
+    if (pipe(reactor->wake_pipe) != 0) return fail("pipe(reactor)");
+    if (!set_nonblocking(reactor->wake_pipe[0]) ||
+        !set_nonblocking(reactor->wake_pipe[1])) {
+      return fail("pipe nonblocking(reactor)");
+    }
+    reactor->fds.push_back({reactor->wake_pipe[0], POLLIN, 0});
+    const std::string prefix = "svc.reactor" + std::to_string(i);
+    reactor->m_accepted =
+        &options_.metrics->counter(prefix + ".connections_accepted");
+    reactor->m_solve = &options_.metrics->counter(prefix + ".requests_solve");
+    reactor->m_bytes_in = &options_.metrics->counter(prefix + ".bytes_in");
+    reactor->m_bytes_out = &options_.metrics->counter(prefix + ".bytes_out");
+    reactors_.push_back(std::move(reactor));
+  }
+
+  const std::size_t workers =
+      std::max<std::size_t>(1, options_.engine_workers);
+  engine_threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    engine_threads_.emplace_back([this] { engine_loop(); });
+  }
   return true;
 }
 
@@ -150,11 +192,44 @@ void Server::notify_signal() noexcept {
   [[maybe_unused]] const auto n = write(wake_pipe_[1], &byte, 1);
 }
 
+void Server::wake_reactor(Reactor& reactor) {
+  const char byte = 'w';
+  [[maybe_unused]] const auto n = write(reactor.wake_pipe[1], &byte, 1);
+}
+
+void Server::wake_all_reactors() {
+  for (auto& reactor : reactors_) wake_reactor(*reactor);
+}
+
+void Server::request_drain() {
+  draining_.store(true, std::memory_order_release);
+  // Wake everyone that gates on draining_: the acceptor (closes the
+  // listeners), every reactor (stops adopting, starts acking), and the
+  // engine workers are woken by reactors/workers as results flow.
+  const char byte = 'd';
+  [[maybe_unused]] const auto n = write(wake_pipe_[1], &byte, 1);
+  wake_all_reactors();
+}
+
+void Server::close_listeners() {
+  if (unix_listener_ >= 0) {
+    close(unix_listener_);
+    if (!options_.unix_path.empty()) unlink(options_.unix_path.c_str());
+    unix_listener_ = -1;
+  }
+  if (tcp_listener_ >= 0) {
+    close(tcp_listener_);
+    tcp_listener_ = -1;
+  }
+}
+
 void Server::accept_ready(int listener_fd) {
   for (;;) {
     const int fd = accept(listener_fd, nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN or transient error: poll again later
-    if (draining_ || connections_.size() >= options_.max_connections) {
+    if (draining_.load(std::memory_order_relaxed) ||
+        conn_count_.load(std::memory_order_relaxed) >=
+            options_.max_connections) {
       close(fd);
       continue;
     }
@@ -162,31 +237,127 @@ void Server::accept_ready(int listener_fd) {
       close(fd);
       continue;
     }
-    Connection conn;
-    conn.fd = fd;
-    connections_.emplace(fd, std::move(conn));
-    conn_gen_[fd] = ++conn_gen_counter_;
+    conn_count_.fetch_add(1, std::memory_order_relaxed);
+    Reactor& reactor = *reactors_[next_reactor_];
+    next_reactor_ = (next_reactor_ + 1) % reactors_.size();
+    {
+      std::lock_guard lock(reactor.mutex);
+      reactor.incoming.push_back(fd);
+    }
+    wake_reactor(reactor);
     m_conns_accepted_.add(1);
+    reactor.m_accepted->add(1);
   }
 }
 
-void Server::queue_reply(Connection& conn, MsgType type,
+void Server::run() {
+  for (auto& reactor : reactors_) {
+    reactor->thread =
+        std::thread([this, r = reactor.get()] { reactor_loop(*r); });
+  }
+
+  // The acceptor's pollfd set is fixed for its whole life: self-pipe plus
+  // the configured listeners (closed only after this loop exits).
+  std::vector<pollfd> fds;
+  fds.push_back({wake_pipe_[0], POLLIN, 0});
+  if (unix_listener_ >= 0) fds.push_back({unix_listener_, POLLIN, 0});
+  if (tcp_listener_ >= 0) fds.push_back({tcp_listener_, POLLIN, 0});
+
+  while (!draining_.load(std::memory_order_acquire) &&
+         !aborting_.load(std::memory_order_relaxed)) {
+    if (signal_requested_.load(std::memory_order_relaxed)) {
+      request_drain();
+      break;
+    }
+    // The self-pipe wakes us for signals/drain; the timeout is only a
+    // belt-and-braces guard against a lost wakeup.
+    if (options_.io->poll(fds.data(), fds.size(), 100) < 0 &&
+        errno != EINTR) {
+      aborting_.store(true, std::memory_order_relaxed);
+      break;
+    }
+    if (fds[0].revents != 0) drain_pipe(wake_pipe_[0]);
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & POLLIN) != 0) accept_ready(fds[i].fd);
+    }
+  }
+  // Stop the intake first so no reactor can be handed work after it
+  // decides it is drained, then wait for every reactor to finish
+  // answering. request_drain() also covers the abort path, where the
+  // reactors must exit rather than drain.
+  close_listeners();
+  request_drain();
+  for (auto& reactor : reactors_) {
+    if (reactor->thread.joinable()) reactor->thread.join();
+  }
+
+  // Adoption-window sweep: fds handed off after a reactor exited (only
+  // possible on the abort path) and results nobody is left to deliver.
+  for (auto& reactor : reactors_) {
+    std::lock_guard lock(reactor->mutex);
+    for (const int fd : reactor->incoming) {
+      options_.io->on_close(fd);
+      close(fd);
+      m_conns_closed_.add(1);
+      conn_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    reactor->incoming.clear();
+    for (const SolveOutcome& outcome : reactor->results) {
+      (void)outcome;
+      m_dropped_replies_.add(1);
+      results_inflight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    reactor->results.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor side.
+
+void Server::adopt_incoming(Reactor& reactor) {
+  std::deque<int> fresh;
+  {
+    std::lock_guard lock(reactor.mutex);
+    fresh.swap(reactor.incoming);
+  }
+  for (const int fd : fresh) {
+    Connection conn;
+    conn.fd = fd;
+    conn.gen = conn_gen_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    conn.poll_idx = reactor.fds.size();
+    reactor.fds.push_back({fd, POLLIN, 0});
+    reactor.connections.emplace(fd, std::move(conn));
+  }
+}
+
+void Server::queue_reply(Reactor& reactor, Connection& conn, MsgType type,
                          std::uint64_t request_id, std::string_view payload) {
   encode_frame(conn.write_buf, type, request_id, payload);
+  mark_dirty(reactor, conn);
 }
 
-void Server::queue_error(Connection& conn, std::uint64_t request_id,
-                         ErrorCode code, std::string_view text) {
-  queue_reply(conn, MsgType::kError, request_id,
-              encode_error_payload(code, text));
+void Server::queue_error(Reactor& reactor, Connection& conn,
+                         std::uint64_t request_id, ErrorCode code,
+                         std::string_view text) {
+  reactor.scratch.clear();
+  encode_error_payload(code, text, reactor.scratch);
+  queue_reply(reactor, conn, MsgType::kError, request_id, reactor.scratch);
 }
 
-void Server::handle_solve(Connection& conn, const FrameHeader& header,
+void Server::mark_dirty(Reactor& reactor, Connection& conn) {
+  if (conn.dirty) return;
+  conn.dirty = true;
+  reactor.dirty_fds.push_back(conn.fd);
+}
+
+void Server::handle_solve(Reactor& reactor, Connection& conn,
+                          const FrameHeader& header,
                           std::string_view payload) {
   m_req_solve_.add(1);
-  if (draining_) {
+  reactor.m_solve->add(1);
+  if (draining_.load(std::memory_order_acquire)) {
     m_rejected_draining_.add(1);
-    queue_error(conn, header.request_id, ErrorCode::kDraining,
+    queue_error(reactor, conn, header.request_id, ErrorCode::kDraining,
                 "server is draining");
     return;
   }
@@ -194,7 +365,7 @@ void Server::handle_solve(Connection& conn, const FrameHeader& header,
     std::lock_guard lock(queue_mutex_);
     if (pending_.size() >= options_.max_queue) {
       m_shed_overloaded_.add(1);
-      queue_error(conn, header.request_id, ErrorCode::kOverloaded,
+      queue_error(reactor, conn, header.request_id, ErrorCode::kOverloaded,
                   "solve queue at capacity");
       return;
     }
@@ -203,11 +374,13 @@ void Server::handle_solve(Connection& conn, const FrameHeader& header,
   auto request = decode_solve_request(payload, &error);
   if (!request) {
     m_bad_requests_.add(1);
-    queue_error(conn, header.request_id, ErrorCode::kBadRequest, error);
+    queue_error(reactor, conn, header.request_id, ErrorCode::kBadRequest,
+                error);
     return;
   }
   PendingSolve pending;
-  pending.conn_gen = conn_gen_[conn.fd];
+  pending.reactor = reactor.index;
+  pending.conn_gen = conn.gen;
   pending.fd = conn.fd;
   pending.request_id = header.request_id;
   pending.received = std::chrono::steady_clock::now();
@@ -224,7 +397,7 @@ void Server::handle_solve(Connection& conn, const FrameHeader& header,
   queue_cv_.notify_one();
 }
 
-bool Server::process_frames(Connection& conn) {
+bool Server::process_frames(Reactor& reactor, Connection& conn) {
   for (;;) {
     FrameHeader header;
     switch (decode_header(conn.read_buf, &header)) {
@@ -232,16 +405,16 @@ bool Server::process_frames(Connection& conn) {
         return true;
       case DecodeStatus::kBadMagic:
         m_bad_requests_.add(1);
-        queue_error(conn, 0, ErrorCode::kBadRequest, "bad magic");
+        queue_error(reactor, conn, 0, ErrorCode::kBadRequest, "bad magic");
         return false;
       case DecodeStatus::kBadVersion:
         m_bad_requests_.add(1);
-        queue_error(conn, header.request_id, ErrorCode::kBadRequest,
+        queue_error(reactor, conn, header.request_id, ErrorCode::kBadRequest,
                     "unsupported protocol version");
         return false;
       case DecodeStatus::kTooLarge:
         m_bad_requests_.add(1);
-        queue_error(conn, header.request_id, ErrorCode::kBadRequest,
+        queue_error(reactor, conn, header.request_id, ErrorCode::kBadRequest,
                     "payload exceeds 64 MiB cap");
         return false;
       case DecodeStatus::kOk:
@@ -255,24 +428,26 @@ bool Server::process_frames(Connection& conn) {
     switch (header.type) {
       case MsgType::kPing:
         m_req_ping_.add(1);
-        queue_reply(conn, MsgType::kPong, header.request_id, payload);
+        queue_reply(reactor, conn, MsgType::kPong, header.request_id,
+                    payload);
         break;
       case MsgType::kSolve:
-        handle_solve(conn, header, payload);
+        handle_solve(reactor, conn, header, payload);
         break;
       case MsgType::kStats:
         m_req_stats_.add(1);
-        queue_reply(conn, MsgType::kStatsOk, header.request_id,
+        queue_reply(reactor, conn, MsgType::kStatsOk, header.request_id,
                     options_.metrics->to_json());
         break;
       case MsgType::kDrain:
         m_req_drain_.add(1);
         conn.wants_drain_ack = true;
-        begin_drain();
+        mark_dirty(reactor, conn);
+        request_drain();
         break;
       default:
         m_bad_requests_.add(1);
-        queue_error(conn, header.request_id, ErrorCode::kBadRequest,
+        queue_error(reactor, conn, header.request_id, ErrorCode::kBadRequest,
                     "unknown request type");
         return false;
     }
@@ -280,12 +455,13 @@ bool Server::process_frames(Connection& conn) {
   }
 }
 
-void Server::handle_readable(Connection& conn) {
+void Server::handle_readable(Reactor& reactor, Connection& conn) {
   char chunk[65536];
   for (;;) {
     const ssize_t n = options_.io->recv(conn.fd, chunk, sizeof chunk);
     if (n > 0) {
       m_bytes_in_.add(static_cast<std::uint64_t>(n));
+      reactor.m_bytes_in->add(static_cast<std::uint64_t>(n));
       conn.read_buf.append(chunk, static_cast<std::size_t>(n));
       if (static_cast<std::size_t>(n) < sizeof chunk) break;
       continue;
@@ -298,16 +474,18 @@ void Server::handle_readable(Connection& conn) {
     conn.close_after_flush = true;
     break;
   }
-  if (!process_frames(conn)) conn.close_after_flush = true;
+  if (!process_frames(reactor, conn)) conn.close_after_flush = true;
+  mark_dirty(reactor, conn);
 }
 
-void Server::handle_writable(Connection& conn) {
+void Server::handle_writable(Reactor& reactor, Connection& conn) {
   while (conn.write_pos < conn.write_buf.size()) {
     const ssize_t n =
         options_.io->send(conn.fd, conn.write_buf.data() + conn.write_pos,
                           conn.write_buf.size() - conn.write_pos);
     if (n > 0) {
       m_bytes_out_.add(static_cast<std::uint64_t>(n));
+      reactor.m_bytes_out->add(static_cast<std::uint64_t>(n));
       conn.write_pos += static_cast<std::size_t>(n);
       continue;
     }
@@ -328,58 +506,89 @@ void Server::handle_writable(Connection& conn) {
   conn.write_pos = 0;
 }
 
-void Server::close_connection(int fd) {
-  const auto it = connections_.find(fd);
-  if (it == connections_.end()) return;
+void Server::close_connection(Reactor& reactor, int fd) {
+  const auto it = reactor.connections.find(fd);
+  if (it == reactor.connections.end()) return;
   options_.io->on_close(fd);
   close(it->second.fd);
-  connections_.erase(it);
-  conn_gen_.erase(fd);
+  // Swap-remove the pollfd slot; slot 0 is the wake pipe, so a moved
+  // entry is always a connection whose poll_idx needs patching.
+  const std::size_t idx = it->second.poll_idx;
+  const std::size_t last = reactor.fds.size() - 1;
+  if (idx != last) {
+    reactor.fds[idx] = reactor.fds[last];
+    reactor.connections.at(reactor.fds[idx].fd).poll_idx = idx;
+  }
+  reactor.fds.pop_back();
+  reactor.connections.erase(it);
+  conn_count_.fetch_sub(1, std::memory_order_relaxed);
   m_conns_closed_.add(1);
 }
 
-void Server::drain_results() {
+void Server::drain_results(Reactor& reactor) {
   std::deque<SolveOutcome> ready;
   {
-    std::lock_guard lock(queue_mutex_);
-    ready.swap(results_);
+    std::lock_guard lock(reactor.mutex);
+    ready.swap(reactor.results);
   }
+  if (ready.empty()) return;
   for (SolveOutcome& outcome : ready) {
-    const auto gen = conn_gen_.find(outcome.fd);
-    if (gen == conn_gen_.end() || gen->second != outcome.conn_gen) {
+    const auto it = reactor.connections.find(outcome.fd);
+    if (it == reactor.connections.end() ||
+        it->second.gen != outcome.conn_gen) {
       m_dropped_replies_.add(1);
-      continue;
+    } else {
+      Connection& conn = it->second;
+      queue_reply(reactor, conn, outcome.type, outcome.request_id,
+                  outcome.payload);
+      if (outcome.type == MsgType::kSolveOk) {
+        m_replies_ok_.add(1);
+        m_request_latency_ms_.record(outcome.request_latency_ms);
+      }
     }
-    Connection& conn = connections_.at(outcome.fd);
-    queue_reply(conn, outcome.type, outcome.request_id, outcome.payload);
-    if (outcome.type == MsgType::kSolveOk) {
-      m_replies_ok_.add(1);
-      m_request_latency_ms_.record(outcome.request_latency_ms);
-    }
+    // Only decrement once the reply sits in a write buffer (or is counted
+    // dropped) — this is what keeps the DrainOk ack ordered after every
+    // reply on its connection, on every reactor.
+    results_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  if (draining_.load(std::memory_order_acquire) &&
+      results_inflight_.load(std::memory_order_acquire) == 0) {
+    // Other reactors may be waiting on this inflight count to ack drains.
+    wake_all_reactors();
   }
 }
 
-void Server::begin_drain() {
-  if (draining_) return;
-  draining_ = true;
-  if (unix_listener_ >= 0) {
-    close(unix_listener_);
-    if (!options_.unix_path.empty()) unlink(options_.unix_path.c_str());
-    unix_listener_ = -1;
-  }
-  if (tcp_listener_ >= 0) {
-    close(tcp_listener_);
-    tcp_listener_ = -1;
-  }
-}
-
-bool Server::drained() const {
-  if (!draining_) return false;
+void Server::maybe_finish_drain(Reactor& reactor) {
+  if (!draining_.load(std::memory_order_acquire)) return;
   {
     std::lock_guard lock(queue_mutex_);
-    if (!pending_.empty() || ticking_ != 0 || !results_.empty()) return false;
+    if (!pending_.empty() || ticking_ != 0) return;
   }
-  for (const auto& [fd, conn] : connections_) {
+  if (results_inflight_.load(std::memory_order_acquire) != 0) return;
+  // Every admitted request has been answered; acknowledge the drain(s).
+  // The ack rides the same FIFO write buffer, so it is ordered after every
+  // in-flight reply on that connection.
+  for (auto& [fd, conn] : reactor.connections) {
+    if (conn.wants_drain_ack) {
+      queue_reply(reactor, conn, MsgType::kDrainOk, 0, {});
+      conn.wants_drain_ack = false;
+    }
+  }
+}
+
+bool Server::reactor_drained(Reactor& reactor) {
+  if (aborting_.load(std::memory_order_relaxed)) return true;
+  if (!draining_.load(std::memory_order_acquire)) return false;
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (!pending_.empty() || ticking_ != 0) return false;
+  }
+  if (results_inflight_.load(std::memory_order_acquire) != 0) return false;
+  {
+    std::lock_guard lock(reactor.mutex);
+    if (!reactor.incoming.empty() || !reactor.results.empty()) return false;
+  }
+  for (const auto& [fd, conn] : reactor.connections) {
     if (conn.wants_drain_ack || conn.write_pos < conn.write_buf.size()) {
       return false;
     }
@@ -387,96 +596,83 @@ bool Server::drained() const {
   return true;
 }
 
-void Server::maybe_finish_drain() {
-  if (!draining_) return;
-  bool engine_idle;
-  {
-    std::lock_guard lock(queue_mutex_);
-    engine_idle = pending_.empty() && ticking_ == 0 && results_.empty();
-  }
-  if (!engine_idle) return;
-  // Every admitted request has been answered; acknowledge the drain(s).
-  // The ack rides the same FIFO write buffer, so it is ordered after every
-  // in-flight reply on that connection.
-  for (auto& [fd, conn] : connections_) {
-    if (conn.wants_drain_ack) {
-      queue_reply(conn, MsgType::kDrainOk, 0, {});
-      conn.wants_drain_ack = false;
+void Server::flush_dirty(Reactor& reactor) {
+  for (std::size_t i = 0; i < reactor.dirty_fds.size(); ++i) {
+    const int fd = reactor.dirty_fds[i];
+    const auto it = reactor.connections.find(fd);
+    if (it == reactor.connections.end()) continue;  // closed this pass
+    Connection& conn = it->second;
+    conn.dirty = false;
+    // Flush opportunistically: most replies fit the socket buffer, so
+    // this usually completes without waiting for a POLLOUT round-trip.
+    if (conn.write_pos < conn.write_buf.size()) {
+      handle_writable(reactor, conn);
     }
+    const bool backlog = conn.write_pos < conn.write_buf.size();
+    if (conn.close_after_flush && !backlog) {
+      close_connection(reactor, fd);
+      continue;
+    }
+    reactor.fds[conn.poll_idx].events =
+        static_cast<short>(backlog ? (POLLIN | POLLOUT) : POLLIN);
   }
+  reactor.dirty_fds.clear();
 }
 
-void Server::run() {
-  std::vector<pollfd> fds;
-  std::vector<int> to_close;
+void Server::reactor_loop(Reactor& reactor) {
   for (;;) {
-    drain_results();
-    if (signal_requested_.load(std::memory_order_relaxed)) begin_drain();
-    maybe_finish_drain();
-    if (drained()) break;
+    adopt_incoming(reactor);
+    drain_results(reactor);
+    maybe_finish_drain(reactor);
+    flush_dirty(reactor);
+    if (reactor_drained(reactor)) break;
 
-    fds.clear();
-    fds.push_back({wake_pipe_[0], POLLIN, 0});
-    if (unix_listener_ >= 0) fds.push_back({unix_listener_, POLLIN, 0});
-    if (tcp_listener_ >= 0) fds.push_back({tcp_listener_, POLLIN, 0});
-    for (auto& [fd, conn] : connections_) {
-      const bool backlog = conn.write_pos < conn.write_buf.size();
-      fds.push_back(
-          {fd, static_cast<short>(backlog ? (POLLIN | POLLOUT) : POLLIN), 0});
-    }
-    // The self-pipe wakes us for results/signals; the timeout is only a
-    // belt-and-braces guard against a lost wakeup.
-    if (options_.io->poll(fds.data(), fds.size(), 100) < 0 &&
+    // The self-pipe wakes us for handoffs/results/drain; the timeout is
+    // only a belt-and-braces guard against a lost wakeup.
+    if (options_.io->poll(reactor.fds.data(), reactor.fds.size(), 100) < 0 &&
         errno != EINTR) {
+      aborting_.store(true, std::memory_order_relaxed);
       break;
     }
 
-    for (const pollfd& entry : fds) {
+    if (reactor.fds[0].revents != 0) drain_pipe(reactor.wake_pipe[0]);
+    // Closes are deferred to flush_dirty (next top-of-loop), so the pollfd
+    // vector is stable while we walk it.
+    for (std::size_t i = 1; i < reactor.fds.size(); ++i) {
+      const pollfd entry = reactor.fds[i];
       if (entry.revents == 0) continue;
-      if (entry.fd == wake_pipe_[0]) {
-        char buf[256];
-        while (read(wake_pipe_[0], buf, sizeof buf) > 0) {
-        }
-        continue;
-      }
-      if (entry.fd == unix_listener_ || entry.fd == tcp_listener_) {
-        accept_ready(entry.fd);
-        continue;
-      }
-      const auto it = connections_.find(entry.fd);
-      if (it == connections_.end()) continue;
-      Connection& conn = it->second;
+      Connection& conn = reactor.connections.at(entry.fd);
       if ((entry.revents & (POLLERR | POLLNVAL)) != 0) {
-        to_close.push_back(entry.fd);
+        // Peer is gone; drop any backlog and close on the next pass.
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+        conn.close_after_flush = true;
+        mark_dirty(reactor, conn);
         continue;
       }
-      if ((entry.revents & (POLLIN | POLLHUP)) != 0) handle_readable(conn);
-      if ((entry.revents & POLLOUT) != 0) handle_writable(conn);
-    }
-
-    drain_results();
-    maybe_finish_drain();
-    // Flush opportunistically: most replies fit the socket buffer, so this
-    // usually completes without waiting for a POLLOUT round-trip.
-    for (auto& [fd, conn] : connections_) {
-      if (conn.write_pos < conn.write_buf.size()) handle_writable(conn);
-      if (conn.close_after_flush && conn.write_pos >= conn.write_buf.size()) {
-        to_close.push_back(fd);
+      if ((entry.revents & (POLLIN | POLLHUP)) != 0) {
+        handle_readable(reactor, conn);
       }
+      if ((entry.revents & POLLOUT) != 0) handle_writable(reactor, conn);
+      mark_dirty(reactor, conn);
     }
-    for (const int fd : to_close) close_connection(fd);
-    to_close.clear();
   }
-  // Drained: every reply (incl. DrainOk) is flushed; close what remains.
-  while (!connections_.empty()) {
-    close_connection(connections_.begin()->first);
+  // Drained (every reply incl. DrainOk flushed) or aborting: close what
+  // remains on this shard.
+  while (!reactor.connections.empty()) {
+    close_connection(reactor, reactor.connections.begin()->first);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Engine workers.
 
 void Server::engine_loop() {
   std::vector<PendingSolve> batch;
   std::vector<engine::BatchSolver::TickItem> items;
   std::vector<std::size_t> slots;  // batch index of each solved instance
+  std::vector<SolveOutcome> outcomes;
+  std::vector<char> touched(reactors_.size(), 0);
   for (;;) {
     {
       std::unique_lock lock(queue_mutex_);
@@ -495,27 +691,28 @@ void Server::engine_loop() {
         batch.push_back(std::move(pending_.front()));
         pending_.pop_front();
       }
-      ticking_ = batch.size();
+      ticking_ += batch.size();
     }
-    if (batch.empty()) continue;
+    if (batch.empty()) continue;  // another worker got there first
     m_ticks_.add(1);
     m_tick_batch_.record(static_cast<double>(batch.size()));
 
     const auto now = std::chrono::steady_clock::now();
-    std::deque<SolveOutcome> outcomes;
+    outcomes.clear();
     items.clear();
     slots.clear();
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (batch[i].has_deadline && now > batch[i].deadline) {
         m_shed_deadline_.add(1);
         SolveOutcome shed;
+        shed.reactor = batch[i].reactor;
         shed.conn_gen = batch[i].conn_gen;
         shed.fd = batch[i].fd;
         shed.request_id = batch[i].request_id;
         shed.type = MsgType::kError;
-        shed.payload = encode_error_payload(
+        encode_error_payload(
             ErrorCode::kDeadlineExceeded,
-            "deadline passed before the solve was dispatched");
+            "deadline passed before the solve was dispatched", shed.payload);
         outcomes.push_back(std::move(shed));
         continue;
       }
@@ -529,20 +726,21 @@ void Server::engine_loop() {
       slots.push_back(i);
     }
     if (!items.empty()) {
-      // One tick = one BatchSolver call: everything admitted while the
-      // previous tick ran is coalesced here, with per-request algorithm
-      // parameters carried by the TickItems. Batching composition cannot
-      // change results — BatchSolver is bit-identical to the serial entry
-      // point per instance.
+      // One tick = one BatchSolver call: everything this worker popped is
+      // coalesced here, with per-request algorithm parameters carried by
+      // the TickItems. Neither batching composition nor concurrent ticks
+      // on other workers can change results — BatchSolver is bit-identical
+      // to the serial entry point per instance, for any concurrent caller.
       const auto results = solver_.solve_items(items);
       for (std::size_t i = 0; i < items.size(); ++i) {
         const PendingSolve& solve = batch[slots[i]];
         SolveOutcome outcome;
+        outcome.reactor = solve.reactor;
         outcome.conn_gen = solve.conn_gen;
         outcome.fd = solve.fd;
         outcome.request_id = solve.request_id;
         outcome.type = MsgType::kSolveOk;
-        outcome.payload = encode_solve_reply_payload(results[i]);
+        encode_solve_reply_payload(results[i], outcome.payload);
         outcome.request_latency_ms =
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - solve.received)
@@ -550,15 +748,28 @@ void Server::engine_loop() {
         outcomes.push_back(std::move(outcome));
       }
     }
+    // Inflight is raised BEFORE our ticking_ share is released, so a
+    // drain checker that sees the queue idle is guaranteed to still see
+    // these outcomes in flight until a reactor queues each reply.
+    results_inflight_.fetch_add(outcomes.size(), std::memory_order_acq_rel);
+    std::fill(touched.begin(), touched.end(), 0);
+    for (SolveOutcome& outcome : outcomes) {
+      const std::size_t target = outcome.reactor;
+      Reactor& reactor = *reactors_[target];
+      {
+        std::lock_guard lock(reactor.mutex);
+        reactor.results.push_back(std::move(outcome));
+      }
+      touched[target] = 1;
+    }
+    for (std::size_t i = 0; i < touched.size(); ++i) {
+      if (touched[i] != 0) wake_reactor(*reactors_[i]);
+    }
     {
       std::lock_guard lock(queue_mutex_);
-      for (SolveOutcome& outcome : outcomes) {
-        results_.push_back(std::move(outcome));
-      }
-      ticking_ = 0;
+      ticking_ -= batch.size();
     }
-    const char byte = 'r';
-    [[maybe_unused]] const auto n = write(wake_pipe_[1], &byte, 1);
+    if (draining_.load(std::memory_order_acquire)) wake_all_reactors();
   }
 }
 

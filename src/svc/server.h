@@ -1,34 +1,58 @@
 // The rebalancing service: a long-running daemon that answers wire-protocol
 // requests (svc/wire.h) over TCP and/or Unix-domain sockets.
 //
-// Architecture (two threads, one direction of ownership):
+// Architecture (1 acceptor + N reactors + M engine workers):
 //
-//   poll(2) event loop (run())          engine thread
-//   ─ accepts connections               ─ waits for pending solves
-//   ─ non-blocking reads, incremental   ─ coalesces everything pending
-//     frame parsing (partial reads OK)    (up to max_batch) into ONE
-//   ─ admission control: queue depth      engine::BatchSolver tick over
-//     >= max_queue -> Overloaded reply     leased Scratch arenas
-//   ─ answers Ping/Stats inline         ─ sheds requests whose deadline
-//   ─ queues Solve for the engine         passed before dispatch
-//   ─ writes replies, partial writes    ─ posts results back through the
-//     buffered and driven by POLLOUT      self-pipe
+//   acceptor thread (run())
+//   ─ polls the listeners + its self-pipe
+//   ─ accepts connections, applies the max_connections cap, and hands each
+//     new fd round-robin to a reactor's inbox (one byte on that reactor's
+//     self-pipe wakes it)
+//   ─ owns drain: on a signal or Drain request it closes the listeners and
+//     then joins the reactors
+//
+//   reactor threads (ServerOptions::reactors, each owns its connections)
+//   ─ per-reactor poll(2) loop, self-pipe wakeup, connection table, and an
+//     incrementally maintained pollfd set (no per-iteration rebuild)
+//   ─ non-blocking reads, incremental frame parsing (partial reads OK)
+//   ─ admission control: queue depth >= max_queue -> Overloaded reply
+//   ─ answers Ping/Stats inline; queues Solve on the shared pending queue
+//   ─ writes replies, partial writes buffered and driven by POLLOUT
+//   ─ per-reactor svc.reactor<i>.* counters next to the svc.* aggregates
+//
+//   engine workers (ServerOptions::engine_workers, shared BatchSolver)
+//   ─ each pulls a coalesced batch (up to max_batch) from the shared
+//     pending queue into ONE engine::BatchSolver tick over leased Scratch
+//     arenas; multiple ticks run concurrently when engine_workers > 1
+//   ─ sheds requests whose deadline passed before dispatch
+//   ─ posts each result to the owning reactor's result inbox + self-pipe
 //
 // Backpressure never blocks and never hangs: a request is either answered
 // with its solve result or with an explicit Error (Overloaded /
 // DeadlineExceeded / Draining / BadRequest).
 //
+// Reply ordering: each connection's replies ride one FIFO write buffer, so
+// frames are ordered per connection; with engine_workers > 1, replies to
+// *different* requests on the same connection may be queued out of request
+// order (concurrent ticks finish independently) — the echoed request id is
+// the correlation mechanism, exactly as on reconnect/retry paths.
+//
 // Drain: a Drain request or SIGTERM (wired via notify_signal(), which is
 // async-signal-safe) stops accepting new connections and new Solves;
-// every request already admitted is still solved and its reply flushed
-// before run() returns — zero dropped in-flight requests.
+// every request already admitted — on any reactor — is still solved and
+// its reply flushed before run() returns; the DrainOk ack is queued only
+// once the engine is idle and every result has been delivered, so it is
+// ordered after every reply on its connection. Zero dropped in-flight
+// requests, across all reactors.
 //
 // Determinism: replies are byte-identical to the serial entry points
 // (engine::solve_serial_reference) regardless of batching composition or
-// concurrency, because BatchSolver guarantees exactly that per instance.
-// With the solution cache enabled (cache_bytes > 0) the reference is
-// engine::cached_serial_reference instead — still a pure function of the
-// request, identical on cold misses and warm hits (docs/caching.md).
+// concurrency — per-reactor framing, tick coalescing, and concurrent ticks
+// cannot change any reply, because BatchSolver guarantees exactly that per
+// instance. With the solution cache enabled (cache_bytes > 0) the
+// reference is engine::cached_serial_reference instead — still a pure
+// function of the request, identical on cold misses and warm hits
+// (docs/caching.md).
 
 #pragma once
 
@@ -69,13 +93,24 @@ struct ServerOptions {
   /// cache.* counters/gauges appear in the Stats JSON snapshot.
   std::size_t cache_bytes = 0;
 
+  /// Event-loop shards: each reactor thread owns its own poll loop,
+  /// self-pipe, and connection table; the acceptor deals new connections
+  /// round-robin. Values < 1 are treated as 1. Exposed by
+  /// lrb_serve --reactors.
+  std::size_t reactors = 1;
+  /// Engine tick workers pulling coalesced batches from the shared pending
+  /// queue; > 1 runs multiple BatchSolver ticks concurrently (replies stay
+  /// byte-identical — see the determinism note above). Values < 1 are
+  /// treated as 1. Exposed by lrb_serve --engine-workers.
+  std::size_t engine_workers = 1;
+
   /// Coalescing cap: at most this many Solves per engine tick.
   std::size_t max_batch = 64;
   /// Admission control: Solves arriving while this many are already
   /// pending (queued, not yet dispatched) are shed with Overloaded.
   std::size_t max_queue = 256;
   std::size_t max_connections = 256;
-  /// Testing/chaos knob: the engine thread sleeps this long before each
+  /// Testing/chaos knob: an engine worker sleeps this long before each
   /// tick's deadline check, simulating a slow engine. Lets tests exercise
   /// deadline shedding and queue backpressure deterministically.
   std::uint32_t tick_delay_ms = 0;
@@ -83,9 +118,11 @@ struct ServerOptions {
   /// overrides it separately, also handed to the BatchSolver). Defaults to
   /// the process-wide registry.
   obs::Registry* metrics = &obs::Registry::global();
-  /// Socket-IO seam: every connection recv/send and the event-loop poll go
-  /// through this. Production uses the passthrough; the chaos harness
-  /// substitutes a fault::FaultInjector.
+  /// Socket-IO seam: every connection recv/send and every event-loop poll
+  /// (acceptor and reactors alike) go through this. Production uses the
+  /// passthrough; the chaos harness substitutes a fault::FaultInjector
+  /// (whose per-fd decision streams are mutex-guarded, so concurrent
+  /// reactors stay race-free).
   fault::SocketIo* io = &fault::SocketIo::real();
 };
 
@@ -97,13 +134,14 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Opens the listeners and starts the engine thread. Returns false (and
-  /// sets *error) on socket setup failure.
+  /// Opens the listeners, creates the reactors, and starts the engine
+  /// workers. Returns false (and sets *error) on socket setup failure.
   [[nodiscard]] bool start(std::string* error);
 
-  /// Runs the event loop until drained (Drain request or notify_signal).
-  /// Call from the thread that owns the server; tests run it in a
-  /// std::thread.
+  /// Spawns the reactor threads and runs the acceptor loop until drained
+  /// (Drain request or notify_signal); joins the reactors before
+  /// returning. Call from the thread that owns the server; tests run it
+  /// in a std::thread.
   void run();
 
   /// Async-signal-safe drain trigger: write one byte to the self-pipe.
@@ -121,14 +159,18 @@ class Server {
  private:
   struct Connection {
     int fd = -1;
+    std::uint64_t gen = 0;     ///< live generation (fd reuse detection)
+    std::size_t poll_idx = 0;  ///< this connection's slot in Reactor::fds
     std::string read_buf;
     std::string write_buf;
     std::size_t write_pos = 0;  ///< flushed prefix of write_buf
     bool close_after_flush = false;
     bool wants_drain_ack = false;
+    bool dirty = false;  ///< queued for flush / poll-event recompute
   };
 
   struct PendingSolve {
+    std::size_t reactor = 0;     ///< reactor owning the connection
     std::uint64_t conn_gen = 0;  ///< generation-checked connection handle
     int fd = -1;
     std::uint64_t request_id = 0;
@@ -139,6 +181,7 @@ class Server {
   };
 
   struct SolveOutcome {
+    std::size_t reactor = 0;
     std::uint64_t conn_gen = 0;
     int fd = -1;
     std::uint64_t request_id = 0;
@@ -147,24 +190,60 @@ class Server {
     double request_latency_ms = 0.0;
   };
 
-  // -- event loop side --
-  void accept_ready(int listener_fd);
-  void handle_readable(Connection& conn);
-  void handle_writable(Connection& conn);
-  bool process_frames(Connection& conn);  ///< false = close connection
-  void handle_solve(Connection& conn, const FrameHeader& header,
-                    std::string_view payload);
-  void queue_reply(Connection& conn, MsgType type, std::uint64_t request_id,
-                   std::string_view payload);
-  void queue_error(Connection& conn, std::uint64_t request_id, ErrorCode code,
-                   std::string_view text);
-  void close_connection(int fd);
-  void drain_results();
-  void begin_drain();
-  void maybe_finish_drain();
-  [[nodiscard]] bool drained() const;
+  /// One event-loop shard. `mutex` guards only the two cross-thread
+  /// inboxes (`incoming` from the acceptor, `results` from the engine
+  /// workers); everything else is owned by the reactor thread alone
+  /// (touched by run()/~Server only after the thread is joined).
+  struct Reactor {
+    std::size_t index = 0;
+    int wake_pipe[2] = {-1, -1};  ///< [0] polled; [1] written by others
+    std::thread thread;
 
-  // -- engine thread --
+    std::mutex mutex;
+    std::deque<int> incoming;  ///< accepted fds awaiting adoption
+    std::deque<SolveOutcome> results;
+
+    std::map<int, Connection> connections;
+    std::vector<pollfd> fds;  ///< slot 0 = wake pipe; maintained in place
+    std::vector<int> dirty_fds;
+    std::string scratch;  ///< reused reply-payload encode buffer
+
+    // Per-reactor slices of the svc.* aggregates ("svc.reactor<i>.*").
+    obs::Counter* m_accepted = nullptr;
+    obs::Counter* m_solve = nullptr;
+    obs::Counter* m_bytes_in = nullptr;
+    obs::Counter* m_bytes_out = nullptr;
+  };
+
+  // -- acceptor thread --
+  void accept_ready(int listener_fd);
+  void close_listeners();
+  void request_drain();
+  void wake_reactor(Reactor& reactor);
+  void wake_all_reactors();
+
+  // -- reactor threads --
+  void reactor_loop(Reactor& reactor);
+  void adopt_incoming(Reactor& reactor);
+  void handle_readable(Reactor& reactor, Connection& conn);
+  void handle_writable(Reactor& reactor, Connection& conn);
+  bool process_frames(Reactor& reactor,
+                      Connection& conn);  ///< false = close connection
+  void handle_solve(Reactor& reactor, Connection& conn,
+                    const FrameHeader& header, std::string_view payload);
+  void queue_reply(Reactor& reactor, Connection& conn, MsgType type,
+                   std::uint64_t request_id, std::string_view payload);
+  void queue_error(Reactor& reactor, Connection& conn,
+                   std::uint64_t request_id, ErrorCode code,
+                   std::string_view text);
+  void mark_dirty(Reactor& reactor, Connection& conn);
+  void flush_dirty(Reactor& reactor);  ///< flush + recompute events + close
+  void close_connection(Reactor& reactor, int fd);
+  void drain_results(Reactor& reactor);
+  void maybe_finish_drain(Reactor& reactor);
+  [[nodiscard]] bool reactor_drained(Reactor& reactor);
+
+  // -- engine workers --
   void engine_loop();
 
   ServerOptions options_;
@@ -173,24 +252,31 @@ class Server {
   int unix_listener_ = -1;
   int tcp_listener_ = -1;
   int bound_tcp_port_ = -1;
-  int wake_pipe_[2] = {-1, -1};  ///< [0] polled by the loop, [1] written by
-                                 ///< the engine thread and signal handlers
+  int wake_pipe_[2] = {-1, -1};  ///< acceptor self-pipe: [0] polled by
+                                 ///< run(), [1] written by signal handlers
+                                 ///< and request_drain()
 
-  std::map<int, Connection> connections_;
-  std::uint64_t conn_gen_counter_ = 0;
-  std::map<int, std::uint64_t> conn_gen_;  ///< fd -> live generation
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::size_t next_reactor_ = 0;  ///< round-robin dealing cursor (acceptor)
+  std::atomic<std::uint64_t> conn_gen_counter_{0};
+  std::atomic<std::size_t> conn_count_{0};  ///< across all reactors
 
-  // Engine-thread handoff.
+  // Engine handoff (shared by reactors and engine workers).
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<PendingSolve> pending_;
-  std::size_t ticking_ = 0;  ///< Solves currently inside a tick
-  std::deque<SolveOutcome> results_;
+  std::size_t ticking_ = 0;  ///< Solves currently inside some tick
   bool stop_engine_ = false;
-  std::thread engine_thread_;
+  std::vector<std::thread> engine_threads_;
+  /// Outcomes produced but not yet queued into a connection write buffer
+  /// (or counted dropped). A worker increments this BEFORE releasing its
+  /// ticking_ share, so "pending empty && ticking==0 && inflight==0" is
+  /// never observed while a reply is still in flight — the drain-ack
+  /// barrier.
+  std::atomic<std::size_t> results_inflight_{0};
 
-  bool draining_ = false;
-  bool drain_acked_ = false;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> aborting_{false};  ///< poll failure: exit, skip drain
   std::atomic<bool> signal_requested_{false};
 
   // svc.* metrics (see docs/serving.md for the catalog).

@@ -160,15 +160,20 @@ std::optional<SolveRequest> decode_solve_request(std::string_view payload,
   return request;
 }
 
-std::string encode_solve_reply_payload(const RebalanceResult& result) {
-  std::string out;
-  out.reserve(40 + result.assignment.size() * 4);
+void encode_solve_reply_payload(const RebalanceResult& result,
+                                std::string& out) {
+  out.reserve(out.size() + 36 + result.assignment.size() * 4);
   put_i64(out, result.makespan);
   put_i64(out, result.moves);
   put_i64(out, result.cost);
   put_i64(out, result.threshold);
   put_u32(out, static_cast<std::uint32_t>(result.assignment.size()));
   for (const ProcId p : result.assignment) put_u32(out, p);
+}
+
+std::string encode_solve_reply_payload(const RebalanceResult& result) {
+  std::string out;
+  encode_solve_reply_payload(result, out);
   return out;
 }
 
@@ -195,11 +200,17 @@ std::optional<RebalanceResult> decode_solve_reply_payload(
   return result;
 }
 
-std::string encode_error_payload(ErrorCode code, std::string_view text) {
-  std::string out;
+void encode_error_payload(ErrorCode code, std::string_view text,
+                          std::string& out) {
+  out.reserve(out.size() + 8 + text.size());
   put_u32(out, static_cast<std::uint32_t>(code));
   put_u32(out, static_cast<std::uint32_t>(text.size()));
   out.append(text);
+}
+
+std::string encode_error_payload(ErrorCode code, std::string_view text) {
+  std::string out;
+  encode_error_payload(code, text, out);
   return out;
 }
 

@@ -115,11 +115,20 @@ struct SolveRequest {
 
 [[nodiscard]] std::string encode_solve_reply_payload(
     const RebalanceResult& result);
+/// Appending overload for the serving hot path: encodes into `out`
+/// (appended, not cleared), so a reused per-connection/per-worker scratch
+/// buffer replaces a fresh std::string per reply frame. The returning
+/// overload wraps this one, so the bytes are identical.
+void encode_solve_reply_payload(const RebalanceResult& result,
+                                std::string& out);
 [[nodiscard]] std::optional<RebalanceResult> decode_solve_reply_payload(
     std::string_view payload, std::string* error);
 
 [[nodiscard]] std::string encode_error_payload(ErrorCode code,
                                                std::string_view text);
+/// Appending overload (same contract as encode_solve_reply_payload's).
+void encode_error_payload(ErrorCode code, std::string_view text,
+                          std::string& out);
 struct ErrorReply {
   ErrorCode code = ErrorCode::kInternal;
   std::string text;

@@ -16,8 +16,9 @@ void print_version(const char* tool) {
   std::printf("%s lrb/%s (%s, %s)\n", tool, kLrbVersion, LRB_BUILD_TYPE,
               kAsserts);
   std::printf("wire protocol: v%u\n", static_cast<unsigned>(kWireVersion));
-  std::printf("bench schemas: %s %s %s %s\n", kEngineBenchSchema,
-              kPtasBenchSchema, kSvcBenchSchema, kCacheBenchSchema);
+  std::printf("bench schemas: %s %s %s %s %s\n", kEngineBenchSchema,
+              kPtasBenchSchema, kSvcBenchSchema, kSvcBenchProfilesSchema,
+              kCacheBenchSchema);
 }
 
 }  // namespace lrb

@@ -19,6 +19,10 @@ inline constexpr std::uint16_t kWireVersion = 1;
 inline constexpr char kEngineBenchSchema[] = "lrb-engine-bench-v1";
 inline constexpr char kPtasBenchSchema[] = "lrb-ptas-bench-v1";
 inline constexpr char kSvcBenchSchema[] = "lrb-svc-bench-v1";
+/// Wrapper schema of bench/BENCH_svc.json: one lrb-svc-bench-v1 report per
+/// serving profile ("reactors_1", "reactors_4"), so the committed baseline
+/// records how the sharded front-end scales (docs/performance.md).
+inline constexpr char kSvcBenchProfilesSchema[] = "lrb-svc-bench-v2";
 inline constexpr char kCacheBenchSchema[] = "lrb-cache-bench-v1";
 
 /// Prints "<tool> lrb/<version> (<build type>, asserts on|off)" plus the

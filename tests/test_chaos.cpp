@@ -105,6 +105,67 @@ TEST(Chaos, CacheEnabledCampaignRidesAcrossServerRestart) {
   EXPECT_GE(result.reconnects, options.clients) << result.summary();
 }
 
+TEST(Chaos, MultiReactorCampaignCompletesWithByteIdenticalReplies) {
+  // The sharded front-end under the full fault battery: four reactors
+  // frame/flush concurrently and two engine workers run concurrent ticks,
+  // yet every reply must still match the serial reference byte for byte,
+  // with the ledger catching any lost or duplicated outcome.
+  for (const std::uint64_t seed : {0x4eacULL, 0x70b5ULL}) {
+    CampaignOptions options;
+    options.seed = seed;
+    options.clients = 4;
+    options.requests_per_client = 4;
+    options.check = true;
+    options.reactors = 4;
+    options.tick_workers = 2;
+    const CampaignResult result = run_campaign(options);
+    for (const auto& error : result.errors) {
+      ADD_FAILURE() << "seed 0x" << std::hex << seed << std::dec << ": "
+                    << error;
+    }
+    EXPECT_TRUE(result.ok) << result.summary();
+    EXPECT_EQ(result.completed, result.requests);
+    EXPECT_GE(result.server_solves, result.completed);
+  }
+}
+
+TEST(Chaos, MultiReactorCampaignRidesAcrossServerRestart) {
+  // Mid-campaign drain + cold restart of a 4-reactor server: the drain
+  // must answer every in-flight request on every reactor before run()
+  // returns, and the clients must reconnect into the fresh shards.
+  CampaignOptions options;
+  options.seed = 0x4eac7dead;
+  options.clients = 4;
+  options.requests_per_client = 4;
+  options.check = true;
+  options.restart_server = true;
+  options.reactors = 4;
+  options.tick_workers = 2;
+  const CampaignResult result = run_campaign(options);
+  for (const auto& error : result.errors) ADD_FAILURE() << error;
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_EQ(result.completed, result.requests);
+  EXPECT_GE(result.reconnects, options.clients) << result.summary();
+}
+
+TEST(Chaos, MultiReactorCacheEnabledCampaignStaysByteIdentical) {
+  // Reactor sharding + concurrent ticks + the canonicalizing cache: the
+  // single-flight and permutation paths now race across engine workers,
+  // and the reference is cached_serial_reference for every reply.
+  CampaignOptions options;
+  options.seed = 0xcac4e4;
+  options.clients = 3;
+  options.requests_per_client = 6;
+  options.check = true;
+  options.reactors = 3;
+  options.tick_workers = 2;
+  options.cache_bytes = std::size_t{4} << 20;
+  const CampaignResult result = run_campaign(options);
+  for (const auto& error : result.errors) ADD_FAILURE() << error;
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_EQ(result.completed, result.requests);
+}
+
 TEST(Chaos, SameSeedDerivesSamePlans) {
   CampaignOptions options;
   options.seed = 123;

@@ -3,9 +3,13 @@
 // malformed headers), the determinism contract (every SolveOk payload
 // byte-identical to the serial solver), deadline/overload shedding,
 // graceful drain (Drain request and SIGTERM), and metrics agreement
-// between the server's registry and client-observed counts.
+// between the server's registry and client-observed counts. The
+// MultiReactor suite covers the sharded front-end: round-robin connection
+// distribution, per-reactor counter reconciliation, and drain/SIGTERM with
+// an in-flight request on every reactor.
 //
-// The concurrency-heavy suites (SvcLoopback) also run under TSan in CI.
+// The concurrency-heavy suites (SvcLoopback, MultiReactor) also run under
+// TSan in CI.
 
 #include <gtest/gtest.h>
 
@@ -646,6 +650,195 @@ TEST(SvcLoopback, StatsSnapshotAgreesWithClientObservedCounts) {
   EXPECT_LE(snap.p50, snap.p90);
   EXPECT_LE(snap.p90, snap.p99);
   EXPECT_LE(snap.p99, snap.max);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-reactor tests (reactors > 1, engine_workers > 1). Also run under
+// TSan in CI: reactors, the acceptor and engine workers all race here.
+// ---------------------------------------------------------------------------
+
+std::uint64_t reactor_counter_sum(obs::Registry& registry,
+                                  std::size_t reactors,
+                                  const std::string& suffix) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < reactors; ++i) {
+    sum += registry
+               .counter("svc.reactor" + std::to_string(i) + "." + suffix)
+               .value();
+  }
+  return sum;
+}
+
+TEST(MultiReactor, ConnectionsDistributeRoundRobinAcrossReactors) {
+  constexpr std::size_t kReactors = 4;
+  constexpr std::size_t kConns = 8;
+  ServerOptions options;
+  options.reactors = kReactors;
+  TestServer ts(std::move(options));
+  // Keep every connection open while counting: a closed connection stays
+  // counted in connections_accepted, but holding them proves the counts
+  // are not an accept/close race.
+  std::vector<Client> clients;
+  for (std::size_t i = 0; i < kConns; ++i) clients.push_back(ts.connect());
+  ts.wait_for_counter("svc.connections_accepted", kConns);
+  // The acceptor deals connections round-robin, so 8 connections over 4
+  // reactors land exactly 2 on each.
+  for (std::size_t i = 0; i < kReactors; ++i) {
+    EXPECT_EQ(ts.registry()
+                  .counter("svc.reactor" + std::to_string(i) +
+                           ".connections_accepted")
+                  .value(),
+              kConns / kReactors)
+        << "reactor " << i;
+  }
+  EXPECT_EQ(reactor_counter_sum(ts.registry(), kReactors,
+                                "connections_accepted"),
+            ts.registry().counter("svc.connections_accepted").value());
+}
+
+TEST(MultiReactor, PerReactorCountersReconcileWithAggregates) {
+  constexpr std::size_t kReactors = 4;
+  constexpr int kClients = 4;
+  constexpr std::uint64_t kSolvesPerClient = 3;
+  ServerOptions options;
+  options.reactors = kReactors;
+  options.engine_workers = 2;
+  TestServer ts(std::move(options));
+  // One connection per reactor (round-robin), each solving concurrently;
+  // replies must stay byte-identical to the serial solver even with four
+  // reactors framing and two engine workers ticking at once.
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&ts, &failures, c] {
+      Client client = ts.connect();
+      for (std::uint64_t i = 0; i < kSolvesPerClient; ++i) {
+        const std::size_t index = static_cast<std::size_t>(c) * 10 + i;
+        const SolveRequest request = sample_request(index);
+        std::string error;
+        const auto outcome = client.solve(request, index, &error);
+        if (!outcome || !outcome->result ||
+            outcome->raw_payload != expected_reply_payload(request)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Quiesced (every reply fully received), the per-reactor rows must sum
+  // to the aggregates the single-reactor server reported.
+  const std::uint64_t total = kClients * kSolvesPerClient;
+  EXPECT_EQ(ts.registry().counter("svc.requests_solve").value(), total);
+  EXPECT_EQ(reactor_counter_sum(ts.registry(), kReactors, "requests_solve"),
+            total);
+  EXPECT_EQ(reactor_counter_sum(ts.registry(), kReactors, "bytes_in"),
+            ts.registry().counter("svc.bytes_in").value());
+  EXPECT_EQ(reactor_counter_sum(ts.registry(), kReactors, "bytes_out"),
+            ts.registry().counter("svc.bytes_out").value());
+  EXPECT_GT(ts.registry().counter("svc.bytes_in").value(), 0u);
+  // The Stats snapshot carries the per-reactor rows, so operators see the
+  // shard balance through the same endpoint as the aggregates.
+  Client client = ts.connect();
+  FrameHeader header;
+  std::string payload, error;
+  ASSERT_TRUE(
+      client.call(MsgType::kStats, 999, "", &header, &payload, &error))
+      << error;
+  ASSERT_EQ(header.type, MsgType::kStatsOk);
+  for (std::size_t i = 0; i < kReactors; ++i) {
+    const std::string row =
+        "svc.reactor" + std::to_string(i) + ".requests_solve";
+    EXPECT_NE(payload.find(row), std::string::npos)
+        << "missing `" << row << "` in stats snapshot";
+  }
+}
+
+TEST(MultiReactor, DrainAnswersInFlightOnEveryReactorBeforeAck) {
+  constexpr std::size_t kReactors = 4;
+  ServerOptions options;
+  options.reactors = kReactors;
+  options.engine_workers = 2;
+  options.tick_delay_ms = 50;  // keep all four solves in flight
+  TestServer ts(std::move(options));
+  // Sequential connects deal one connection to each reactor; pipeline one
+  // solve per connection so every reactor holds an in-flight request.
+  std::vector<Client> clients;
+  std::vector<SolveRequest> requests;
+  std::string error;
+  for (std::size_t i = 0; i < kReactors; ++i) {
+    clients.push_back(ts.connect());
+    requests.push_back(sample_request(i));
+    ASSERT_TRUE(clients[i].send_frame(MsgType::kSolve, i + 1,
+                                      encode_solve_request(requests[i]),
+                                      &error))
+        << error;
+  }
+  // All four are admitted (draining has not started), then the drain
+  // arrives on the first connection.
+  ts.wait_for_counter("svc.requests_solve", kReactors);
+  ASSERT_TRUE(clients[0].send_frame(MsgType::kDrain, 99, "", &error));
+  // Every reactor flushes its reply before the server exits; the draining
+  // connection sees its reply strictly before DrainOk (same FIFO buffer).
+  for (std::size_t i = 0; i < kReactors; ++i) {
+    FrameHeader header;
+    std::string payload;
+    ASSERT_TRUE(clients[i].recv_frame(&header, &payload, &error))
+        << "conn " << i << ": " << error;
+    EXPECT_EQ(header.request_id, i + 1);
+    ASSERT_EQ(header.type, MsgType::kSolveOk) << "conn " << i;
+    EXPECT_EQ(payload, expected_reply_payload(requests[i])) << "conn " << i;
+  }
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(clients[0].recv_frame(&header, &payload, &error)) << error;
+  EXPECT_EQ(header.type, MsgType::kDrainOk);
+  ts.join_drained();
+  EXPECT_EQ(ts.registry().counter("svc.replies_solve_ok").value(),
+            static_cast<std::uint64_t>(kReactors));
+  EXPECT_EQ(ts.registry().counter("svc.dropped_replies").value(), 0u);
+}
+
+TEST(MultiReactor, SigtermDrainsInFlightOnEveryReactor) {
+  constexpr std::size_t kReactors = 4;
+  ServerOptions options;
+  options.reactors = kReactors;
+  options.engine_workers = 2;
+  options.tick_delay_ms = 50;
+  TestServer ts(std::move(options));
+  install_signal_drain(&ts.server());
+  std::vector<Client> clients;
+  std::vector<SolveRequest> requests;
+  std::string error;
+  for (std::size_t i = 0; i < kReactors; ++i) {
+    clients.push_back(ts.connect());
+    requests.push_back(sample_request(20 + i));
+    ASSERT_TRUE(clients[i].send_frame(MsgType::kSolve, 50 + i,
+                                      encode_solve_request(requests[i]),
+                                      &error))
+        << error;
+  }
+  // SIGTERM lands while a request is pending on every reactor (the 50 ms
+  // tick delay keeps them queued); the drain must flush all four replies
+  // through all four reactors before run() returns.
+  ts.wait_for_counter("svc.requests_solve", kReactors);
+  raise(SIGTERM);
+  for (std::size_t i = 0; i < kReactors; ++i) {
+    FrameHeader header;
+    std::string payload;
+    ASSERT_TRUE(clients[i].recv_frame(&header, &payload, &error))
+        << "conn " << i << ": " << error;
+    EXPECT_EQ(header.request_id, 50 + i);
+    EXPECT_EQ(header.type, MsgType::kSolveOk) << "conn " << i;
+    EXPECT_EQ(payload, expected_reply_payload(requests[i])) << "conn " << i;
+    // EOF after the flush: the reactor closed the connection on exit.
+    EXPECT_FALSE(clients[i].recv_frame(&header, &payload, &error));
+  }
+  ts.join_drained();
+  install_signal_drain(nullptr);
+  EXPECT_EQ(ts.registry().counter("svc.replies_solve_ok").value(),
+            static_cast<std::uint64_t>(kReactors));
+  EXPECT_EQ(ts.registry().counter("svc.dropped_replies").value(), 0u);
 }
 
 TEST(SvcLoopback, TcpListenerServesTheSameProtocol) {

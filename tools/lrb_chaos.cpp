@@ -25,6 +25,8 @@
 //   --clients N (2)        resilient clients per campaign
 //   --requests N (8)       solve requests per client
 //   --algo NAME (best-of)  greedy | m-partition | best-of
+//   --reactors N (1)       reactor shards in the server under test
+//   --tick-workers N (1)   engine tick workers in the server under test
 //   --restart-every K (4)  every Kth campaign drains + restarts the
 //                          server mid-campaign (0 = never)
 //   --seed-list CSV        run exactly these campaign seeds (decimal or
@@ -82,6 +84,7 @@ int main(int argc, char** argv) {
     static const char* known[] = {
         "campaigns", "seed",    "campaign-index", "clients",
         "requests",  "algo",    "restart-every",  "seed-list",
+        "reactors",  "tick-workers",
         "check",     "smoke",   "verbose",        "version"};
     if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
           return key == k;
@@ -96,11 +99,15 @@ int main(int argc, char** argv) {
   const std::int64_t requests = flags.get_int("requests", smoke ? 4 : 8);
   const std::int64_t restart_every = flags.get_int("restart-every", 4);
   const std::int64_t first_index = flags.get_int("campaign-index", 0);
+  const std::int64_t reactors = flags.get_int("reactors", 1);
+  const std::int64_t tick_workers = flags.get_int("tick-workers", 1);
   const auto base_seed =
       static_cast<std::uint64_t>(flags.get_int("seed", 1));
   if (campaigns < 1) return fail("--campaigns must be >= 1");
   if (clients < 1) return fail("--clients must be >= 1");
   if (requests < 1) return fail("--requests must be >= 1");
+  if (reactors < 1) return fail("--reactors must be >= 1");
+  if (tick_workers < 1) return fail("--tick-workers must be >= 1");
   if (restart_every < 0) return fail("--restart-every must be >= 0");
   if (first_index < 0) return fail("--campaign-index must be >= 0");
 
@@ -131,6 +138,8 @@ int main(int argc, char** argv) {
     options.clients = static_cast<std::size_t>(clients);
     options.requests_per_client = static_cast<std::size_t>(requests);
     options.algo = algo;
+    options.reactors = static_cast<std::size_t>(reactors);
+    options.tick_workers = static_cast<std::size_t>(tick_workers);
     options.check = flags.has("check");
     options.restart_server =
         restart_every > 0 &&

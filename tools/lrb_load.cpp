@@ -18,6 +18,11 @@
 //   --requests N (64)      requests per connection (ignored with --duration-s)
 //   --duration-s S (0)     run for S seconds instead of a fixed count
 //   --rate R (0)           total open-loop request rate; 0 = closed loop
+//   --pipeline D (1)       keep up to D requests in flight per connection
+//                          (closed loop only): replies are matched by the
+//                          echoed request id, so one generator thread can
+//                          saturate a multi-reactor server without waiting
+//                          a full round-trip per request
 //   --algo NAME (best-of)  greedy | m-partition | best-of | ptas
 //   --k-frac F (0.25)      move budget as a fraction of num_jobs
 //   --deadline-ms N (0)    per-request deadline sent to the server; 0 = none
@@ -48,6 +53,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -79,6 +85,7 @@ struct LoadConfig {
   std::uint32_t deadline_ms = 0;
   std::uint64_t seed = 1;
   std::size_t repeat = 0;
+  std::size_t pipeline = 1;
   bool check = false;
   bool cache = false;
 };
@@ -110,6 +117,47 @@ std::optional<lrb::svc::Client> connect(const LoadConfig& config,
 
 void note(WorkerStats& stats, std::string message) {
   if (stats.messages.size() < 5) stats.messages.push_back(std::move(message));
+}
+
+/// Instance-pool index for request number `i` on connection `conn`. With
+/// --repeat the pool wraps: requests across all connections draw from
+/// `repeat` distinct instances, so a cache-enabled server sees a hit-heavy
+/// steady state. Still deterministic in (conn, i, seed).
+std::size_t instance_index(const LoadConfig& config, std::size_t conn,
+                           std::size_t i) {
+  std::size_t index = conn * 1000003 + i;
+  if (config.repeat > 0) index %= config.repeat;
+  return index;
+}
+
+lrb::svc::SolveRequest make_request(const LoadConfig& config,
+                                    std::size_t index) {
+  lrb::svc::SolveRequest request;
+  request.algo = config.algo;
+  request.deadline_ms = config.deadline_ms;
+  request.instance = lrb::mixed_corpus_instance(index, config.seed);
+  request.k = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             config.k_frac *
+             static_cast<double>(request.instance.num_jobs())));
+  return request;
+}
+
+/// --check reference for the request at pool index `index`: against a
+/// --cache-mb server every reply — cold miss or warm hit — must match the
+/// canonical-solve reference (docs/caching.md).
+bool reply_matches_reference(const LoadConfig& config, std::size_t index,
+                             const std::string& raw_payload) {
+  const lrb::svc::SolveRequest request = make_request(config, index);
+  const auto reference =
+      config.cache
+          ? lrb::engine::cached_serial_reference(
+                request.algo, request.instance, request.k,
+                request.ptas_budget, request.ptas_eps)
+          : lrb::engine::solve_serial_reference(
+                request.algo, request.instance, request.k,
+                request.ptas_budget, request.ptas_eps);
+  return raw_payload == lrb::svc::encode_solve_reply_payload(reference);
 }
 
 /// One connection's worth of load. Instance indices are globally unique and
@@ -149,19 +197,8 @@ void run_worker(const LoadConfig& config, std::size_t conn, Clock::time_point
       if (config.duration_s > 0.0 && Clock::now() >= deadline_end) break;
     }
 
-    // With --repeat the pool wraps: requests across all connections draw
-    // from `repeat` distinct instances, so a cache-enabled server sees a
-    // hit-heavy steady state. Still deterministic in (conn, i, seed).
-    std::size_t index = conn * 1000003 + i;
-    if (config.repeat > 0) index %= config.repeat;
-    lrb::svc::SolveRequest request;
-    request.algo = config.algo;
-    request.deadline_ms = config.deadline_ms;
-    request.instance = lrb::mixed_corpus_instance(index, config.seed);
-    request.k = std::max<std::int64_t>(
-        1, static_cast<std::int64_t>(
-               config.k_frac *
-               static_cast<double>(request.instance.num_jobs())));
+    const std::size_t index = instance_index(config, conn, i);
+    const lrb::svc::SolveRequest request = make_request(config, index);
 
     const auto t0 = Clock::now();
     ++stats.sent;
@@ -193,21 +230,114 @@ void run_worker(const LoadConfig& config, std::size_t conn, Clock::time_point
     ++stats.ok;
     stats.latencies_ms.push_back(
         std::chrono::duration<double, std::milli>(t1 - t0).count());
+    if (config.check &&
+        !reply_matches_reference(config, index, outcome->raw_payload)) {
+      ++stats.mismatches;
+      note(stats, "request " + std::to_string(index) +
+                      ": reply differs from serial reference");
+    }
+  }
+}
+
+/// Windowed variant (--pipeline D > 1): keep up to D Solves in flight on
+/// this connection and match replies by the echoed request id. The id is
+/// the RAW (pre---repeat) request number, so ids stay unique inside the
+/// window while the instance pool still wraps; the instance is regenerated
+/// from the id for --check.
+void run_worker_pipelined(const LoadConfig& config, std::size_t conn,
+                          Clock::time_point start, WorkerStats& stats) {
+  std::string error;
+  auto client = connect(config, &error);
+  if (!client) {
+    note(stats, "connect failed: " + error);
+    ++stats.other_errors;
+    return;
+  }
+  const auto deadline_end =
+      config.duration_s > 0.0
+          ? start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(config.duration_s))
+          : Clock::time_point::max();
+  const auto more_to_send = [&](std::size_t i) {
+    return config.duration_s > 0.0 ? Clock::now() < deadline_end
+                                   : i < config.requests;
+  };
+
+  std::map<std::uint64_t, Clock::time_point> inflight;  // id -> send time
+  std::size_t next = 0;
+  for (;;) {
+    while (inflight.size() < config.pipeline && more_to_send(next)) {
+      const std::uint64_t id = conn * 1000003 + next;
+      const lrb::svc::SolveRequest request = make_request(
+          config, instance_index(config, conn, next));
+      ++stats.sent;
+      if (!client->send_frame(lrb::svc::MsgType::kSolve, id,
+                              lrb::svc::encode_solve_request(request),
+                              &error)) {
+        note(stats, "request " + std::to_string(id) + ": " + error);
+        ++stats.other_errors;
+        return;  // transport broken; stop this connection
+      }
+      inflight.emplace(id, Clock::now());
+      ++next;
+    }
+    if (inflight.empty()) break;
+
+    lrb::svc::FrameHeader header;
+    std::string payload;
+    if (!client->recv_frame(&header, &payload, &error)) {
+      note(stats, "recv: " + error);
+      ++stats.other_errors;
+      return;
+    }
+    const auto t1 = Clock::now();
+    const auto sent_at = inflight.find(header.request_id);
+    if (sent_at == inflight.end()) {
+      note(stats, "reply for unknown request id " +
+                      std::to_string(header.request_id));
+      ++stats.other_errors;
+      return;
+    }
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(t1 - sent_at->second)
+            .count();
+    inflight.erase(sent_at);
+
+    if (header.type == lrb::svc::MsgType::kError) {
+      const auto reply = lrb::svc::decode_error_payload(payload);
+      const auto code =
+          reply ? reply->code : lrb::svc::ErrorCode::kInternal;
+      switch (code) {
+        case lrb::svc::ErrorCode::kOverloaded:
+          ++stats.shed_overloaded;
+          break;
+        case lrb::svc::ErrorCode::kDeadlineExceeded:
+          ++stats.shed_deadline;
+          break;
+        default:
+          ++stats.other_errors;
+          note(stats, "request " + std::to_string(header.request_id) +
+                          ": server error " +
+                          lrb::svc::error_code_name(code) +
+                          (reply ? ": " + reply->text : std::string{}));
+          break;
+      }
+      continue;
+    }
+    if (header.type != lrb::svc::MsgType::kSolveOk) {
+      note(stats, "request " + std::to_string(header.request_id) +
+                      ": unexpected reply type");
+      ++stats.other_errors;
+      return;
+    }
+    ++stats.ok;
+    stats.latencies_ms.push_back(latency_ms);
     if (config.check) {
-      // Against a --cache-mb server every reply — cold miss or warm hit —
-      // must match the canonical-solve reference (docs/caching.md).
-      const auto reference =
-          config.cache
-              ? lrb::engine::cached_serial_reference(
-                    request.algo, request.instance, request.k,
-                    request.ptas_budget, request.ptas_eps)
-              : lrb::engine::solve_serial_reference(
-                    request.algo, request.instance, request.k,
-                    request.ptas_budget, request.ptas_eps);
-      if (outcome->raw_payload !=
-          lrb::svc::encode_solve_reply_payload(reference)) {
+      std::size_t index = static_cast<std::size_t>(header.request_id);
+      if (config.repeat > 0) index %= config.repeat;
+      if (!reply_matches_reference(config, index, payload)) {
         ++stats.mismatches;
-        note(stats, "request " + std::to_string(index) +
+        note(stats, "request " + std::to_string(header.request_id) +
                         ": reply differs from serial reference");
       }
     }
@@ -236,7 +366,7 @@ int main(int argc, char** argv) {
     static const char* known[] = {
         "unix", "tcp",        "connections",    "requests", "duration-s",
         "rate", "algo",       "k-frac",         "deadline-ms", "seed",
-        "repeat", "check",    "cache",          "smoke",
+        "repeat", "pipeline", "check",          "cache",    "smoke",
         "min-throughput", "json", "version"};
     if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
           return key == k;
@@ -281,6 +411,9 @@ int main(int argc, char** argv) {
   const std::int64_t repeat = flags.get_int("repeat", 0);
   if (repeat < 0) return fail("--repeat must be >= 0");
   config.repeat = static_cast<std::size_t>(repeat);
+  const std::int64_t pipeline = flags.get_int("pipeline", 1);
+  if (pipeline < 1) return fail("--pipeline must be >= 1");
+  config.pipeline = static_cast<std::size_t>(pipeline);
   config.check = flags.has("check");
   config.cache = flags.has("cache");
   const double min_throughput = flags.get_double("min-throughput", 0.0);
@@ -290,13 +423,18 @@ int main(int argc, char** argv) {
   }
   if (config.connections < 1) return fail("--connections must be >= 1");
   if (config.rate < 0.0) return fail("--rate must be >= 0");
+  if (config.pipeline > 1 && config.rate > 0.0) {
+    return fail("--pipeline needs the closed loop (--rate 0)");
+  }
 
   std::vector<WorkerStats> per_worker(config.connections);
   std::vector<std::thread> threads;
   threads.reserve(config.connections);
   const auto start = Clock::now();
   for (std::size_t c = 0; c < config.connections; ++c) {
-    threads.emplace_back(run_worker, std::cref(config), c, start,
+    threads.emplace_back(config.pipeline > 1 ? run_worker_pipelined
+                                             : run_worker,
+                         std::cref(config), c, start,
                          std::ref(per_worker[c]));
   }
   for (auto& t : threads) t.join();
@@ -358,6 +496,7 @@ int main(int argc, char** argv) {
         << "    \"deadline_ms\": " << config.deadline_ms << ",\n"
         << "    \"seed\": " << config.seed << ",\n"
         << "    \"repeat\": " << config.repeat << ",\n"
+        << "    \"pipeline\": " << config.pipeline << ",\n"
         << "    \"cache\": " << (config.cache ? "true" : "false") << ",\n"
         << "    \"check\": " << (config.check ? "true" : "false") << "\n"
         << "  },\n"

@@ -12,6 +12,10 @@
 //   --unix PATH          listen on a Unix-domain socket
 //   --tcp PORT           listen on TCP (0 = ephemeral; port is printed)
 //   --bind ADDR (127.0.0.1)  TCP bind address
+//   --reactors N (1)     event-loop shards, each with its own poll loop
+//                        and connection table (docs/serving.md)
+//   --engine-workers N (1)  engine tick workers; > 1 runs concurrent
+//                        BatchSolver ticks (replies stay byte-identical)
 //   --workers N (0)      solver pool size; 0 = hardware concurrency
 //   --max-batch N (64)   solve coalescing cap per engine tick
 //   --max-queue N (256)  admission control: shed Solves beyond this depth
@@ -51,6 +55,7 @@ int main(int argc, char** argv) {
   }
   for (const auto& key : flags.keys()) {
     static const char* known[] = {"unix",      "tcp",           "bind",
+                                  "reactors",  "engine-workers",
                                   "workers",   "max-batch",     "max-queue",
                                   "max-conns", "tick-delay-ms", "cache-mb",
                                   "metrics-json", "version"};
@@ -67,16 +72,22 @@ int main(int argc, char** argv) {
   options.tcp_bind = flags.get_or("bind", "127.0.0.1");
   options.engine.workers =
       static_cast<std::size_t>(flags.get_int("workers", 0));
+  const std::int64_t reactors = flags.get_int("reactors", 1);
+  const std::int64_t engine_workers = flags.get_int("engine-workers", 1);
   const std::int64_t max_batch = flags.get_int("max-batch", 64);
   const std::int64_t max_queue = flags.get_int("max-queue", 256);
   const std::int64_t max_conns = flags.get_int("max-conns", 256);
   const std::int64_t tick_delay = flags.get_int("tick-delay-ms", 0);
   const std::int64_t cache_mb = flags.get_int("cache-mb", 0);
+  if (reactors < 1) return fail("--reactors must be >= 1");
+  if (engine_workers < 1) return fail("--engine-workers must be >= 1");
   if (max_batch < 1) return fail("--max-batch must be >= 1");
   if (max_queue < 1) return fail("--max-queue must be >= 1");
   if (max_conns < 1) return fail("--max-conns must be >= 1");
   if (tick_delay < 0) return fail("--tick-delay-ms must be >= 0");
   if (cache_mb < 0) return fail("--cache-mb must be >= 0");
+  options.reactors = static_cast<std::size_t>(reactors);
+  options.engine_workers = static_cast<std::size_t>(engine_workers);
   options.max_batch = static_cast<std::size_t>(max_batch);
   options.max_queue = static_cast<std::size_t>(max_queue);
   options.max_connections = static_cast<std::size_t>(max_conns);
