@@ -13,6 +13,8 @@ SolutionCache::SolutionCache(CacheOptions options)
       inserts_(options.metrics->counter("cache.inserts")),
       single_flight_waits_(
           options.metrics->counter("cache.single_flight_waits")),
+      single_flight_bypass_(
+          options.metrics->counter("cache.single_flight_bypass")),
       bytes_gauge_(options.metrics->gauge("cache.bytes")),
       entries_gauge_(options.metrics->gauge("cache.entries")) {
   const std::size_t shards =
@@ -74,7 +76,8 @@ void SolutionCache::insert_locked(Shard& shard, const Fingerprint& fp,
 }
 
 SolutionCache::Probe SolutionCache::lookup_or_begin(const Fingerprint& fp,
-                                                    std::string_view key) {
+                                                    std::string_view key,
+                                                    WaitMode wait) {
   Shard& shard = shard_for(fp);
   std::unique_lock lock(shard.mutex);
   for (;;) {
@@ -106,7 +109,15 @@ SolutionCache::Probe SolutionCache::lookup_or_begin(const Fingerprint& fp,
       misses_.add(1);
       return Probe{};
     }
-    // Identical solve in flight: wait for the leader.
+    // Identical solve in flight.
+    if (wait == WaitMode::kNoBlock) {
+      // The caller may not park (see WaitMode): solve uncached. The
+      // duplicate work is bounded by the leader's publish window and
+      // results stay identical because solves are deterministic.
+      single_flight_bypass_.add(1);
+      misses_.add(1);
+      return Probe{};
+    }
     single_flight_waits_.add(1);
     auto handle = flight->second;
     shard.cv.wait(lock, [&] { return handle->done || handle->cancelled; });

@@ -10,9 +10,12 @@
 // Concurrency: N mutex-guarded shards (fingerprint.hi selects the shard);
 // a lookup touches exactly one shard mutex. Concurrent identical misses
 // are single-flighted: the first caller becomes the leader and solves, the
-// rest block on the shard's condition variable and receive the leader's
-// published result directly — a batch of identical requests racing in from
-// many connections solves exactly once.
+// rest (under WaitMode::kBlock) block on the shard's condition variable
+// and receive the leader's published result directly — a batch of
+// identical requests racing in from many connections solves exactly once.
+// Callers that must never park — anything running on (or help-draining)
+// a ThreadPool worker, like the engine — probe with WaitMode::kNoBlock
+// and solve uncached instead of waiting; see lookup_or_begin.
 //
 // Capacity: max_bytes is divided evenly across shards; each shard evicts
 // from its own LRU tail while over budget. Accounted bytes per entry =
@@ -20,8 +23,8 @@
 // live as the cache.bytes / cache.entries gauges.
 //
 // Metrics (obs registry): cache.hits, cache.misses, cache.evictions,
-// cache.inserts, cache.single_flight_waits counters; cache.bytes,
-// cache.entries gauges.
+// cache.inserts, cache.single_flight_waits, cache.single_flight_bypass
+// counters; cache.bytes, cache.entries gauges.
 
 #pragma once
 
@@ -73,10 +76,26 @@ class SolutionCache {
     RebalanceResult result;
   };
 
+  /// How a probe treats an identical key already being solved by another
+  /// thread.
+  enum class WaitMode {
+    /// Block on the shard cv until that leader publishes or cancels.
+    kBlock,
+    /// Never block: report a plain miss with no leadership, so the caller
+    /// solves uncached (the leader still publishes for future probes).
+    /// MANDATORY for callers running on — or help-draining tasks of — a
+    /// ThreadPool worker: a leader that help-drains while solving can pop
+    /// a task that would wait on a *different* key's leader, and two such
+    /// leaders waiting on each other's keys is a permanent wait-for cycle.
+    kNoBlock,
+  };
+
   /// Single-flight probe: hit, leader duty, or (rarely) solve-uncached.
-  /// Blocks while an identical key is being solved by another thread.
+  /// Under WaitMode::kBlock, blocks while an identical key is being
+  /// solved by another thread; under kNoBlock it never blocks.
   [[nodiscard]] Probe lookup_or_begin(const Fingerprint& fp,
-                                      std::string_view key);
+                                      std::string_view key,
+                                      WaitMode wait = WaitMode::kBlock);
 
   /// Publishes the leader's result: inserts it into the LRU store (evicting
   /// while over budget) and wakes every waiter with a copy.
@@ -151,6 +170,7 @@ class SolutionCache {
   obs::Counter& evictions_;
   obs::Counter& inserts_;
   obs::Counter& single_flight_waits_;
+  obs::Counter& single_flight_bypass_;
   obs::Gauge& bytes_gauge_;
   obs::Gauge& entries_gauge_;
 };

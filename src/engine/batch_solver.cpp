@@ -189,7 +189,14 @@ void BatchSolver::normalized_params(const TickItem& item, Cost* budget,
 RebalanceResult BatchSolver::solve_canonical(
     const TickItem& item, const cache::CanonicalInstance& canon,
     const cache::Fingerprint& fp, std::string_view key) {
-  auto probe = cache_->lookup_or_begin(fp, key);
+  // kNoBlock is load-bearing: this runs on pool workers (solve_items
+  // phase 2) and on threads whose run_algo help-drains nested
+  // parallel_for tasks. Parking either on the single-flight cv can
+  // deadlock — a leader help-draining another tick's probe task would
+  // wait on that key's leader, which may be waiting on ours. A duplicate
+  // in-flight key therefore solves uncached instead of waiting.
+  auto probe = cache_->lookup_or_begin(
+      fp, key, cache::SolutionCache::WaitMode::kNoBlock);
   if (probe.hit) return std::move(probe.result);
 
   TickItem canonical_item = item;
@@ -283,7 +290,10 @@ std::vector<RebalanceResult> BatchSolver::solve_items_cached(
     }
   }
 
-  // Phase 2: probe-or-solve each representative (canonical labels).
+  // Phase 2: probe-or-solve each representative (canonical labels). The
+  // solve time is recorded into the histogram here, once per
+  // representative — duplicates must not re-record it below, or batches
+  // with many duplicates inflate engine.solve_latency_ms.
   std::vector<RebalanceResult> canonical_results(n);
   std::vector<double> solve_ms(n, 0.0);
   parallel_for(pool_, 0, uniques.size(), [&](std::size_t u) {
@@ -294,13 +304,17 @@ std::vector<RebalanceResult> BatchSolver::solve_items_cached(
     solve_ms[i] =
         std::chrono::duration<double, std::milli>(Clock::now() - begin)
             .count();
+    solve_latency_ms_.record(canon_ms[i] + solve_ms[i]);
   });
 
-  // Phase 3: fan out through each item's own recorded permutation.
+  // Phase 3: fan out through each item's own recorded permutation. A
+  // duplicate's own cost is just its canonicalization; the shared solve
+  // was already attributed to the representative.
   parallel_for(pool_, 0, n, [&](std::size_t i) {
     results[i] = cache::map_to_original(canons[i], canonical_results[rep[i]]);
-    const double ms = canon_ms[i] + solve_ms[rep[i]];
-    solve_latency_ms_.record(ms);
+    const double ms =
+        rep[i] == i ? canon_ms[i] + solve_ms[i] : canon_ms[i];
+    if (rep[i] != i) solve_latency_ms_.record(ms);
     if (latencies_ms != nullptr) (*latencies_ms)[i] = ms;
   });
   return results;

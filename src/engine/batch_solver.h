@@ -105,7 +105,10 @@ class BatchSolver {
   /// Solves instance i with move budget ks[i] (ks.size() must equal
   /// instances.size()). Slot i of the returned vector is instance i's
   /// result. When `latencies_ms` is non-null it is resized and filled with
-  /// each instance's wall-clock solve latency in milliseconds.
+  /// each instance's wall-clock solve latency in milliseconds. With the
+  /// cache enabled, items deduplicated within the batch report only their
+  /// own canonicalization time; the shared solve is attributed to the
+  /// first item with that key.
   [[nodiscard]] std::vector<RebalanceResult> solve(
       const std::vector<Instance>& instances,
       const std::vector<std::int64_t>& ks,
@@ -170,7 +173,10 @@ class BatchSolver {
   static void normalized_params(const TickItem& item, Cost* budget,
                                 double* eps);
   /// Probe-or-solve for one canonicalized item; returns the result in
-  /// CANONICAL labels. Single-flighted across threads via the cache.
+  /// CANONICAL labels. Probes with WaitMode::kNoBlock — it runs on (or
+  /// help-drains into) pool workers, which must never park on the
+  /// single-flight cv — so a key another thread is already solving is
+  /// solved uncached here rather than waited for.
   [[nodiscard]] RebalanceResult solve_canonical(
       const TickItem& item, const cache::CanonicalInstance& canon,
       const cache::Fingerprint& fp, std::string_view key);

@@ -223,10 +223,17 @@ void Server::close_listeners() {
   }
 }
 
-void Server::accept_ready(int listener_fd) {
+bool Server::accept_ready(int listener_fd) {
   for (;;) {
     const int fd = accept(listener_fd, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN or transient error: poll again later
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Out of fds (or kernel memory): the listener stays readable until
+      // a slot frees, so polling it again immediately would spin a full
+      // core. Tell run() to pause accepting for a beat.
+      return errno != EMFILE && errno != ENFILE && errno != ENOBUFS &&
+             errno != ENOMEM;  // otherwise EAGAIN/transient: poll again
+    }
     if (draining_.load(std::memory_order_relaxed) ||
         conn_count_.load(std::memory_order_relaxed) >=
             options_.max_connections) {
@@ -257,11 +264,16 @@ void Server::run() {
   }
 
   // The acceptor's pollfd set is fixed for its whole life: self-pipe plus
-  // the configured listeners (closed only after this loop exits).
+  // the configured listeners (closed only after this loop exits). On fd
+  // exhaustion the listener entries are masked (events = 0) for a beat —
+  // a readable listener we cannot accept from would otherwise turn this
+  // loop into a poll/accept busy-spin until an fd frees up.
   std::vector<pollfd> fds;
   fds.push_back({wake_pipe_[0], POLLIN, 0});
   if (unix_listener_ >= 0) fds.push_back({unix_listener_, POLLIN, 0});
   if (tcp_listener_ >= 0) fds.push_back({tcp_listener_, POLLIN, 0});
+  bool accept_paused = false;
+  auto accept_resume_at = std::chrono::steady_clock::time_point{};
 
   while (!draining_.load(std::memory_order_acquire) &&
          !aborting_.load(std::memory_order_relaxed)) {
@@ -269,8 +281,14 @@ void Server::run() {
       request_drain();
       break;
     }
+    if (accept_paused &&
+        std::chrono::steady_clock::now() >= accept_resume_at) {
+      for (std::size_t i = 1; i < fds.size(); ++i) fds[i].events = POLLIN;
+      accept_paused = false;
+    }
     // The self-pipe wakes us for signals/drain; the timeout is only a
-    // belt-and-braces guard against a lost wakeup.
+    // belt-and-braces guard against a lost wakeup (and the tick that ends
+    // an accept pause).
     if (options_.io->poll(fds.data(), fds.size(), 100) < 0 &&
         errno != EINTR) {
       aborting_.store(true, std::memory_order_relaxed);
@@ -278,7 +296,14 @@ void Server::run() {
     }
     if (fds[0].revents != 0) drain_pipe(wake_pipe_[0]);
     for (std::size_t i = 1; i < fds.size(); ++i) {
-      if ((fds[i].revents & POLLIN) != 0) accept_ready(fds[i].fd);
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      if (!accept_ready(fds[i].fd)) {
+        for (std::size_t j = 1; j < fds.size(); ++j) fds[j].events = 0;
+        accept_paused = true;
+        accept_resume_at = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(100);
+        break;
+      }
     }
   }
   // Stop the intake first so no reactor can be handed work after it
@@ -362,6 +387,8 @@ void Server::handle_solve(Reactor& reactor, Connection& conn,
     return;
   }
   {
+    // Fast-path shed before paying for the decode. Advisory only: the
+    // authoritative check is re-done under the same lock as the push.
     std::lock_guard lock(queue_mutex_);
     if (pending_.size() >= options_.max_queue) {
       m_shed_overloaded_.add(1);
@@ -390,9 +417,21 @@ void Server::handle_solve(Reactor& reactor, Connection& conn,
         pending.received + std::chrono::milliseconds(request->deadline_ms);
   }
   pending.request = std::move(*request);
+  bool admitted = false;
   {
+    // Check-and-push atomically: N reactors racing through the lock gap
+    // above (while decoding) must not overshoot max_queue.
     std::lock_guard lock(queue_mutex_);
-    pending_.push_back(std::move(pending));
+    if (pending_.size() < options_.max_queue) {
+      pending_.push_back(std::move(pending));
+      admitted = true;
+    }
+  }
+  if (!admitted) {
+    m_shed_overloaded_.add(1);
+    queue_error(reactor, conn, header.request_id, ErrorCode::kOverloaded,
+                "solve queue at capacity");
+    return;
   }
   queue_cv_.notify_one();
 }

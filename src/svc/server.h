@@ -216,7 +216,10 @@ class Server {
   };
 
   // -- acceptor thread --
-  void accept_ready(int listener_fd);
+  /// Accepts until the listener drains. Returns false on fd exhaustion
+  /// (EMFILE/ENFILE/...), where the listener stays readable and must be
+  /// taken out of the poll set briefly instead of busy-spinning.
+  [[nodiscard]] bool accept_ready(int listener_fd);
   void close_listeners();
   void request_drain();
   void wake_reactor(Reactor& reactor);

@@ -278,6 +278,40 @@ TEST(CacheLru, HitVerifiesFullKeyBytesNotJustTheFingerprint) {
   cache.cancel(cache::fingerprint(key_b), key_b);
 }
 
+TEST(CacheSingleFlight, NoBlockProbeNeverWaitsOnALeader) {
+  obs::Registry registry;
+  cache::CacheOptions options;
+  options.metrics = &registry;
+  SolutionCache cache(options);
+
+  const Instance instance = corpus_instance(6);
+  const CanonicalInstance canon = cache::canonicalize(instance);
+  const std::string key =
+      cache::encode_cache_key(canon.instance, 0, 4, kInfCost, 1.0);
+  const Fingerprint fp = cache::fingerprint(key);
+
+  const auto leader = cache.lookup_or_begin(fp, key);
+  ASSERT_TRUE(leader.leader);
+
+  // With a leader in flight, a kNoBlock probe for the SAME key must
+  // return immediately with neither a hit nor leadership — the engine
+  // depends on this to never park a pool worker on the cv.
+  const auto bypass =
+      cache.lookup_or_begin(fp, key, SolutionCache::WaitMode::kNoBlock);
+  EXPECT_FALSE(bypass.hit);
+  EXPECT_FALSE(bypass.leader);
+  EXPECT_EQ(registry.counter("cache.single_flight_bypass").value(), 1u);
+  EXPECT_EQ(registry.counter("cache.single_flight_waits").value(), 0u);
+
+  // Once the leader publishes, kNoBlock probes hit like any other.
+  cache.publish(fp, key,
+                engine::solve_serial_reference(engine::Algo::kGreedy,
+                                               canon.instance, 4));
+  const auto hit =
+      cache.lookup_or_begin(fp, key, SolutionCache::WaitMode::kNoBlock);
+  EXPECT_TRUE(hit.hit);
+}
+
 TEST(CacheSingleFlight, ConcurrentIdenticalMissesSolveExactlyOnce) {
   obs::Registry registry;
   cache::CacheOptions options;
@@ -455,6 +489,69 @@ TEST(CacheEngine, BatchDedupSolvesIdenticalItemsOnce) {
   }
   // One solve fanned out to all 24 replies.
   EXPECT_EQ(registry.counter("engine.instances_solved").value(), 1u);
+}
+
+TEST(CacheEngine, ConcurrentTicksSharingKeysNeverDeadlock) {
+  // Regression for a wait-for cycle: a single-flight leader whose solve
+  // enters a nested parallel_for help-drains the pool queue, and could
+  // pop ANOTHER tick's probe task — which then parked on a different
+  // key's leader, itself blocked the same way on the first key. Two
+  // concurrent ticks sharing two duplicate keys could hang forever. The
+  // engine now probes with WaitMode::kNoBlock, so this hammer — ticks
+  // racing over the same key set from several threads, with every solve
+  // forced through the nested intra-instance parallel path — must always
+  // terminate, every reply byte-identical to the cached reference.
+  obs::Registry registry;
+  engine::BatchOptions options;
+  options.workers = 2;
+  options.cache_bytes = std::size_t{8} << 20;
+  options.metrics = &registry;
+  options.intra_parallel_min_jobs = 1;  // every solve help-drains
+  engine::BatchSolver solver(options);
+
+  std::vector<Instance> instances;
+  std::vector<RebalanceResult> want;
+  for (std::size_t index = 0; index < 4; ++index) {
+    instances.push_back(corpus_instance(index));
+    want.push_back(
+        engine::cached_serial_reference(options.algo, instances.back(), 3));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  std::atomic<int> ready{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      std::vector<engine::BatchSolver::TickItem> items(instances.size());
+      for (int round = 0; round < kRounds; ++round) {
+        // Each thread's tick covers the same keys, rotated so concurrent
+        // ticks keep meeting each other's in-flight leaders.
+        for (std::size_t i = 0; i < instances.size(); ++i) {
+          const std::size_t pick =
+              (i + static_cast<std::size_t>(t)) % instances.size();
+          items[i].instance = &instances[pick];
+          items[i].k = 3;
+          items[i].algo = options.algo;
+        }
+        const auto results = solver.solve_items(items);
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          const std::size_t pick =
+              (i + static_cast<std::size_t>(t)) % instances.size();
+          if (results[i].assignment != want[pick].assignment) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(CacheEngine, DedupKeysDistinguishAlgoAndPtasParameters) {
