@@ -217,6 +217,11 @@ RebalanceResult BatchSolver::solve_canonical(
   return result;
 }
 
+RebalanceResult BatchSolver::solve_item(const TickItem& item) {
+  auto results = solve_items(std::span<const TickItem>(&item, 1));
+  return std::move(results.front());
+}
+
 RebalanceResult BatchSolver::solve_one(const Instance& instance,
                                        std::int64_t k) {
   TickItem item;

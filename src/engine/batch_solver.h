@@ -137,6 +137,12 @@ class BatchSolver {
   [[nodiscard]] RebalanceResult solve_one(const Instance& instance,
                                           std::int64_t k);
 
+  /// One-item tick with per-item parameters: the streaming-session replan
+  /// entry (svc session handlers run it inline on their reactor thread).
+  /// Identical to solve_items over a single-element span, so it carries
+  /// the same determinism contract and the same cache-awareness.
+  [[nodiscard]] RebalanceResult solve_item(const TickItem& item);
+
   [[nodiscard]] bool cache_enabled() const noexcept {
     return cache_ != nullptr;
   }

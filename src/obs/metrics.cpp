@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/stats.h"
+#include "util/version.h"
 
 namespace lrb::obs {
 
@@ -95,7 +96,10 @@ std::string Registry::to_json() const {
   std::ostringstream os;
   os.precision(6);
   os << std::fixed;
-  os << "{\n  \"counters\": {";
+  // The schema tag lets Stats consumers detect incompatible snapshot
+  // shapes; new metric rows are additive and do NOT bump it
+  // (docs/serving.md).
+  os << "{\n  \"schema\": \"" << kStatsSchema << "\",\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
     os << (first ? "" : ",") << "\n    \"" << name

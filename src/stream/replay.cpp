@@ -1,0 +1,50 @@
+#include "stream/replay.h"
+
+namespace lrb::stream {
+
+SolveFn serial_reference_solver(bool cached) {
+  if (cached) {
+    return [](const Instance& instance, std::int64_t k, engine::Algo algo,
+              Cost ptas_budget, double ptas_eps) {
+      return engine::cached_serial_reference(algo, instance, k, ptas_budget,
+                                             ptas_eps);
+    };
+  }
+  return [](const Instance& instance, std::int64_t k, engine::Algo algo,
+            Cost ptas_budget, double ptas_eps) {
+    return engine::solve_serial_reference(algo, instance, k, ptas_budget,
+                                          ptas_eps);
+  };
+}
+
+ReplayResult replay_serial_reference(const Instance& initial,
+                                     const TriggerConfig& config,
+                                     std::span<const Delta> deltas,
+                                     const ReplayOptions& options) {
+  ReplayResult result;
+  auto session = ClusterSession::open(initial, config, &result.error);
+  if (!session) return result;
+  const SolveFn solve = serial_reference_solver(options.cached);
+  result.open_makespan = session->makespan();
+  result.open_lower_bound = session->lower_bound();
+  result.open_digest = session->digest();
+  result.steps.reserve(deltas.size());
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const std::uint64_t seq = i + 1;
+    StepResult step = session->step(deltas[i], seq, solve);
+    ReplayStep replayed;
+    replayed.seq = seq;
+    replayed.applied = step.applied;
+    replayed.error = std::move(step.error);
+    replayed.plans = std::move(step.plans);
+    replayed.makespan = session->makespan();
+    replayed.lower_bound = session->lower_bound();
+    replayed.digest = session->digest();
+    result.steps.push_back(std::move(replayed));
+  }
+  result.final_stats = session->stats();
+  result.ok = true;
+  return result;
+}
+
+}  // namespace lrb::stream

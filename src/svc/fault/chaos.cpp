@@ -10,7 +10,10 @@
 #include <thread>
 
 #include "core/generators.h"
+#include "online/trace.h"
+#include "stream/delta_log.h"
 #include "svc/server.h"
+#include "svc/session_client.h"
 #include "svc/wire.h"
 
 namespace lrb::svc::fault {
@@ -163,6 +166,131 @@ void run_client_phase(const CampaignOptions& options, std::size_t client,
   }
 }
 
+/// One seeded session workload: a mixed-corpus initial cluster plus a
+/// random arrival/departure trace folded into a delta log
+/// (stream::delta_log_from_trace), with triggers tight enough that most
+/// campaigns fire several replans while faults are flying.
+stream::DeltaLog make_session_log(const CampaignOptions& options,
+                                  std::size_t session) {
+  stream::TriggerConfig trigger;
+  trigger.algo = options.algo;
+  trigger.move_frac = 0.25;
+  trigger.imbalance_ratio = 1.5;
+  trigger.delta_count = 16;
+  online::TraceOptions trace_options;
+  trace_options.num_events = options.deltas_per_session;
+  trace_options.departure_fraction = 0.4;
+  const auto events = online::random_trace(
+      trace_options, campaign_seed(options.seed, 0x200 + session));
+  return stream::delta_log_from_trace(
+      mixed_corpus_instance(session, options.seed), events, trigger);
+}
+
+/// Streaming-session campaign: N concurrent sessions, each a SessionClient
+/// thread behind its own fault injector, every ack byte-compared against
+/// the serial replay mirror (run_session_stream). The stats byte-compare at
+/// the end of each session is the per-session delta ledger; on top of that
+/// the server-side stream.deltas_* totals must equal the sum of the
+/// mirrors' — if an injected reset ever made the server re-apply a resent
+/// frame (instead of dedup-resending the stored ack), the totals diverge.
+CampaignResult run_stream_campaign(const CampaignOptions& options) {
+  CampaignResult result;
+  result.requests = options.stream_sessions;
+  std::uint64_t sx = options.seed ^ 0x5e12e20b5ebULL;  // server-side stream
+  std::uint64_t cx = options.seed ^ 0xc11e7a05eedULL;  // client-side stream
+  result.server_plan = FaultPlan::from_seed(splitmix64(sx));
+  result.client_plan = FaultPlan::from_seed(splitmix64(cx));
+
+  const std::string path = unique_socket_path();
+  obs::Registry server_registry;
+  obs::Registry client_registry;
+
+  // restart_server is deliberately not honored here: sessions are server
+  // state, so a cold restart is session loss by design, not a fault to
+  // ride across.
+  ServerRunner server(path, result.server_plan, options, &server_registry);
+  if (!server.started()) {
+    result.errors.push_back("server start failed: " + server.error());
+    return result;
+  }
+
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  for (std::size_t s = 0; s < options.stream_sessions; ++s) {
+    FaultPlan plan = result.client_plan;
+    plan.seed = campaign_seed(result.client_plan.seed, s + 1);
+    injectors.push_back(
+        std::make_unique<FaultInjector>(plan, &client_registry));
+  }
+
+  std::vector<StreamRunResult> runs(options.stream_sessions);
+  std::vector<std::thread> threads;
+  threads.reserve(options.stream_sessions);
+  for (std::size_t s = 0; s < options.stream_sessions; ++s) {
+    threads.emplace_back([&, s] {
+      const stream::DeltaLog log = make_session_log(options, s);
+      StreamRunOptions run;
+      run.endpoint = Endpoint::unix_socket(path);
+      run.retry = options.retry;
+      run.retry.jitter_seed = campaign_seed(options.seed, 0x100 + s);
+      run.session_id = s + 1;
+      run.frame_size = 6;
+      run.check = options.check;
+      run.cached = options.cache_bytes > 0;
+      run.metrics = &client_registry;
+      run.io = injectors[s].get();
+      runs[s] = run_session_stream(log, run);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  server.drain();
+  result.server_faults = server.faults();
+  unlink(path.c_str());
+
+  std::uint64_t mirror_deltas = 0;
+  for (std::size_t s = 0; s < runs.size(); ++s) {
+    const auto& run = runs[s];
+    if (run.ok) {
+      ++result.completed;
+    } else {
+      result.errors.push_back("session " + std::to_string(s + 1) + ": " +
+                              run.error);
+    }
+    mirror_deltas += run.deltas_applied + run.deltas_rejected;
+  }
+  const std::uint64_t server_deltas =
+      server_registry.counter("stream.deltas_applied").value() +
+      server_registry.counter("stream.deltas_rejected").value();
+  if (result.completed == result.requests && server_deltas != mirror_deltas) {
+    result.errors.push_back(
+        "delta ledger mismatch: server processed " +
+        std::to_string(server_deltas) + " deltas, mirrors saw " +
+        std::to_string(mirror_deltas) +
+        " (a retried frame was lost or re-applied)");
+  }
+
+  result.retries = client_registry.counter("client.retries").value();
+  result.reconnects = client_registry.counter("client.reconnects").value();
+  result.server_solves =
+      server_registry.counter("stream.plans_emitted").value();
+  result.client_faults.total =
+      client_registry.counter("svc.faults_injected").value();
+  result.client_faults.short_reads =
+      client_registry.counter("fault.short_read").value();
+  result.client_faults.eintrs =
+      client_registry.counter("fault.eintr").value();
+  result.client_faults.partial_writes =
+      client_registry.counter("fault.partial_write").value();
+  result.client_faults.conn_resets =
+      client_registry.counter("fault.conn_reset").value();
+  result.client_faults.abrupt_closes =
+      client_registry.counter("fault.abrupt_close").value();
+  result.client_faults.corruptions =
+      client_registry.counter("fault.corrupt").value();
+  result.ok = result.errors.empty();
+  return result;
+}
+
 }  // namespace
 
 std::uint64_t campaign_seed(std::uint64_t base_seed, std::uint64_t index) {
@@ -182,6 +310,7 @@ std::string CampaignResult::summary() const {
 }
 
 CampaignResult run_campaign(const CampaignOptions& options) {
+  if (options.stream_sessions > 0) return run_stream_campaign(options);
   CampaignResult result;
   result.requests = options.clients * options.requests_per_client;
   // Independent plans for the two sides of the wire, both derived from

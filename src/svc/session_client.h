@@ -1,0 +1,139 @@
+// SessionClient: a retrying client for the wire-v2 streaming-session
+// protocol, plus run_session_stream — the shared checked driver that
+// lrb_stream, lrb_load --trace, the stream service tests and the chaos
+// campaigns all use to stream a delta log at a server and (optionally)
+// byte-compare every ack against stream::replay_serial_reference.
+//
+// Retry semantics lean on the server's exactly-once dedup (see
+// docs/streaming.md): a transport failure (send/recv error, EOF, timeout,
+// torn frame) reconnects, backs off, and resends the IDENTICAL frame —
+// the server answers a duplicate of the last applied frame with the
+// stored reply bytes instead of re-applying it, so retries can never
+// double-apply a delta. Overloaded/Draining back off and retry like the
+// one-shot ResilientClient; every other server error is a definitive
+// outcome for that call.
+//
+// Thread-safety: like Client, one SessionClient per thread.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/metrics.h"
+#include "svc/client.h"
+#include "svc/fault/io_shim.h"
+#include "svc/retry_client.h"
+#include "svc/wire.h"
+#include "stream/delta_log.h"
+#include "stream/replay.h"
+#include "stream/session.h"
+#include "util/rng.h"
+
+namespace lrb::svc {
+
+class SessionClient {
+ public:
+  SessionClient(Endpoint endpoint, RetryPolicy policy = {},
+                obs::Registry* metrics = &obs::Registry::global(),
+                fault::SocketIo* io = &fault::SocketIo::real());
+
+  /// Outcome of one session round-trip that got a reply (of any kind).
+  struct Ack {
+    MsgType type = MsgType::kError;
+    std::string raw_payload;  ///< reply payload bytes (what --check compares)
+    std::optional<ErrorReply> server_error;  ///< set iff type == kError
+    std::size_t attempts = 1;
+  };
+
+  /// Opens the session; remembers the id for the later calls. The ack is
+  /// kSessionOpenOk or a definitive server error.
+  [[nodiscard]] std::optional<Ack> open(const SessionOpenRequest& request,
+                                        std::string* error);
+
+  /// Streams one SessionDelta frame (first_seq/session_id must be filled
+  /// by the caller). Ack is kSessionDeltaOk, kSessionPlan, or an error.
+  [[nodiscard]] std::optional<Ack> send_deltas(
+      const SessionDeltaRequest& request, std::string* error);
+
+  [[nodiscard]] std::optional<Ack> stats(std::string* error);
+  [[nodiscard]] std::optional<Ack> close_session(std::string* error);
+
+  [[nodiscard]] std::uint64_t session_id() const noexcept {
+    return session_id_;
+  }
+  void disconnect() { client_.close(); }
+
+ private:
+  [[nodiscard]] std::optional<Ack> call_with_retry(MsgType type,
+                                                   const std::string& payload,
+                                                   std::string* error);
+  [[nodiscard]] bool ensure_connected(std::string* error);
+  void backoff(std::size_t attempt);
+
+  Endpoint endpoint_;
+  RetryPolicy policy_;
+  fault::SocketIo* io_;
+  Client client_;
+  bool ever_connected_ = false;
+  std::uint64_t session_id_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  Rng jitter_;
+
+  obs::Counter& m_connects_;
+  obs::Counter& m_reconnects_;
+  obs::Counter& m_retries_;
+  obs::Counter& m_timeouts_;
+  obs::Counter& m_gave_up_;
+};
+
+// ---------------------------------------------------------------------------
+// The shared checked stream driver.
+
+struct StreamRunOptions {
+  Endpoint endpoint;
+  RetryPolicy retry;
+  std::uint64_t session_id = 1;
+  /// Deltas per SessionDelta frame (>= 1).
+  std::size_t frame_size = 16;
+  /// Drop the connection after every N delta frames (0 = never): the next
+  /// frame reconnects and usually lands on a DIFFERENT reactor (round-robin
+  /// dealing), driving the server's cross-reactor forwarding path. Replies
+  /// must stay byte-identical — pinning that is the point.
+  std::size_t reconnect_every = 0;
+  /// Byte-compare every ack (open, each delta frame, stats, close) against
+  /// the locally mirrored stream::replay_serial_reference transcript.
+  bool check = true;
+  /// Mirror with engine::cached_serial_reference instead of
+  /// solve_serial_reference — must match the server's cache_bytes setting
+  /// (docs/caching.md), exactly like lrb_load --check.
+  bool cached = false;
+  obs::Registry* metrics = &obs::Registry::global();
+  fault::SocketIo* io = &fault::SocketIo::real();
+};
+
+struct StreamRunResult {
+  bool ok = false;
+  std::string error;  ///< first failure (transport give-up or mismatch)
+  std::size_t frames_sent = 0;
+  std::size_t mismatches = 0;  ///< acks differing from the reference bytes
+  std::uint64_t deltas_applied = 0;
+  std::uint64_t deltas_rejected = 0;
+  std::uint64_t plans_emitted = 0;
+  std::uint64_t moves_total = 0;
+  Size final_makespan = 0;
+  std::uint64_t final_digest = 0;
+};
+
+/// Opens a session for `log.initial` + `log.trigger`, streams `log.deltas`
+/// in frames of `frame_size`, fetches stats, and closes. With `check` on,
+/// every reply payload must be byte-identical to the reply a serial replay
+/// of the same deltas would produce (the determinism acceptance gate);
+/// the final server-side stats must also match the mirror exactly — the
+/// zero-lost / zero-duplicated delta ledger under retries and faults.
+[[nodiscard]] StreamRunResult run_session_stream(
+    const stream::DeltaLog& log, const StreamRunOptions& options);
+
+}  // namespace lrb::svc

@@ -15,7 +15,10 @@ void print_version(const char* tool) {
 #endif
   std::printf("%s lrb/%s (%s, %s)\n", tool, kLrbVersion, LRB_BUILD_TYPE,
               kAsserts);
-  std::printf("wire protocol: v%u\n", static_cast<unsigned>(kWireVersion));
+  std::printf("wire protocol: v%u (sessions: v%u)\n",
+              static_cast<unsigned>(kWireVersion),
+              static_cast<unsigned>(kWireVersionV2));
+  std::printf("stats schema: %s\n", kStatsSchema);
   std::printf("bench schemas: %s %s %s %s %s\n", kEngineBenchSchema,
               kPtasBenchSchema, kSvcBenchSchema, kSvcBenchProfilesSchema,
               kCacheBenchSchema);

@@ -14,6 +14,15 @@ inline constexpr char kLrbVersion[] = "1.0.0";
 /// Version field of the lrb_serve binary wire protocol (see svc/wire.h and
 /// docs/serving.md). Bump on any incompatible frame or payload change.
 inline constexpr std::uint16_t kWireVersion = 1;
+/// Protocol level of the streaming-session frames (SessionOpen/SessionDelta
+/// /SessionPlan/SessionStats/SessionClose — docs/streaming.md). Version-1
+/// frames are unchanged and still accepted; a frame's version field must
+/// match its message type's protocol level.
+inline constexpr std::uint16_t kWireVersionV2 = 2;
+
+/// Schema tag of the Stats JSON snapshot (obs::Registry::to_json), carried
+/// in the snapshot's "schema" key and documented by lrb_serve --help.
+inline constexpr char kStatsSchema[] = "lrb-stats-v1";
 
 /// Schema tags of the committed machine-readable bench baselines.
 inline constexpr char kEngineBenchSchema[] = "lrb-engine-bench-v1";

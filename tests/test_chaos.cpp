@@ -166,6 +166,45 @@ TEST(Chaos, MultiReactorCacheEnabledCampaignStaysByteIdentical) {
   EXPECT_EQ(result.completed, result.requests);
 }
 
+TEST(ChaosStream, SessionCampaignKeepsTheDeltaLedgerIntact) {
+  // Faults injected mid-session: every SessionClient rides resets and torn
+  // frames on the exactly-once dedup path, every ack is byte-compared
+  // against the serial replay mirror, and the campaign's final ledger
+  // check proves no delta was lost or double-applied (server-side
+  // stream.deltas_* totals equal the mirrors' exactly).
+  for (const std::uint64_t seed : {0x57e4a1ULL, 0x57e4a2ULL}) {
+    CampaignOptions options;
+    options.seed = seed;
+    options.check = true;
+    options.stream_sessions = 3;
+    options.deltas_per_session = 48;
+    options.reactors = 2;
+    const CampaignResult result = run_campaign(options);
+    for (const auto& error : result.errors) {
+      ADD_FAILURE() << "seed 0x" << std::hex << seed << std::dec << ": "
+                    << error;
+    }
+    EXPECT_TRUE(result.ok) << result.summary();
+    EXPECT_EQ(result.completed, result.requests);
+  }
+}
+
+TEST(ChaosStream, CacheEnabledSessionCampaignStaysByteIdentical) {
+  // Session replans flow through the canonicalizing solution cache; with
+  // faults on, retried frames and cache hits must still reproduce the
+  // cached serial replay byte for byte.
+  CampaignOptions options;
+  options.seed = 0x57ecac4e;
+  options.check = true;
+  options.stream_sessions = 2;
+  options.deltas_per_session = 40;
+  options.cache_bytes = std::size_t{4} << 20;
+  const CampaignResult result = run_campaign(options);
+  for (const auto& error : result.errors) ADD_FAILURE() << error;
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_EQ(result.completed, result.requests);
+}
+
 TEST(Chaos, SameSeedDerivesSamePlans) {
   CampaignOptions options;
   options.seed = 123;

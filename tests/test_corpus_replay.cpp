@@ -6,7 +6,11 @@
 //     proven ratio respected;
 //   * each seed in chaos_seeds.txt is re-fought as a complete chaos
 //     campaign: seeded fault injection around a real server with
-//     byte-identical replies and zero lost/duplicated requests.
+//     byte-identical replies and zero lost/duplicated requests;
+//   * each *.lrbd file — a pinned streaming-session transcript — is
+//     replayed through stream::replay_serial_reference and then streamed
+//     as a live session against a sharded server, every ack byte-compared
+//     against the reference (docs/streaming.md).
 //
 // The corpus directory is baked in at build time (LRB_CORPUS_DIR), so the
 // test needs no working-directory assumptions. An unreadable or malformed
@@ -14,19 +18,26 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/differential.h"
 #include "core/io.h"
 #include "engine/batch_solver.h"
 #include "obs/metrics.h"
+#include "stream/delta_log.h"
+#include "stream/replay.h"
 #include "svc/fault/chaos.h"
+#include "svc/server.h"
+#include "svc/session_client.h"
 
 #ifndef LRB_CORPUS_DIR
 #error "LRB_CORPUS_DIR must point at the committed tests/corpus directory"
@@ -146,6 +157,65 @@ TEST(CorpusReplay, EveryInstanceReproThroughTheCachePath) {
   }
   // The second pass per (repro, algo) is a guaranteed hit.
   EXPECT_GE(registry.counter("cache.hits").value(), 3 * files.size());
+}
+
+TEST(CorpusReplay, EveryStreamTranscript) {
+  const auto files = corpus_files(".lrbd");
+  ASSERT_FALSE(files.empty())
+      << "no *.lrbd entries under " << LRB_CORPUS_DIR;
+
+  // One shared sharded server: the transcripts are replayed as live
+  // sessions on top of the pure-reference pass, so both checkers stay
+  // honest against the committed corpus.
+  const std::string socket =
+      "/tmp/lrb_corpus_stream_" + std::to_string(getpid()) + ".sock";
+  obs::Registry registry;
+  svc::ServerOptions server_options;
+  server_options.unix_path = socket;
+  server_options.metrics = &registry;
+  server_options.reactors = 2;
+  server_options.engine_workers = 2;
+  server_options.engine.workers = 2;
+  svc::Server server(std::move(server_options));
+  std::string start_error;
+  ASSERT_TRUE(server.start(&start_error)) << start_error;
+  std::thread runner([&server] { server.run(); });
+
+  std::uint64_t session_id = 1;
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    std::string error;
+    const auto log = stream::delta_log_from_string(slurp(path), &error);
+    ASSERT_TRUE(log) << error;
+
+    // The pure reference must accept the transcript and be deterministic.
+    const auto first = stream::replay_serial_reference(
+        log->initial, log->trigger, log->deltas);
+    ASSERT_TRUE(first.ok) << first.error;
+    ASSERT_EQ(first.steps.size(), log->deltas.size());
+    const auto again = stream::replay_serial_reference(
+        log->initial, log->trigger, log->deltas);
+    ASSERT_TRUE(again.ok) << again.error;
+    EXPECT_EQ(again.final_stats.digest, first.final_stats.digest);
+    EXPECT_EQ(again.final_stats.makespan, first.final_stats.makespan);
+    EXPECT_EQ(again.final_stats.plans_emitted, first.final_stats.plans_emitted);
+
+    // And a live session must stream back the exact same bytes.
+    svc::StreamRunOptions options;
+    options.endpoint = svc::Endpoint::unix_socket(socket);
+    options.session_id = session_id++;
+    options.frame_size = 5;
+    options.check = true;
+    const auto run = svc::run_session_stream(*log, options);
+    EXPECT_TRUE(run.ok) << run.error;
+    EXPECT_EQ(run.mismatches, 0u);
+    EXPECT_EQ(run.final_digest, first.final_stats.digest);
+    EXPECT_EQ(run.deltas_applied + run.deltas_rejected, log->deltas.size());
+  }
+
+  server.notify_signal();
+  runner.join();
+  unlink(socket.c_str());
 }
 
 TEST(CorpusReplay, EveryChaosSeed) {

@@ -27,6 +27,13 @@
 //   --algo NAME (best-of)  greedy | m-partition | best-of
 //   --reactors N (1)       reactor shards in the server under test
 //   --tick-workers N (1)   engine tick workers in the server under test
+//   --stream               streaming-session campaigns instead of one-shot
+//                          Solves: --clients concurrent sessions each
+//                          streaming --requests x 8 deltas under fault
+//                          injection, every ack byte-compared against the
+//                          serial replay mirror and the delta ledger
+//                          checked for lost/duplicated deltas
+//                          (docs/streaming.md; restarts do not apply)
 //   --restart-every K (4)  every Kth campaign drains + restarts the
 //                          server mid-campaign (0 = never)
 //   --seed-list CSV        run exactly these campaign seeds (decimal or
@@ -84,7 +91,7 @@ int main(int argc, char** argv) {
     static const char* known[] = {
         "campaigns", "seed",    "campaign-index", "clients",
         "requests",  "algo",    "restart-every",  "seed-list",
-        "reactors",  "tick-workers",
+        "reactors",  "tick-workers", "stream",
         "check",     "smoke",   "verbose",        "version"};
     if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
           return key == k;
@@ -144,6 +151,11 @@ int main(int argc, char** argv) {
     options.restart_server =
         restart_every > 0 &&
         (i + 1) % static_cast<std::size_t>(restart_every) == 0;
+    if (flags.has("stream")) {
+      options.stream_sessions = static_cast<std::size_t>(clients);
+      options.deltas_per_session = static_cast<std::size_t>(requests) * 8;
+      options.restart_server = false;  // sessions die with the server
+    }
     const auto result = svc::fault::run_campaign(options);
     total_faults +=
         result.server_faults.total + result.client_faults.total;

@@ -10,6 +10,15 @@
 //
 //   lrb_load --unix /tmp/lrb.sock --connections 4 --requests 64 --check
 //   lrb_load --tcp 127.0.0.1:7733 --rate 200 --duration-s 10 --json out.json
+//   lrb_load --unix /tmp/lrb.sock --trace /tmp/s.lrbd --check
+//
+// With --trace FILE the generator drives the SESSION path instead
+// (wire v2, docs/streaming.md): each connection opens one streaming
+// session and replays FILE's delta log (.lrbd, e.g. recorded with
+// lrb_stream --record) through svc::run_session_stream. --check then
+// byte-compares every ack — open, each delta frame (including full plan
+// contents), stats, close — against stream::replay_serial_reference's
+// transcript; pair it with --cache when the server runs --cache-mb.
 //
 // Flags (defaults in parentheses):
 //   --unix PATH            connect over a Unix-domain socket
@@ -31,6 +40,12 @@
 //                          pool of N unique instances instead of a fresh one
 //                          per request (the workload a --cache-mb server turns
 //                          into cache hits); 0 = all distinct
+//   --trace FILE           session mode: stream FILE's delta log, one
+//                          session per connection (ignores the solve-loop
+//                          flags: --requests/--rate/--pipeline/...)
+//   --frame N (16)         session mode: deltas per SessionDelta frame
+//   --reconnect-every N (0) session mode: drop the connection every N
+//                          frames to exercise cross-reactor forwarding
 //   --check                verify every SolveOk payload is byte-identical to
 //                          engine::solve_serial_reference on the same instance
 //   --cache                the server runs with --cache-mb: --check compares
@@ -62,7 +77,9 @@
 
 #include "core/generators.h"
 #include "engine/batch_solver.h"
+#include "stream/delta_log.h"
 #include "svc/client.h"
+#include "svc/session_client.h"
 #include "svc/wire.h"
 #include "util/flags.h"
 #include "util/stats.h"
@@ -367,6 +384,7 @@ int main(int argc, char** argv) {
         "unix", "tcp",        "connections",    "requests", "duration-s",
         "rate", "algo",       "k-frac",         "deadline-ms", "seed",
         "repeat", "pipeline", "check",          "cache",    "smoke",
+        "trace", "frame",     "reconnect-every",
         "min-throughput", "json", "version"};
     if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
           return key == k;
@@ -425,6 +443,73 @@ int main(int argc, char** argv) {
   if (config.rate < 0.0) return fail("--rate must be >= 0");
   if (config.pipeline > 1 && config.rate > 0.0) {
     return fail("--pipeline needs the closed loop (--rate 0)");
+  }
+
+  // Session mode: replay a recorded delta log through the wire-v2 session
+  // path, one concurrent session per connection (distinct session ids over
+  // the same transcript, so the determinism check covers concurrency too).
+  if (const auto trace_path = flags.get("trace")) {
+    const std::size_t frame =
+        static_cast<std::size_t>(flags.get_int("frame", 16));
+    const std::size_t reconnect_every =
+        static_cast<std::size_t>(flags.get_int("reconnect-every", 0));
+    if (frame < 1) return fail("--frame must be >= 1");
+    std::ifstream in(*trace_path);
+    if (!in) return fail("cannot read '" + *trace_path + "'");
+    std::string log_error;
+    const auto log = stream::read_delta_log(in, &log_error);
+    if (!log) {
+      return fail("bad delta log '" + *trace_path + "': " + log_error);
+    }
+    const svc::Endpoint endpoint =
+        config.unix_path.empty()
+            ? svc::Endpoint::tcp(config.tcp_host, config.tcp_port)
+            : svc::Endpoint::unix_socket(config.unix_path);
+    std::vector<svc::StreamRunResult> sessions(config.connections);
+    std::vector<std::thread> session_threads;
+    session_threads.reserve(config.connections);
+    for (std::size_t c = 0; c < config.connections; ++c) {
+      session_threads.emplace_back([&, c] {
+        svc::StreamRunOptions run;
+        run.endpoint = endpoint;
+        run.session_id = config.seed * 1000003 + c + 1;
+        run.frame_size = frame;
+        run.reconnect_every = reconnect_every;
+        run.check = config.check;
+        run.cached = config.cache;
+        run.retry.jitter_seed = config.seed + c;
+        sessions[c] = svc::run_session_stream(*log, run);
+      });
+    }
+    for (auto& t : session_threads) t.join();
+
+    std::size_t ok = 0, frames = 0, mismatches = 0;
+    std::uint64_t applied = 0, rejected = 0, plans = 0;
+    for (std::size_t c = 0; c < sessions.size(); ++c) {
+      const auto& r = sessions[c];
+      if (r.ok) {
+        ++ok;
+      } else {
+        std::cerr << "lrb_load: session " << c << " failed: " << r.error
+                  << "\n";
+      }
+      frames += r.frames_sent;
+      mismatches += r.mismatches;
+      applied += r.deltas_applied;
+      rejected += r.deltas_rejected;
+      plans += r.plans_emitted;
+    }
+    std::cout << "lrb_load: " << ok << "/" << sessions.size()
+              << " sessions ok, " << frames << " frames, " << applied
+              << " deltas applied, " << rejected << " rejected, " << plans
+              << " plans\n";
+    if (config.check) {
+      std::cout << "lrb_load: check "
+                << (mismatches == 0 && ok == sessions.size() ? "OK" : "FAIL")
+                << " (" << mismatches
+                << " reply mismatches vs serial replay)\n";
+    }
+    return ok == sessions.size() && mismatches == 0 ? 0 : 1;
   }
 
   std::vector<WorkerStats> per_worker(config.connections);

@@ -24,6 +24,7 @@
 //   --cache-mb N (0)     canonicalizing solution cache budget in MiB
 //                        (docs/caching.md); 0 disables the cache
 //   --metrics-json FILE  dump the final metrics snapshot on clean exit
+//   --help               print usage, including the Stats JSON schema
 //   --version            print version/schema info and exit
 //
 // At least one of --unix / --tcp is required.
@@ -44,6 +45,51 @@ int fail(const std::string& message) {
   return 1;
 }
 
+/// --help: usage plus the observable surface a dashboard scrapes — the
+/// Stats reply / --metrics-json schema and its metric families. Kept in
+/// one place so operators do not have to read wire.h to find the schema.
+void print_help() {
+  std::cout <<
+      "usage: lrb_serve (--unix PATH | --tcp PORT) [options]\n"
+      "\n"
+      "The long-running rebalancing service (docs/serving.md): wire v1\n"
+      "one-shot Solves plus wire-v2 streaming sessions (docs/streaming.md)\n"
+      "over TCP and/or Unix-domain sockets.\n"
+      "\n"
+      "options:\n"
+      "  --unix PATH           listen on a Unix-domain socket\n"
+      "  --tcp PORT            listen on TCP (0 = ephemeral; port printed)\n"
+      "  --bind ADDR           TCP bind address (127.0.0.1)\n"
+      "  --reactors N          event-loop shards (1)\n"
+      "  --engine-workers N    concurrent engine tick workers (1)\n"
+      "  --workers N           solver pool size; 0 = hardware (0)\n"
+      "  --max-batch N         solve coalescing cap per tick (64)\n"
+      "  --max-queue N         shed Solves beyond this queue depth (256)\n"
+      "  --max-conns N         connection cap (256)\n"
+      "  --tick-delay-ms N     chaos knob: delay each engine tick (0)\n"
+      "  --cache-mb N          solution cache budget in MiB; 0 = off (0)\n"
+      "  --metrics-json FILE   dump the final metrics snapshot on exit\n"
+      "  --help | --version    this text / version and schema info\n"
+      "\n"
+      "stats:\n"
+      "  The Stats reply and --metrics-json both carry schema \""
+      << lrb::kStatsSchema << "\":\n"
+      "  {\"schema\": \"" << lrb::kStatsSchema
+      << "\", \"counters\": {...}, \"gauges\": {...},\n"
+      "   \"histograms\": {...}} with these families:\n"
+      "    svc.*     request/reply/connection counters of the v1 path\n"
+      "              (svc.requests_solve, svc.replies_solve_ok, ...) plus\n"
+      "              svc.requests_session for the v2 frames\n"
+      "    engine.*  batch-engine tick and latency metrics\n"
+      "    cache.*   solution cache hits/misses/evictions (--cache-mb)\n"
+      "    stream.*  streaming sessions (docs/streaming.md#metrics):\n"
+      "              sessions_open (gauge), sessions_opened,\n"
+      "              sessions_closed, deltas_applied, deltas_rejected,\n"
+      "              plans_emitted, dup_frames_resent, forwarded_frames\n"
+      "              (counters), moves_per_plan, replan_latency_ms\n"
+      "              (histograms)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -53,12 +99,16 @@ int main(int argc, char** argv) {
     print_version("lrb_serve");
     return 0;
   }
+  if (flags.has("help")) {
+    print_help();
+    return 0;
+  }
   for (const auto& key : flags.keys()) {
     static const char* known[] = {"unix",      "tcp",           "bind",
                                   "reactors",  "engine-workers",
                                   "workers",   "max-batch",     "max-queue",
                                   "max-conns", "tick-delay-ms", "cache-mb",
-                                  "metrics-json", "version"};
+                                  "metrics-json", "help",       "version"};
     if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
           return key == k;
         }) == std::end(known)) {
