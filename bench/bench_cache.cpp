@@ -50,8 +50,7 @@ constexpr double kPtasEps = 0.4;
 
 struct Workload {
   std::string name;
-  engine::Algo algo = engine::Algo::kBestOf;
-  double ptas_eps = 1.0;
+  solver::SolverSpec spec;
   std::size_t uniques = 0;
   std::size_t repeats = 0;
   std::vector<Instance> instances;  // one per unique
@@ -73,8 +72,7 @@ void fill_order(Workload& w) {
 Workload ptas_workload(std::size_t uniques, std::size_t repeats) {
   Workload w;
   w.name = "ptas";
-  w.algo = engine::Algo::kPtas;
-  w.ptas_eps = kPtasEps;
+  w.spec = solver::SolverSpec(solver::BackendId::kPtas, {.eps = kPtasEps});
   w.uniques = uniques;
   w.repeats = repeats;
   for (std::uint64_t i = 0; i < uniques; ++i) {
@@ -97,7 +95,7 @@ Workload ptas_workload(std::size_t uniques, std::size_t repeats) {
 Workload best_of_workload(std::size_t uniques, std::size_t repeats) {
   Workload w;
   w.name = "best-of";
-  w.algo = engine::Algo::kBestOf;
+  w.spec = solver::BackendId::kBestOf;
   w.uniques = uniques;
   w.repeats = repeats;
   for (std::size_t i = 0; i < uniques; ++i) {
@@ -113,8 +111,7 @@ engine::BatchSolver::TickItem make_item(const Workload& w, std::size_t idx) {
   engine::BatchSolver::TickItem item;
   item.instance = &w.instances[idx];
   item.k = w.ks[idx];
-  item.algo = w.algo;
-  item.ptas_eps = w.ptas_eps;
+  item.spec = w.spec;
   return item;
 }
 
@@ -145,7 +142,7 @@ bool verify_byte_identity(engine::BatchSolver& cached, const Workload& w) {
   bool ok = true;
   for (std::size_t i = 0; i < w.uniques; ++i) {
     const RebalanceResult want = engine::cached_serial_reference(
-        w.algo, w.instances[i], w.ks[i], kInfCost, w.ptas_eps);
+        w.spec, w.instances[i], w.ks[i]);
     const engine::BatchSolver::TickItem item = make_item(w, i);
     const auto got = cached.solve_items({&item, 1});
     if (got.size() != 1 || got[0].assignment != want.assignment ||

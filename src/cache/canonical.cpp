@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "solver/registry.h"
+
 namespace lrb::cache {
 
 namespace {
@@ -100,17 +102,12 @@ CanonicalInstance canonicalize(const Instance& instance) {
   return canon;
 }
 
-std::string encode_cache_key(const Instance& canonical, std::uint8_t algo_tag,
-                             std::int64_t k, Cost budget, double eps) {
+std::string encode_cache_key(const Instance& canonical,
+                             const solver::SolverSpec& spec, std::int64_t k) {
   std::string out;
   out.reserve(32 + canonical.num_jobs() * 20);
-  out.push_back(static_cast<char>(algo_tag));
+  solver::encode_key_params(spec, &out);
   append_u64(out, static_cast<std::uint64_t>(k));
-  append_u64(out, static_cast<std::uint64_t>(budget));
-  std::uint64_t eps_bits = 0;
-  static_assert(sizeof eps_bits == sizeof eps);
-  std::memcpy(&eps_bits, &eps, sizeof eps);
-  append_u64(out, eps_bits);
   append_u32(out, canonical.num_procs);
   append_u32(out, static_cast<std::uint32_t>(canonical.num_jobs()));
   for (std::size_t j = 0; j < canonical.num_jobs(); ++j) {

@@ -32,6 +32,7 @@
 #include "core/assignment.h"
 #include "core/instance.h"
 #include "core/types.h"
+#include "solver/spec.h"
 
 namespace lrb::cache {
 
@@ -70,13 +71,13 @@ struct CanonicalInstance {
 [[nodiscard]] CanonicalInstance canonicalize(const Instance& instance);
 
 /// Byte encoding of the canonical instance plus the solve parameters —
-/// what the cache fingerprints and stores for exact hit verification.
-/// `algo_tag` is the engine's algorithm discriminant (engine::Algo cast to
-/// uint8; this layer is deliberately engine-agnostic).
+/// what the cache fingerprints and stores for exact hit verification. The
+/// solver portion of the key (stable wire id + normalized parameters) is
+/// encoded by the registry (solver::encode_key_params), so backends that
+/// ignore a knob share one entry across its values (docs/caching.md).
 [[nodiscard]] std::string encode_cache_key(const Instance& canonical,
-                                           std::uint8_t algo_tag,
-                                           std::int64_t k, Cost budget,
-                                           double eps);
+                                           const solver::SolverSpec& spec,
+                                           std::int64_t k);
 
 /// 128-bit fingerprint of arbitrary bytes (two decorrelated 64-bit lanes,
 /// splitmix64-style finalization).

@@ -8,67 +8,20 @@
 #include <unordered_map>
 #include <utility>
 
-#include "algo/greedy.h"
-#include "algo/m_partition.h"
-#include "algo/ptas.h"
-#include "algo/rebalancer.h"
-
 namespace lrb::engine {
 
-const char* algo_name(Algo algo) {
-  switch (algo) {
-    case Algo::kGreedy:
-      return "greedy";
-    case Algo::kMPartition:
-      return "m-partition";
-    case Algo::kBestOf:
-      return "best-of";
-    case Algo::kPtas:
-      return "ptas";
-  }
-  return "?";
+RebalanceResult solve_serial_reference(const solver::SolverSpec& spec,
+                                       const Instance& instance,
+                                       std::int64_t k) {
+  return solver::solve_serial(spec, instance, k);
 }
 
-bool parse_algo(std::string_view name, Algo* out) {
-  if (name == "greedy") {
-    *out = Algo::kGreedy;
-  } else if (name == "m-partition") {
-    *out = Algo::kMPartition;
-  } else if (name == "best-of") {
-    *out = Algo::kBestOf;
-  } else if (name == "ptas") {
-    *out = Algo::kPtas;
-  } else {
-    return false;
-  }
-  return true;
-}
-
-RebalanceResult solve_serial_reference(Algo algo, const Instance& instance,
-                                       std::int64_t k, Cost ptas_budget,
-                                       double ptas_eps) {
-  switch (algo) {
-    case Algo::kGreedy:
-      return greedy_rebalance(instance, k);
-    case Algo::kMPartition:
-      return m_partition_rebalance(instance, k);
-    case Algo::kBestOf:
-      return best_of_rebalance(instance, k);
-    case Algo::kPtas:
-      break;
-  }
-  PtasOptions options;
-  options.budget = ptas_budget;
-  options.eps = ptas_eps;
-  return ptas_rebalance(instance, options).result;
-}
-
-RebalanceResult cached_serial_reference(Algo algo, const Instance& instance,
-                                       std::int64_t k, Cost ptas_budget,
-                                       double ptas_eps) {
+RebalanceResult cached_serial_reference(const solver::SolverSpec& spec,
+                                        const Instance& instance,
+                                        std::int64_t k) {
   const cache::CanonicalInstance canon = cache::canonicalize(instance);
   const RebalanceResult canonical =
-      solve_serial_reference(algo, canon.instance, k, ptas_budget, ptas_eps);
+      solver::solve_serial(spec, canon.instance, k);
   return cache::map_to_original(canon, canonical);
 }
 
@@ -116,51 +69,15 @@ BatchSolver::ScratchLease::~ScratchLease() {
   owner_.free_scratch_.push_back(std::move(scratch_));
 }
 
-RebalanceResult BatchSolver::run_m_partition(Scratch& scratch,
-                                             const Instance& instance,
-                                             std::int64_t k) {
-  // Both branches return bit-identical results; the split is purely a
-  // performance decision (chunk setup costs more than a small serial scan).
-  if (pool_.size() > 1 &&
-      instance.num_jobs() >= options_.intra_parallel_min_jobs) {
-    return m_partition_rebalance_parallel(instance, k, pool_);
-  }
-  return m_partition_rebalance(instance, k, scratch.m_partition);
-}
-
-RebalanceResult BatchSolver::run_algo(Scratch& scratch,
-                                      const TickItem& item) {
+RebalanceResult BatchSolver::run_item(Scratch& scratch, const TickItem& item) {
   const Instance& instance = *item.instance;
-  const std::int64_t k = item.k;
-  RebalanceResult result;
-  switch (item.algo) {
-    case Algo::kGreedy:
-      result = greedy_rebalance(instance, k);
-      break;
-    case Algo::kMPartition:
-      result = run_m_partition(scratch, instance, k);
-      break;
-    case Algo::kBestOf: {
-      // Same tie-break as best_of_rebalance: PARTITION wins ties.
-      auto greedy = greedy_rebalance(instance, k);
-      auto partition = run_m_partition(scratch, instance, k);
-      result = partition.makespan <= greedy.makespan ? std::move(partition)
-                                                     : std::move(greedy);
-      break;
-    }
-    case Algo::kPtas: {
-      PtasOptions opt;
-      opt.budget = item.ptas_budget;
-      opt.eps = item.ptas_eps;
-      auto ptas = (pool_.size() > 1 &&
-                   instance.num_jobs() >= options_.intra_parallel_min_jobs)
-                      ? ptas_rebalance_parallel(instance, opt, pool_,
-                                                scratch.ptas_wave)
-                      : ptas_rebalance(instance, opt, scratch.ptas);
-      result = std::move(ptas.result);
-      break;
-    }
-  }
+  solver::SolveContext ctx;
+  ctx.pool = &pool_;
+  ctx.intra_parallel_min_jobs = options_.intra_parallel_min_jobs;
+  ctx.m_partition = &scratch.m_partition;
+  ctx.ptas = &scratch.ptas;
+  ctx.ptas_wave = &scratch.ptas_wave;
+  RebalanceResult result = solver::solve(item.spec, instance, item.k, ctx);
 #ifndef NDEBUG
   // Recheck the reported makespan against the assignment using the arena's
   // load buffer (no allocation once warmed).
@@ -175,22 +92,11 @@ RebalanceResult BatchSolver::run_algo(Scratch& scratch,
   return result;
 }
 
-void BatchSolver::normalized_params(const TickItem& item, Cost* budget,
-                                    double* eps) {
-  if (item.algo == Algo::kPtas) {
-    *budget = item.ptas_budget;
-    *eps = item.ptas_eps;
-  } else {
-    *budget = kInfCost;
-    *eps = 1.0;
-  }
-}
-
 RebalanceResult BatchSolver::solve_canonical(
     const TickItem& item, const cache::CanonicalInstance& canon,
     const cache::Fingerprint& fp, std::string_view key) {
   // kNoBlock is load-bearing: this runs on pool workers (solve_items
-  // phase 2) and on threads whose run_algo help-drains nested
+  // phase 2) and on threads whose run_item help-drains nested
   // parallel_for tasks. Parking either on the single-flight cv can
   // deadlock — a leader help-draining another tick's probe task would
   // wait on that key's leader, which may be waiting on ours. A duplicate
@@ -201,12 +107,11 @@ RebalanceResult BatchSolver::solve_canonical(
 
   TickItem canonical_item = item;
   canonical_item.instance = &canon.instance;
-  normalized_params(canonical_item, &canonical_item.ptas_budget,
-                    &canonical_item.ptas_eps);
+  canonical_item.spec.params = solver::normalized_params(item.spec);
   RebalanceResult result;
   try {
     ScratchLease lease(*this);
-    result = run_algo(lease.get(), canonical_item);
+    result = run_item(lease.get(), canonical_item);
   } catch (...) {
     // Never strand single-flight waiters: hand leadership to one of them.
     if (probe.leader) cache_->cancel(fp, key);
@@ -227,24 +132,18 @@ RebalanceResult BatchSolver::solve_one(const Instance& instance,
   TickItem item;
   item.instance = &instance;
   item.k = k;
-  item.algo = options_.algo;
-  item.ptas_budget = options_.ptas_budget;
-  item.ptas_eps = options_.ptas_eps;
+  item.spec = options_.spec;
   const auto begin = std::chrono::steady_clock::now();
   RebalanceResult result;
   if (cache_ != nullptr) {
     const cache::CanonicalInstance canon = cache::canonicalize(instance);
-    Cost budget = kInfCost;
-    double eps = 1.0;
-    normalized_params(item, &budget, &eps);
-    const std::string key = cache::encode_cache_key(
-        canon.instance, static_cast<std::uint8_t>(item.algo), item.k, budget,
-        eps);
+    const std::string key =
+        cache::encode_cache_key(canon.instance, item.spec, item.k);
     const cache::Fingerprint fp = cache::fingerprint(key);
     result = cache::map_to_original(canon, solve_canonical(item, canon, fp, key));
   } else {
     ScratchLease lease(*this);
-    result = run_algo(lease.get(), item);
+    result = run_item(lease.get(), item);
     solved_counter_.add(1);
   }
   const auto end = std::chrono::steady_clock::now();
@@ -269,12 +168,7 @@ std::vector<RebalanceResult> BatchSolver::solve_items_cached(
     const auto begin = Clock::now();
     const TickItem& item = items[i];
     canons[i] = cache::canonicalize(*item.instance);
-    Cost budget = kInfCost;
-    double eps = 1.0;
-    normalized_params(item, &budget, &eps);
-    keys[i] = cache::encode_cache_key(canons[i].instance,
-                                      static_cast<std::uint8_t>(item.algo),
-                                      item.k, budget, eps);
+    keys[i] = cache::encode_cache_key(canons[i].instance, item.spec, item.k);
     fps[i] = cache::fingerprint(keys[i]);
     canon_ms[i] =
         std::chrono::duration<double, std::milli>(Clock::now() - begin)
@@ -337,7 +231,7 @@ std::vector<RebalanceResult> BatchSolver::solve_items(
     const auto begin = std::chrono::steady_clock::now();
     {
       ScratchLease lease(*this);
-      results[i] = run_algo(lease.get(), items[i]);
+      results[i] = run_item(lease.get(), items[i]);
     }
     const auto end = std::chrono::steady_clock::now();
     const double ms =
@@ -357,9 +251,7 @@ std::vector<RebalanceResult> BatchSolver::solve(
   for (std::size_t i = 0; i < instances.size(); ++i) {
     items[i].instance = &instances[i];
     items[i].k = ks[i];
-    items[i].algo = options_.algo;
-    items[i].ptas_budget = options_.ptas_budget;
-    items[i].ptas_eps = options_.ptas_eps;
+    items[i].spec = options_.spec;
   }
   return solve_items(items, latencies_ms);
 }

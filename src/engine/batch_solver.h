@@ -4,7 +4,12 @@
 // (chunked M-PARTITION threshold scan, wave-parallel PTAS guess scan) on
 // the same pool.
 //
-// Determinism contract: for a fixed (instances, ks, algo) input, solve()
+// Backend selection is a solver::SolverSpec resolved through the solver
+// registry (solver/registry.h, docs/solvers.md); the engine itself
+// contains no per-algorithm dispatch — it only supplies the pool and the
+// scratch arenas to the registry's solve().
+//
+// Determinism contract: for a fixed (instances, ks, spec) input, solve()
 // returns results byte-identical to calling the serial entry points one
 // instance at a time, for every worker count and across repeated runs.
 // Both intra-instance parallel paths are bit-identical to their serial
@@ -29,31 +34,16 @@
 #include "core/types.h"
 #include "engine/scratch.h"
 #include "obs/metrics.h"
+#include "solver/registry.h"
 #include "util/thread_pool.h"
 
 namespace lrb::engine {
 
-/// Algorithms the engine can run; mirrors the unit-cost roster of
-/// algo/rebalancer.h plus the costed PTAS.
-enum class Algo {
-  kGreedy,
-  kMPartition,
-  kBestOf,
-  kPtas,
-};
-
-[[nodiscard]] const char* algo_name(Algo algo);
-
-/// Parses "greedy" / "m-partition" / "best-of" / "ptas"; returns false on
-/// an unknown name.
-[[nodiscard]] bool parse_algo(std::string_view name, Algo* out);
-
-/// The serial reference every concurrent path is checked against: calls
-/// the library's serial entry point for `algo` directly (no pool, no
-/// arenas). Shared by lrb_batch --check, lrb_load --check and the tests.
+/// The serial reference every concurrent path is checked against: the
+/// registry's serial entry point for `spec` (no pool, no arenas). Shared
+/// by lrb_batch --check, lrb_load --check and the tests.
 [[nodiscard]] RebalanceResult solve_serial_reference(
-    Algo algo, const Instance& instance, std::int64_t k,
-    Cost ptas_budget = kInfCost, double ptas_eps = 1.0);
+    const solver::SolverSpec& spec, const Instance& instance, std::int64_t k);
 
 /// The serial reference for every CACHE-ENABLED path: canonicalize, solve
 /// the canonical instance serially, and map the plan back through the
@@ -63,15 +53,13 @@ enum class Algo {
 /// that is already in canonical form it coincides with
 /// solve_serial_reference.
 [[nodiscard]] RebalanceResult cached_serial_reference(
-    Algo algo, const Instance& instance, std::int64_t k,
-    Cost ptas_budget = kInfCost, double ptas_eps = 1.0);
+    const solver::SolverSpec& spec, const Instance& instance, std::int64_t k);
 
 struct BatchOptions {
   std::size_t workers = 0;  ///< pool size; 0 = hardware concurrency
-  Algo algo = Algo::kBestOf;
-  /// PTAS parameters (Algo::kPtas only).
-  Cost ptas_budget = kInfCost;
-  double ptas_eps = 1.0;
+  /// Backend + parameters for solve()/solve_one(); per-item entry points
+  /// carry their own spec.
+  solver::SolverSpec spec;
   /// Instances with at least this many jobs also use the intra-instance
   /// parallel scans. Purely a performance knob: both paths are
   /// bit-identical to the serial ones.
@@ -114,14 +102,12 @@ class BatchSolver {
       const std::vector<std::int64_t>& ks,
       std::vector<double>* latencies_ms = nullptr);
 
-  /// One request of a serving tick: a borrowed instance plus per-request
-  /// algorithm parameters (the serving layer mixes algos within a tick).
+  /// One request of a serving tick: a borrowed instance plus a per-request
+  /// solver spec (the serving layer mixes backends within a tick).
   struct TickItem {
     const Instance* instance = nullptr;
     std::int64_t k = 0;
-    Algo algo = Algo::kBestOf;
-    Cost ptas_budget = kInfCost;
-    double ptas_eps = 1.0;
+    solver::SolverSpec spec;
   };
 
   /// Same determinism contract over borrowed instances with per-item
@@ -168,16 +154,10 @@ class BatchSolver {
     std::unique_ptr<Scratch> scratch_;
   };
 
-  [[nodiscard]] RebalanceResult run_algo(Scratch& scratch,
+  /// Runs the item through the registry with this engine's pool and the
+  /// leased arenas, plus a debug-build makespan recheck.
+  [[nodiscard]] RebalanceResult run_item(Scratch& scratch,
                                          const TickItem& item);
-  [[nodiscard]] RebalanceResult run_m_partition(Scratch& scratch,
-                                                const Instance& instance,
-                                                std::int64_t k);
-  /// Cache-key parameters for an item: PTAS knobs are folded into the key
-  /// only for Algo::kPtas (they cannot affect any other algorithm, so
-  /// normalizing them widens the hit range without changing results).
-  static void normalized_params(const TickItem& item, Cost* budget,
-                                double* eps);
   /// Probe-or-solve for one canonicalized item; returns the result in
   /// CANONICAL labels. Probes with WaitMode::kNoBlock — it runs on (or
   /// help-drains into) pool workers, which must never park on the

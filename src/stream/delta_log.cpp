@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/io.h"
+#include "solver/registry.h"
 
 namespace lrb::stream {
 
@@ -89,19 +90,19 @@ void write_double(std::ostream& os, double v) {
 
 void write_delta_log(std::ostream& os, const DeltaLog& log) {
   os << kMagic << " 1\n";
-  os << "trigger " << engine::algo_name(log.trigger.algo) << ' '
+  os << "trigger " << solver::backend_name(log.trigger.spec.backend) << ' '
      << log.trigger.move_budget << ' ';
   write_double(os, log.trigger.move_frac);
   os << ' ';
   write_double(os, log.trigger.imbalance_ratio);
   os << ' ' << log.trigger.delta_count << ' ';
-  if (log.trigger.ptas_budget >= kInfCost) {
+  if (log.trigger.spec.params.budget >= kInfCost) {
     os << "inf";
   } else {
-    os << log.trigger.ptas_budget;
+    os << log.trigger.spec.params.budget;
   }
   os << ' ';
-  write_double(os, log.trigger.ptas_eps);
+  write_double(os, log.trigger.spec.params.eps);
   os << '\n';
   write_instance(os, log.initial);
   os << "deltas " << log.deltas.size() << '\n';
@@ -153,7 +154,9 @@ std::optional<DeltaLog> read_delta_log(std::istream& is, std::string* error) {
     fail(error, "bad 'trigger' line");
     return std::nullopt;
   }
-  if (!engine::parse_algo(token, &log.trigger.algo)) {
+  // Canonical names AND registry aliases are accepted here; write_delta_log
+  // always emits the canonical name.
+  if (!solver::parse_backend(token, &log.trigger.spec.backend)) {
     fail(error, "unknown trigger algo '" + token + "'");
     return std::nullopt;
   }
@@ -173,18 +176,18 @@ std::optional<DeltaLog> read_delta_log(std::istream& is, std::string* error) {
     return std::nullopt;
   }
   if (token == "inf") {
-    log.trigger.ptas_budget = kInfCost;
+    log.trigger.spec.params.budget = kInfCost;
   } else {
     try {
       std::size_t pos = 0;
-      log.trigger.ptas_budget = std::stoll(token, &pos);
+      log.trigger.spec.params.budget = std::stoll(token, &pos);
       if (pos != token.size()) throw std::invalid_argument(token);
     } catch (...) {
-      fail(error, "bad ptas budget '" + token + "'");
+      fail(error, "bad solver budget '" + token + "'");
       return std::nullopt;
     }
   }
-  if (!reader.next_double(log.trigger.ptas_eps)) {
+  if (!reader.next_double(log.trigger.spec.params.eps)) {
     fail(error, "bad 'trigger' line");
     return std::nullopt;
   }

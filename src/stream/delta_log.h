@@ -5,8 +5,10 @@
 // Format (whitespace-separated, '#' comments allowed):
 //
 //   lrb-delta-log 1
-//   trigger <algo> <move_budget> <move_frac> <imbalance_ratio>
-//           <delta_count> <ptas_budget|inf> <ptas_eps>   (one line)
+//   trigger <backend> <move_budget> <move_frac> <imbalance_ratio>
+//           <delta_count> <budget|inf> <eps>             (one line)
+//   (<backend> is a solver-registry name; aliases are accepted on read,
+//    the canonical name is always written — docs/solvers.md)
 //   lrb-instance 1                     # embedded core/io instance section
 //   procs <m>
 //   jobs <n>

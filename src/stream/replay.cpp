@@ -1,19 +1,19 @@
 #include "stream/replay.h"
 
+#include "engine/batch_solver.h"
+
 namespace lrb::stream {
 
 SolveFn serial_reference_solver(bool cached) {
   if (cached) {
-    return [](const Instance& instance, std::int64_t k, engine::Algo algo,
-              Cost ptas_budget, double ptas_eps) {
-      return engine::cached_serial_reference(algo, instance, k, ptas_budget,
-                                             ptas_eps);
+    return [](const Instance& instance, std::int64_t k,
+              const solver::SolverSpec& spec) {
+      return engine::cached_serial_reference(spec, instance, k);
     };
   }
-  return [](const Instance& instance, std::int64_t k, engine::Algo algo,
-            Cost ptas_budget, double ptas_eps) {
-    return engine::solve_serial_reference(algo, instance, k, ptas_budget,
-                                          ptas_eps);
+  return [](const Instance& instance, std::int64_t k,
+            const solver::SolverSpec& spec) {
+    return engine::solve_serial_reference(spec, instance, k);
   };
 }
 

@@ -7,6 +7,7 @@
 
 #include "cache/canonical.h"
 #include "core/lower_bounds.h"
+#include "solver/registry.h"
 
 namespace lrb::stream {
 
@@ -67,10 +68,9 @@ std::optional<std::string> validate_trigger(const TriggerConfig& config) {
       !std::isfinite(config.imbalance_ratio)) {
     return "imbalance_ratio must be finite and >= 0";
   }
-  if (!(config.ptas_eps > 0.0) || !std::isfinite(config.ptas_eps)) {
-    return "ptas_eps must be finite and > 0";
+  if (const auto problem = solver::validate_spec(config.spec)) {
+    return problem;
   }
-  if (config.ptas_budget < 0) return "ptas_budget must be >= 0";
   return std::nullopt;
 }
 
@@ -354,8 +354,7 @@ SessionPlan ClusterSession::replan(PlanReason reason, std::uint64_t seq,
         1, static_cast<std::int64_t>(
                config_.move_frac * static_cast<double>(jobs_.size())));
   }
-  const RebalanceResult result =
-      solve(live, k, config_.algo, config_.ptas_budget, config_.ptas_eps);
+  const RebalanceResult result = solve(live, k, config_.spec);
   assert(result.assignment.size() == jobs_.size());
   for (std::size_t slot = 0; slot < jobs_.size(); ++slot) {
     const std::size_t target = result.assignment[slot];

@@ -36,9 +36,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/assignment.h"
 #include "core/instance.h"
 #include "core/types.h"
-#include "engine/batch_solver.h"
+#include "solver/spec.h"
 
 namespace lrb::stream {
 
@@ -73,7 +74,8 @@ struct Delta {
 /// order: delta_count first, then imbalance (at most one fires per delta;
 /// kProcDrain and kReplan plan unconditionally).
 struct TriggerConfig {
-  engine::Algo algo = engine::Algo::kBestOf;
+  /// Replan backend + parameters (solver registry, docs/solvers.md).
+  solver::SolverSpec spec;
   /// Absolute move budget per replan; 0 = derive from move_frac.
   std::uint32_t move_budget = 0;
   /// Budget as a fraction of live jobs: k = max(1, floor(frac * n)).
@@ -82,12 +84,10 @@ struct TriggerConfig {
   double imbalance_ratio = 0.0;
   /// Fire every N applied deltas; 0 disables.
   std::uint32_t delta_count = 0;
-  /// PTAS parameters (Algo::kPtas only).
-  Cost ptas_budget = kInfCost;
-  double ptas_eps = 1.0;
 };
 
-/// Validates a trigger config (finite fractions in range, eps > 0).
+/// Validates a trigger config (finite fractions in range, plus the solver
+/// registry's own parameter validation for the spec).
 /// Returns an error description or nullopt when valid.
 [[nodiscard]] std::optional<std::string> validate_trigger(
     const TriggerConfig& config);
@@ -119,11 +119,11 @@ struct SessionPlan {
   std::vector<PlanMove> moves;
 };
 
-/// Solve hook: (instance, k, algo, ptas_budget, ptas_eps) -> result. The
-/// instance is the session's live state in dense slot labels; the returned
-/// assignment must be in the same labels (engine entry points qualify).
+/// Solve hook: (instance, k, spec) -> result. The instance is the
+/// session's live state in dense slot labels; the returned assignment
+/// must be in the same labels (engine entry points qualify).
 using SolveFn = std::function<RebalanceResult(
-    const Instance&, std::int64_t, engine::Algo, Cost, double)>;
+    const Instance&, std::int64_t, const solver::SolverSpec&)>;
 
 /// Outcome of applying one delta.
 struct StepResult {

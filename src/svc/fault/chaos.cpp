@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "core/generators.h"
+#include "engine/batch_solver.h"
 #include "online/trace.h"
 #include "stream/delta_log.h"
 #include "svc/server.h"
@@ -78,7 +79,7 @@ RequestSpec make_request(const CampaignOptions& options, std::size_t client,
                          std::size_t index) {
   RequestSpec spec;
   spec.id = static_cast<std::uint64_t>(client) * 1'000'000 + index + 1;
-  spec.request.algo = options.algo;
+  spec.request.spec = options.solver;
   spec.request.instance = mixed_corpus_instance(
       client * 1000003 + index, options.seed);
   spec.request.k = std::max<std::int64_t>(
@@ -153,11 +154,9 @@ void run_client_phase(const CampaignOptions& options, std::size_t client,
       const auto reference =
           options.cache_bytes > 0
               ? engine::cached_serial_reference(
-                    spec.request.algo, spec.request.instance, spec.request.k,
-                    spec.request.ptas_budget, spec.request.ptas_eps)
+                    spec.request.spec, spec.request.instance, spec.request.k)
               : engine::solve_serial_reference(
-                    spec.request.algo, spec.request.instance, spec.request.k,
-                    spec.request.ptas_budget, spec.request.ptas_eps);
+                    spec.request.spec, spec.request.instance, spec.request.k);
       if (outcome->raw_payload != encode_solve_reply_payload(reference)) {
         ledger.error("request " + std::to_string(spec.id) +
                      ": reply differs from serial reference");
@@ -173,7 +172,7 @@ void run_client_phase(const CampaignOptions& options, std::size_t client,
 stream::DeltaLog make_session_log(const CampaignOptions& options,
                                   std::size_t session) {
   stream::TriggerConfig trigger;
-  trigger.algo = options.algo;
+  trigger.spec = options.solver;
   trigger.move_frac = 0.25;
   trigger.imbalance_ratio = 1.5;
   trigger.delta_count = 16;

@@ -33,7 +33,7 @@
 #include <string>
 #include <vector>
 
-#include "engine/batch_solver.h"
+#include "solver/spec.h"
 #include "svc/fault/fault.h"
 #include "svc/retry_client.h"
 
@@ -43,7 +43,9 @@ struct CampaignOptions {
   std::uint64_t seed = 1;
   std::size_t clients = 2;
   std::size_t requests_per_client = 8;
-  engine::Algo algo = engine::Algo::kBestOf;
+  /// Backend + parameters for every campaign Solve (and the session
+  /// trigger in streaming mode), resolved through the solver registry.
+  solver::SolverSpec solver;
   /// Byte-compare every completed reply against the serial reference.
   bool check = true;
   /// Drain the server mid-campaign and restart it on the same socket.

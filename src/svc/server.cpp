@@ -818,14 +818,11 @@ void Server::process_session_delta(Reactor& reactor, SessionState& state,
   }
 
   const auto solve = [this](const Instance& instance, std::int64_t k,
-                            engine::Algo algo, Cost ptas_budget,
-                            double ptas_eps) {
+                            const solver::SolverSpec& spec) {
     engine::BatchSolver::TickItem item;
     item.instance = &instance;
     item.k = k;
-    item.algo = algo;
-    item.ptas_budget = ptas_budget;
-    item.ptas_eps = ptas_eps;
+    item.spec = spec;
     const auto started = std::chrono::steady_clock::now();
     auto result = solver_.solve_item(item);
     m_replan_latency_ms_.record(std::chrono::duration<double, std::milli>(
@@ -1239,9 +1236,7 @@ void Server::engine_loop() {
       engine::BatchSolver::TickItem item;
       item.instance = &batch[i].request.instance;
       item.k = batch[i].request.k;
-      item.algo = batch[i].request.algo;
-      item.ptas_budget = batch[i].request.ptas_budget;
-      item.ptas_eps = batch[i].request.ptas_eps;
+      item.spec = batch[i].request.spec;
       items.push_back(item);
       slots.push_back(i);
     }

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "solver/registry.h"
+
 namespace lrb::svc {
 
 namespace {
@@ -127,13 +129,14 @@ std::string encode_solve_request(const SolveRequest& request) {
   std::string out;
   const std::size_t n = request.instance.num_jobs();
   out.reserve(40 + n * 20);
-  out.push_back(static_cast<char>(request.algo));
+  out.push_back(
+      static_cast<char>(solver::descriptor(request.spec.backend).wire_id));
   out.push_back(0);
   put_u16(out, 0);
   put_u32(out, request.deadline_ms);
   put_i64(out, request.k);
-  put_i64(out, request.ptas_budget);
-  put_f64(out, request.ptas_eps);
+  put_i64(out, request.spec.params.budget);
+  put_f64(out, request.spec.params.eps);
   put_u32(out, request.instance.num_procs);
   put_u32(out, static_cast<std::uint32_t>(n));
   for (std::size_t j = 0; j < n; ++j) {
@@ -157,15 +160,14 @@ std::optional<SolveRequest> decode_solve_request(std::string_view payload,
   r.u16();
   request.deadline_ms = r.u32();
   request.k = r.i64();
-  request.ptas_budget = r.i64();
-  request.ptas_eps = r.f64();
+  request.spec.params.budget = r.i64();
+  request.spec.params.eps = r.f64();
   request.instance.num_procs = r.u32();
   const std::uint32_t num_jobs = r.u32();
   if (!r.ok()) return fail("truncated solve header");
-  if (algo > static_cast<std::uint8_t>(engine::Algo::kPtas)) {
-    return fail("unknown algo id");
-  }
-  request.algo = static_cast<engine::Algo>(algo);
+  const solver::BackendDescriptor* backend = solver::backend_by_wire_id(algo);
+  if (backend == nullptr) return fail("unknown algo id");
+  request.spec.backend = backend->id;
   // The remaining payload must hold exactly num_jobs records; checking up
   // front turns a lying count into one error instead of 3n reader checks.
   if (payload.size() != 40 + std::size_t{num_jobs} * 20) {
@@ -286,7 +288,8 @@ std::string encode_session_open_request(const SessionOpenRequest& request) {
   out.reserve(64 + n * 20);
   put_u64(out, request.session_id);
   const stream::TriggerConfig& trigger = request.trigger;
-  out.push_back(static_cast<char>(trigger.algo));
+  out.push_back(
+      static_cast<char>(solver::descriptor(trigger.spec.backend).wire_id));
   out.push_back(0);
   put_u16(out, 0);
   put_u32(out, trigger.move_budget);
@@ -294,8 +297,8 @@ std::string encode_session_open_request(const SessionOpenRequest& request) {
   put_f64(out, trigger.imbalance_ratio);
   put_u32(out, trigger.delta_count);
   put_u32(out, 0);
-  put_i64(out, trigger.ptas_budget);
-  put_f64(out, trigger.ptas_eps);
+  put_i64(out, trigger.spec.params.budget);
+  put_f64(out, trigger.spec.params.eps);
   put_u32(out, request.instance.num_procs);
   put_u32(out, static_cast<std::uint32_t>(n));
   for (std::size_t j = 0; j < n; ++j) {
@@ -323,15 +326,14 @@ std::optional<SessionOpenRequest> decode_session_open_request(
   request.trigger.imbalance_ratio = r.f64();
   request.trigger.delta_count = r.u32();
   r.u32();
-  request.trigger.ptas_budget = r.i64();
-  request.trigger.ptas_eps = r.f64();
+  request.trigger.spec.params.budget = r.i64();
+  request.trigger.spec.params.eps = r.f64();
   request.instance.num_procs = r.u32();
   const std::uint32_t num_jobs = r.u32();
   if (!r.ok()) return fail("truncated session open header");
-  if (algo > static_cast<std::uint8_t>(engine::Algo::kPtas)) {
-    return fail("unknown algo id");
-  }
-  request.trigger.algo = static_cast<engine::Algo>(algo);
+  const solver::BackendDescriptor* backend = solver::backend_by_wire_id(algo);
+  if (backend == nullptr) return fail("unknown algo id");
+  request.trigger.spec.backend = backend->id;
   if (payload.size() != 64 + std::size_t{num_jobs} * 20) {
     return fail("job count does not match payload length");
   }

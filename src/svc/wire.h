@@ -15,8 +15,9 @@
 //
 // Version-1 request payloads (unchanged since v1, still accepted):
 //   Ping   arbitrary bytes (echoed back in Pong)
-//   Solve  u8 algo, u8+u16 reserved, u32 deadline_ms (0 = none, relative
-//          to server receipt), i64 k, i64 ptas_budget, f64 ptas_eps,
+//   Solve  u8 algo (a solver-registry wire id, docs/solvers.md),
+//          u8+u16 reserved, u32 deadline_ms (0 = none, relative
+//          to server receipt), i64 k, i64 budget, f64 eps,
 //          u32 num_procs, u32 num_jobs, then per job
 //          {i64 size, i64 move_cost, u32 initial}
 //   Stats  empty
@@ -66,7 +67,7 @@
 
 #include "core/assignment.h"
 #include "core/instance.h"
-#include "engine/batch_solver.h"
+#include "solver/spec.h"
 #include "stream/session.h"
 #include "util/version.h"
 
@@ -151,11 +152,12 @@ void encode_frame(std::string& out, MsgType type, std::uint64_t request_id,
                   std::string_view payload);
 
 struct SolveRequest {
-  engine::Algo algo = engine::Algo::kBestOf;
+  /// Backend + parameters. On the wire: the backend's stable registry wire
+  /// id (u8) plus the budget/eps slots of the v1 layout; unknown wire ids
+  /// are rejected by solver::is_valid_wire_id at decode time.
+  solver::SolverSpec spec;
   std::uint32_t deadline_ms = 0;  ///< 0 = no deadline
   std::int64_t k = 0;
-  Cost ptas_budget = kInfCost;
-  double ptas_eps = 1.0;
   Instance instance;
 };
 

@@ -25,6 +25,7 @@
 #include "core/instance.h"
 #include "engine/batch_solver.h"
 #include "obs/metrics.h"
+#include "solver/registry.h"
 #include "util/rng.h"
 
 namespace lrb {
@@ -33,6 +34,7 @@ namespace {
 using cache::CanonicalInstance;
 using cache::Fingerprint;
 using cache::SolutionCache;
+using solver::BackendId;
 
 Instance corpus_instance(std::size_t index) {
   return mixed_corpus_instance(index, /*seed=*/0xabcdefULL);
@@ -72,8 +74,7 @@ std::vector<ProcId> random_proc_perm(ProcId m, Rng& rng) {
 
 std::string canonical_key(const Instance& instance) {
   const CanonicalInstance canon = cache::canonicalize(instance);
-  return cache::encode_cache_key(canon.instance, /*algo_tag=*/2,
-                                 /*k=*/7, kInfCost, 1.0);
+  return cache::encode_cache_key(canon.instance, BackendId::kBestOf, /*k=*/7);
 }
 
 TEST(CacheCanonical, IdempotentAndIdentityOnCanonicalForm) {
@@ -144,12 +145,16 @@ TEST(CacheCanonical, FingerprintSeparatesDistinctInstances) {
   // algo / eps must all be distinct.
   const CanonicalInstance canon =
       cache::canonicalize(corpus_instance(0));
-  const auto key_of = [&](std::uint8_t algo, std::int64_t k, double eps) {
-    return cache::encode_cache_key(canon.instance, algo, k, kInfCost, eps);
+  const auto key_of = [&](BackendId backend, std::int64_t k, double eps) {
+    return cache::encode_cache_key(
+        canon.instance, solver::SolverSpec(backend, {.eps = eps}), k);
   };
-  EXPECT_NE(key_of(0, 5, 1.0), key_of(1, 5, 1.0));
-  EXPECT_NE(key_of(0, 5, 1.0), key_of(0, 6, 1.0));
-  EXPECT_NE(key_of(3, 5, 0.5), key_of(3, 5, 0.25));
+  EXPECT_NE(key_of(BackendId::kGreedy, 5, 1.0),
+            key_of(BackendId::kMPartition, 5, 1.0));
+  EXPECT_NE(key_of(BackendId::kGreedy, 5, 1.0),
+            key_of(BackendId::kGreedy, 6, 1.0));
+  EXPECT_NE(key_of(BackendId::kPtas, 5, 0.5),
+            key_of(BackendId::kPtas, 5, 0.25));
 }
 
 TEST(CacheCanonical, MappingRoundTripsAndPreservesAccounting) {
@@ -161,8 +166,7 @@ TEST(CacheCanonical, MappingRoundTripsAndPreservesAccounting) {
         std::max<std::int64_t>(1, static_cast<std::int64_t>(
                                       instance.num_jobs() / 8));
     const RebalanceResult canonical =
-        engine::solve_serial_reference(engine::Algo::kBestOf, canon.instance,
-                                       k);
+        engine::solve_serial_reference(BackendId::kBestOf, canon.instance, k);
     const RebalanceResult mapped = cache::map_to_original(canon, canonical);
 
     // The mapped plan is a valid assignment of the ORIGINAL instance whose
@@ -190,10 +194,10 @@ TEST(CacheLru, EvictsInRecencyOrderWithExactByteAccounting) {
   const Instance instance = corpus_instance(3);
   const CanonicalInstance canon = cache::canonicalize(instance);
   const RebalanceResult result = engine::solve_serial_reference(
-      engine::Algo::kGreedy, canon.instance, 4);
+      BackendId::kGreedy, canon.instance, 4);
 
   const auto key_for = [&](std::int64_t k) {
-    return cache::encode_cache_key(canon.instance, 0, k, kInfCost, 1.0);
+    return cache::encode_cache_key(canon.instance, BackendId::kGreedy, k);
   };
   const std::size_t per_entry = SolutionCache::entry_bytes(
       key_for(0).size(), result.assignment.size());
@@ -253,11 +257,11 @@ TEST(CacheLru, HitVerifiesFullKeyBytesNotJustTheFingerprint) {
   const Instance instance = corpus_instance(5);
   const CanonicalInstance canon = cache::canonicalize(instance);
   const RebalanceResult result = engine::solve_serial_reference(
-      engine::Algo::kGreedy, canon.instance, 2);
+      BackendId::kGreedy, canon.instance, 2);
   const std::string key_a =
-      cache::encode_cache_key(canon.instance, 0, 2, kInfCost, 1.0);
+      cache::encode_cache_key(canon.instance, BackendId::kGreedy, 2);
   const std::string key_b =
-      cache::encode_cache_key(canon.instance, 1, 2, kInfCost, 1.0);
+      cache::encode_cache_key(canon.instance, BackendId::kMPartition, 2);
   const Fingerprint fp = cache::fingerprint(key_a);
 
   // Deliberately look key_b up under key_a's fingerprint (a simulated
@@ -287,7 +291,7 @@ TEST(CacheSingleFlight, NoBlockProbeNeverWaitsOnALeader) {
   const Instance instance = corpus_instance(6);
   const CanonicalInstance canon = cache::canonicalize(instance);
   const std::string key =
-      cache::encode_cache_key(canon.instance, 0, 4, kInfCost, 1.0);
+      cache::encode_cache_key(canon.instance, BackendId::kGreedy, 4);
   const Fingerprint fp = cache::fingerprint(key);
 
   const auto leader = cache.lookup_or_begin(fp, key);
@@ -305,7 +309,7 @@ TEST(CacheSingleFlight, NoBlockProbeNeverWaitsOnALeader) {
 
   // Once the leader publishes, kNoBlock probes hit like any other.
   cache.publish(fp, key,
-                engine::solve_serial_reference(engine::Algo::kGreedy,
+                engine::solve_serial_reference(BackendId::kGreedy,
                                                canon.instance, 4));
   const auto hit =
       cache.lookup_or_begin(fp, key, SolutionCache::WaitMode::kNoBlock);
@@ -321,7 +325,7 @@ TEST(CacheSingleFlight, ConcurrentIdenticalMissesSolveExactlyOnce) {
   const Instance instance = corpus_instance(7);
   const CanonicalInstance canon = cache::canonicalize(instance);
   const std::string key =
-      cache::encode_cache_key(canon.instance, 2, 5, kInfCost, 1.0);
+      cache::encode_cache_key(canon.instance, BackendId::kBestOf, 5);
   const Fingerprint fp = cache::fingerprint(key);
 
   constexpr int kThreads = 16;
@@ -347,7 +351,7 @@ TEST(CacheSingleFlight, ConcurrentIdenticalMissesSolveExactlyOnce) {
           if (!probe.leader) continue;  // collision path: retry
           solves.fetch_add(1);
           const RebalanceResult solved = engine::solve_serial_reference(
-              engine::Algo::kBestOf, canon.instance, 5);
+              BackendId::kBestOf, canon.instance, 5);
           cache.publish(fp, key, solved);
           results[slot] = solved;
           return;
@@ -371,7 +375,7 @@ TEST(CacheSingleFlight, CancelledLeaderPromotesAWaiter) {
   const Instance instance = corpus_instance(9);
   const CanonicalInstance canon = cache::canonicalize(instance);
   const std::string key =
-      cache::encode_cache_key(canon.instance, 0, 3, kInfCost, 1.0);
+      cache::encode_cache_key(canon.instance, BackendId::kGreedy, 3);
   const Fingerprint fp = cache::fingerprint(key);
 
   auto first = cache.lookup_or_begin(fp, key);
@@ -387,7 +391,7 @@ TEST(CacheSingleFlight, CancelledLeaderPromotesAWaiter) {
         if (!probe.leader) continue;
         solves.fetch_add(1);
         cache.publish(fp, key, engine::solve_serial_reference(
-                                   engine::Algo::kGreedy, canon.instance, 3));
+                                   BackendId::kGreedy, canon.instance, 3));
         return;
       }
     });
@@ -419,7 +423,7 @@ TEST(CacheEngine, CachedSolvesAreByteIdenticalColdAndWarm) {
   ASSERT_EQ(cold.size(), instances.size());
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const RebalanceResult want = engine::cached_serial_reference(
-        options.algo, instances[i], ks[i]);
+        options.spec, instances[i], ks[i]);
     EXPECT_EQ(cold[i].assignment, want.assignment) << "cold " << i;
     EXPECT_EQ(warm[i].assignment, want.assignment) << "warm " << i;
     EXPECT_EQ(cold[i].makespan, want.makespan);
@@ -454,7 +458,7 @@ TEST(CacheEngine, RelabeledInstancesHitTheSameEntry) {
     // Same canonical entry (no extra solve), mapped back to the relabeled
     // instance's own labels — byte-identical to its serial reference.
     const RebalanceResult want = engine::cached_serial_reference(
-        options.algo, shuffled, 6);
+        options.spec, shuffled, 6);
     EXPECT_EQ(got.assignment, want.assignment);
     EXPECT_EQ(got.makespan, original.makespan);
     EXPECT_EQ(got.moves, original.moves);
@@ -478,12 +482,12 @@ TEST(CacheEngine, BatchDedupSolvesIdenticalItemsOnce) {
   for (auto& item : items) {
     item.instance = &instance;
     item.k = 4;
-    item.algo = engine::Algo::kBestOf;
+    item.spec = BackendId::kBestOf;
   }
   const auto results = solver.solve_items(items);
   ASSERT_EQ(results.size(), kCopies);
   const RebalanceResult want = engine::cached_serial_reference(
-      engine::Algo::kBestOf, instance, 4);
+      BackendId::kBestOf, instance, 4);
   for (const auto& result : results) {
     EXPECT_EQ(result.assignment, want.assignment);
   }
@@ -514,7 +518,7 @@ TEST(CacheEngine, ConcurrentTicksSharingKeysNeverDeadlock) {
   for (std::size_t index = 0; index < 4; ++index) {
     instances.push_back(corpus_instance(index));
     want.push_back(
-        engine::cached_serial_reference(options.algo, instances.back(), 3));
+        engine::cached_serial_reference(options.spec, instances.back(), 3));
   }
 
   constexpr int kThreads = 4;
@@ -537,7 +541,7 @@ TEST(CacheEngine, ConcurrentTicksSharingKeysNeverDeadlock) {
               (i + static_cast<std::size_t>(t)) % instances.size();
           items[i].instance = &instances[pick];
           items[i].k = 3;
-          items[i].algo = options.algo;
+          items[i].spec = options.spec;
         }
         const auto results = solver.solve_items(items);
         for (std::size_t i = 0; i < items.size(); ++i) {
@@ -567,29 +571,26 @@ TEST(CacheEngine, DedupKeysDistinguishAlgoAndPtasParameters) {
   const Instance instance = corpus_instance(6);
   using Item = engine::BatchSolver::TickItem;
   std::vector<Item> items;
-  const auto add = [&](engine::Algo algo, Cost budget, double eps) {
+  const auto add = [&](BackendId backend, Cost budget, double eps) {
     Item item;
     item.instance = &instance;
     item.k = 5;
-    item.algo = algo;
-    item.ptas_budget = budget;
-    item.ptas_eps = eps;
+    item.spec = solver::SolverSpec(backend, {.budget = budget, .eps = eps});
     items.push_back(item);
   };
-  add(engine::Algo::kGreedy, kInfCost, 1.0);
-  add(engine::Algo::kMPartition, kInfCost, 1.0);
-  add(engine::Algo::kBestOf, kInfCost, 1.0);
-  add(engine::Algo::kPtas, kInfCost, 0.5);
-  add(engine::Algo::kPtas, kInfCost, 0.25);  // distinct eps: distinct key
-  // PTAS knobs are irrelevant to greedy: normalized into the SAME key.
-  add(engine::Algo::kGreedy, 123, 0.125);
+  add(BackendId::kGreedy, kInfCost, 1.0);
+  add(BackendId::kMPartition, kInfCost, 1.0);
+  add(BackendId::kBestOf, kInfCost, 1.0);
+  add(BackendId::kPtas, kInfCost, 0.5);
+  add(BackendId::kPtas, kInfCost, 0.25);  // distinct eps: distinct key
+  // Budget/eps knobs are irrelevant to greedy: normalized into the SAME key.
+  add(BackendId::kGreedy, 123, 0.125);
 
   const auto results = solver.solve_items(items);
   ASSERT_EQ(results.size(), items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
     const RebalanceResult want = engine::cached_serial_reference(
-        items[i].algo, instance, items[i].k, items[i].ptas_budget,
-        items[i].ptas_eps);
+        items[i].spec, instance, items[i].k);
     EXPECT_EQ(results[i].assignment, want.assignment) << "item " << i;
     EXPECT_EQ(results[i].makespan, want.makespan) << "item " << i;
   }
@@ -616,7 +617,7 @@ TEST(CacheEngine, ManyThreadsHammeringTheSolverStayConsistent) {
   for (std::size_t index = 0; index < kInstances; ++index) {
     instances.push_back(corpus_instance(index));
     want.push_back(engine::cached_serial_reference(
-        options.algo, instances.back(), 3));
+        options.spec, instances.back(), 3));
   }
 
   constexpr int kThreads = 8;

@@ -273,7 +273,7 @@ class PlainServer {
 
 SolveRequest small_request(std::size_t index) {
   SolveRequest request;
-  request.algo = engine::Algo::kBestOf;
+  request.spec = solver::BackendId::kBestOf;
   request.instance = mixed_corpus_instance(index, 9);
   request.k = 4;
   return request;

@@ -135,19 +135,21 @@ TEST(CorpusReplay, EveryInstanceReproThroughTheCachePath) {
     std::string error;
     const auto instance = instance_from_string(text, &error);
     ASSERT_TRUE(instance) << error;
-    for (const auto algo : {engine::Algo::kGreedy, engine::Algo::kMPartition,
-                            engine::Algo::kBestOf}) {
+    for (const auto backend :
+         {solver::BackendId::kGreedy, solver::BackendId::kMPartition,
+          solver::BackendId::kBestOf, solver::BackendId::kLpt,
+          solver::BackendId::kLocalSearch}) {
       const RebalanceResult want =
-          engine::cached_serial_reference(algo, *instance, repro.k);
+          engine::cached_serial_reference(backend, *instance, repro.k);
       engine::BatchSolver::TickItem item;
       item.instance = &*instance;
       item.k = repro.k;
-      item.algo = algo;
+      item.spec = backend;
       for (const char* pass : {"cold", "warm"}) {
         const auto got = solver.solve_items({&item, 1});
         ASSERT_EQ(got.size(), 1u);
         EXPECT_EQ(got[0].assignment, want.assignment)
-            << engine::algo_name(algo) << " " << pass;
+            << solver::backend_name(backend) << " " << pass;
         EXPECT_EQ(got[0].makespan, want.makespan);
         EXPECT_EQ(got[0].moves, want.moves);
         EXPECT_EQ(got[0].cost, want.cost);
@@ -155,8 +157,8 @@ TEST(CorpusReplay, EveryInstanceReproThroughTheCachePath) {
       }
     }
   }
-  // The second pass per (repro, algo) is a guaranteed hit.
-  EXPECT_GE(registry.counter("cache.hits").value(), 3 * files.size());
+  // The second pass per (repro, backend) is a guaranteed hit.
+  EXPECT_GE(registry.counter("cache.hits").value(), 5 * files.size());
 }
 
 TEST(CorpusReplay, EveryStreamTranscript) {

@@ -20,14 +20,15 @@
 #include "core/generators.h"
 #include "core/instance.h"
 #include "engine/batch_solver.h"
+#include "solver/registry.h"
 #include "util/thread_pool.h"
 
 namespace lrb {
 namespace {
 
-using engine::Algo;
 using engine::BatchOptions;
 using engine::BatchSolver;
+using solver::BackendId;
 
 struct Case {
   std::string name;
@@ -117,16 +118,20 @@ void expect_same(const RebalanceResult& got, const RebalanceResult& want,
   EXPECT_EQ(got.threshold, want.threshold) << label;
 }
 
-RebalanceResult serial_reference(Algo algo, const Instance& instance,
+/// Independent per-backend reference: calls the library entry points
+/// directly, NOT through the registry dispatch, so these tests would catch
+/// a registry table entry wired to the wrong algorithm. (The new lpt /
+/// local-search backends get the same treatment in test_solver.cpp.)
+RebalanceResult serial_reference(BackendId backend, const Instance& instance,
                                  std::int64_t k) {
-  switch (algo) {
-    case Algo::kGreedy:
+  switch (backend) {
+    case BackendId::kGreedy:
       return greedy_rebalance(instance, k);
-    case Algo::kMPartition:
+    case BackendId::kMPartition:
       return m_partition_rebalance(instance, k);
-    case Algo::kBestOf:
+    case BackendId::kBestOf:
       return best_of_rebalance(instance, k);
-    case Algo::kPtas:
+    default:
       break;
   }
   PtasOptions options;
@@ -141,23 +146,25 @@ TEST(BatchSolver, MatchesSerialAcrossWorkerCountsAndRuns) {
     instances.push_back(c.instance);
     ks.push_back(c.k);
   }
-  for (Algo algo : {Algo::kGreedy, Algo::kMPartition, Algo::kBestOf}) {
+  for (BackendId backend : {BackendId::kGreedy, BackendId::kMPartition,
+                            BackendId::kBestOf}) {
     std::vector<RebalanceResult> expected;
     for (const auto& c : corpus) {
-      expected.push_back(serial_reference(algo, c.instance, c.k));
+      expected.push_back(serial_reference(backend, c.instance, c.k));
     }
     for (std::size_t workers : {std::size_t{1}, std::size_t{2},
                                 std::size_t{8}}) {
       BatchOptions options;
       options.workers = workers;
-      options.algo = algo;
+      options.spec = backend;
       BatchSolver solver(options);
       for (int run = 0; run < 2; ++run) {
         const auto results = solver.solve(instances, ks);
         ASSERT_EQ(results.size(), corpus.size());
         for (std::size_t i = 0; i < corpus.size(); ++i) {
           expect_same(results[i], expected[i],
-                      std::string(engine::algo_name(algo)) + " workers=" +
+                      std::string(solver::backend_name(backend)) +
+                          " workers=" +
                           std::to_string(workers) + " run=" +
                           std::to_string(run) + " case=" + corpus[i].name);
         }
@@ -178,11 +185,12 @@ TEST(BatchSolver, ForcedIntraParallelPathStaysIdentical) {
   }
   std::vector<RebalanceResult> expected;
   for (const auto& c : corpus) {
-    expected.push_back(serial_reference(Algo::kMPartition, c.instance, c.k));
+    expected.push_back(
+        serial_reference(BackendId::kMPartition, c.instance, c.k));
   }
   BatchOptions options;
   options.workers = 4;
-  options.algo = Algo::kMPartition;
+  options.spec = BackendId::kMPartition;
   options.intra_parallel_min_jobs = 0;
   BatchSolver solver(options);
   const auto results = solver.solve(instances, ks);
@@ -214,9 +222,8 @@ TEST(BatchSolver, PtasMatchesSerial) {
   for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
     BatchOptions options;
     options.workers = workers;
-    options.algo = Algo::kPtas;
-    options.ptas_budget = ptas.budget;
-    options.ptas_eps = ptas.eps;
+    options.spec = solver::SolverSpec(BackendId::kPtas,
+                                      {.budget = ptas.budget, .eps = ptas.eps});
     BatchSolver solver(options);
     const auto results = solver.solve(instances, ks);
     ASSERT_EQ(results.size(), instances.size());
@@ -279,7 +286,7 @@ TEST(BatchSolver, ManyMoreWorkersThanInstances) {
   ASSERT_EQ(results.size(), 2u);
   for (std::size_t i = 0; i < results.size(); ++i) {
     expect_same(results[i],
-                serial_reference(Algo::kBestOf, instances[i], ks[i]),
+                serial_reference(BackendId::kBestOf, instances[i], ks[i]),
                 "workers>>instances i=" + std::to_string(i));
   }
 }
@@ -291,13 +298,14 @@ TEST(BatchSolver, SolveItemsMixesAlgosWithinOneTick) {
   BatchOptions options;
   options.workers = 4;
   BatchSolver solver(options);
-  const Algo algos[] = {Algo::kGreedy, Algo::kMPartition, Algo::kBestOf};
+  const BackendId backends[] = {BackendId::kGreedy, BackendId::kMPartition,
+                                BackendId::kBestOf};
   std::vector<BatchSolver::TickItem> items;
   for (std::size_t i = 0; i < corpus.size(); ++i) {
     BatchSolver::TickItem item;
     item.instance = &corpus[i].instance;
     item.k = corpus[i].k;
-    item.algo = algos[i % std::size(algos)];
+    item.spec = backends[i % std::size(backends)];
     items.push_back(item);
   }
   std::vector<double> latencies;
@@ -307,37 +315,24 @@ TEST(BatchSolver, SolveItemsMixesAlgosWithinOneTick) {
   for (std::size_t i = 0; i < items.size(); ++i) {
     EXPECT_GE(latencies[i], 0.0);
     expect_same(results[i],
-                serial_reference(items[i].algo, corpus[i].instance,
+                serial_reference(items[i].spec.backend, corpus[i].instance,
                                  corpus[i].k),
                 "solve_items mixed i=" + std::to_string(i));
   }
 }
 
 TEST(BatchSolver, SerialReferenceMatchesLibraryEntryPoints) {
+  // Name / alias / wire-id round-trips live in test_solver.cpp; here we
+  // only pin the engine's serial reference to the library entry points.
   const auto corpus = family_corpus();
-  for (Algo algo : {Algo::kGreedy, Algo::kMPartition, Algo::kBestOf}) {
+  for (BackendId backend : {BackendId::kGreedy, BackendId::kMPartition,
+                            BackendId::kBestOf}) {
     for (const auto& c : corpus) {
-      expect_same(engine::solve_serial_reference(algo, c.instance, c.k),
-                  serial_reference(algo, c.instance, c.k),
+      expect_same(engine::solve_serial_reference(backend, c.instance, c.k),
+                  serial_reference(backend, c.instance, c.k),
                   std::string("solve_serial_reference ") +
-                      engine::algo_name(algo) + " " + c.name);
+                      solver::backend_name(backend) + " " + c.name);
     }
-  }
-}
-
-TEST(BatchSolver, AlgoNamesRoundTrip) {
-  for (Algo algo : {Algo::kGreedy, Algo::kMPartition, Algo::kBestOf,
-                    Algo::kPtas}) {
-    Algo parsed{};
-    ASSERT_TRUE(engine::parse_algo(engine::algo_name(algo), &parsed));
-    EXPECT_EQ(parsed, algo);
-  }
-  // Unknown names must be rejected and must not touch *out.
-  for (const char* bad : {"nope", "", "GREEDY", "best_of", "m partition",
-                          "greedy ", " ptas", "ptas2"}) {
-    Algo parsed = Algo::kPtas;
-    EXPECT_FALSE(engine::parse_algo(bad, &parsed)) << "'" << bad << "'";
-    EXPECT_EQ(parsed, Algo::kPtas) << "'" << bad << "'";
   }
 }
 

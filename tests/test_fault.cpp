@@ -371,7 +371,7 @@ TEST(SvcFaultRegression, ServerSendSurvivesEintr) {
   ASSERT_TRUE(client) << error;
 
   SolveRequest request;
-  request.algo = engine::Algo::kBestOf;
+  request.spec = solver::BackendId::kBestOf;
   request.instance = mixed_corpus_instance(0, 42);
   request.k = 5;
   // Before the fix the reply never arrived: the injected EINTR on the
@@ -380,8 +380,7 @@ TEST(SvcFaultRegression, ServerSendSurvivesEintr) {
   ASSERT_TRUE(outcome) << error;
   ASSERT_TRUE(outcome->result);
   const auto reference = engine::solve_serial_reference(
-      request.algo, request.instance, request.k, request.ptas_budget,
-      request.ptas_eps);
+      request.spec, request.instance, request.k);
   EXPECT_EQ(outcome->raw_payload, encode_solve_reply_payload(reference));
 }
 
@@ -406,15 +405,14 @@ TEST(SvcFaultRegression, ServerFramesSurviveByteAtATimeIo) {
   ASSERT_TRUE(client) << error;
 
   SolveRequest request;
-  request.algo = engine::Algo::kGreedy;
+  request.spec = solver::BackendId::kGreedy;
   request.instance = mixed_corpus_instance(3, 7);
   request.k = 3;
   const auto outcome = client->solve(request, 77, &error);
   ASSERT_TRUE(outcome) << error;
   ASSERT_TRUE(outcome->result);
   const auto reference = engine::solve_serial_reference(
-      request.algo, request.instance, request.k, request.ptas_budget,
-      request.ptas_eps);
+      request.spec, request.instance, request.k);
   EXPECT_EQ(outcome->raw_payload, encode_solve_reply_payload(reference));
 }
 

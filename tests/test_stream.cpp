@@ -27,7 +27,7 @@ Instance small_instance() {
 /// A trigger that never fires on its own (only kReplan / kProcDrain plan).
 TriggerConfig quiet_trigger() {
   TriggerConfig config;
-  config.algo = engine::Algo::kBestOf;
+  config.spec = solver::BackendId::kBestOf;
   config.imbalance_ratio = 0.0;
   config.delta_count = 0;
   return config;
@@ -310,7 +310,7 @@ TEST(StreamTriggers, ValidateTriggerCatchesBadConfigs) {
   EXPECT_TRUE(validate_trigger(config).has_value());
 
   config = quiet_trigger();
-  config.ptas_eps = 0.0;
+  config.spec.params.eps = 0.0;
   EXPECT_TRUE(validate_trigger(config).has_value());
 }
 
@@ -320,7 +320,7 @@ TEST(StreamTriggers, ValidateTriggerCatchesBadConfigs) {
 
 DeltaLog sample_log(std::uint64_t seed, std::size_t events) {
   TriggerConfig trigger;
-  trigger.algo = engine::Algo::kBestOf;
+  trigger.spec = solver::BackendId::kBestOf;
   trigger.imbalance_ratio = 1.5;
   trigger.delta_count = 16;
   online::TraceOptions options;

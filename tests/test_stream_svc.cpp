@@ -77,7 +77,7 @@ class StreamServer {
 
 stream::DeltaLog sample_log(std::uint64_t seed, std::size_t events) {
   stream::TriggerConfig trigger;
-  trigger.algo = engine::Algo::kBestOf;
+  trigger.spec = solver::BackendId::kBestOf;
   trigger.imbalance_ratio = 1.5;
   trigger.delta_count = 12;
   online::TraceOptions options;
@@ -116,7 +116,7 @@ ErrorCode error_code_of(const RawReply& reply) {
 SessionOpenRequest sample_open(std::uint64_t session_id) {
   SessionOpenRequest request;
   request.session_id = session_id;
-  request.trigger.algo = engine::Algo::kBestOf;
+  request.trigger.spec = solver::BackendId::kBestOf;
   request.trigger.delta_count = 8;
   request.instance = make_instance({4, 3, 2, 1}, {0, 0, 1, 1}, 2);
   return request;

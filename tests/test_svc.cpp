@@ -68,7 +68,7 @@ std::string raw_header(const char magic[4], std::uint16_t version,
 
 SolveRequest sample_request(std::size_t index = 0) {
   SolveRequest request;
-  request.algo = engine::Algo::kBestOf;
+  request.spec = solver::BackendId::kBestOf;
   request.instance = mixed_corpus_instance(index, 42);
   request.k = 5;
   return request;
@@ -117,19 +117,19 @@ TEST(Wire, HeaderRejectsBadMagicVersionAndOversize) {
 
 TEST(Wire, SolveRequestRoundTrip) {
   SolveRequest request = sample_request(3);
-  request.algo = engine::Algo::kPtas;
+  request.spec.backend = solver::BackendId::kPtas;
   request.deadline_ms = 250;
-  request.ptas_budget = 77;
-  request.ptas_eps = 0.5;
+  request.spec.params.budget = 77;
+  request.spec.params.eps = 0.5;
   std::string error;
   const auto decoded =
       decode_solve_request(encode_solve_request(request), &error);
   ASSERT_TRUE(decoded) << error;
-  EXPECT_EQ(decoded->algo, request.algo);
+  EXPECT_EQ(decoded->spec.backend, request.spec.backend);
   EXPECT_EQ(decoded->deadline_ms, request.deadline_ms);
   EXPECT_EQ(decoded->k, request.k);
-  EXPECT_EQ(decoded->ptas_budget, request.ptas_budget);
-  EXPECT_DOUBLE_EQ(decoded->ptas_eps, request.ptas_eps);
+  EXPECT_EQ(decoded->spec.params.budget, request.spec.params.budget);
+  EXPECT_DOUBLE_EQ(decoded->spec.params.eps, request.spec.params.eps);
   EXPECT_EQ(decoded->instance.num_procs, request.instance.num_procs);
   EXPECT_EQ(decoded->instance.sizes, request.instance.sizes);
   EXPECT_EQ(decoded->instance.move_costs, request.instance.move_costs);
@@ -161,7 +161,7 @@ TEST(Wire, SolveRequestRejectsCorruption) {
 TEST(Wire, SolveReplyRoundTripIsExact) {
   const SolveRequest request = sample_request(7);
   const RebalanceResult result = engine::solve_serial_reference(
-      request.algo, request.instance, request.k);
+      request.spec, request.instance, request.k);
   const std::string payload = encode_solve_reply_payload(result);
   std::string error;
   const auto decoded = decode_solve_reply_payload(payload, &error);
@@ -271,8 +271,7 @@ class TestServer {
 
 std::string expected_reply_payload(const SolveRequest& request) {
   return encode_solve_reply_payload(engine::solve_serial_reference(
-      request.algo, request.instance, request.k, request.ptas_budget,
-      request.ptas_eps));
+      request.spec, request.instance, request.k));
 }
 
 // ---------------------------------------------------------------------------
@@ -296,30 +295,31 @@ TEST(SvcLoopback, SolveRepliesAreByteIdenticalToSerialAcrossAlgos) {
   TestServer ts;
   Client client = ts.connect();
   std::uint64_t id = 1;
-  for (const engine::Algo algo :
-       {engine::Algo::kGreedy, engine::Algo::kMPartition,
-        engine::Algo::kBestOf}) {
+  for (const solver::BackendId backend :
+       {solver::BackendId::kGreedy, solver::BackendId::kMPartition,
+        solver::BackendId::kBestOf, solver::BackendId::kLpt,
+        solver::BackendId::kLocalSearch}) {
     for (std::size_t i = 0; i < 6; ++i) {
       SolveRequest request = sample_request(i);
-      request.algo = algo;
+      request.spec = backend;
       std::string error;
       const auto outcome = client.solve(request, id++, &error);
       ASSERT_TRUE(outcome) << error;
       ASSERT_TRUE(outcome->result) << "unexpected server error";
       EXPECT_EQ(outcome->raw_payload, expected_reply_payload(request))
-          << engine::algo_name(algo) << " i=" << i;
+          << solver::backend_name(backend) << " i=" << i;
     }
   }
   // The small PTAS case rides the same contract.
   SolveRequest ptas = sample_request(1);
-  ptas.algo = engine::Algo::kPtas;
+  ptas.spec.backend = solver::BackendId::kPtas;
   ptas.instance = mixed_corpus_instance(0, 7);
   ptas.instance.sizes.resize(12);
   ptas.instance.initial.resize(12);
   ptas.instance.move_costs.resize(12);
   ptas.k = 3;
-  ptas.ptas_budget = 10;
-  ptas.ptas_eps = 0.5;
+  ptas.spec.params.budget = 10;
+  ptas.spec.params.eps = 0.5;
   std::string error;
   const auto outcome = client.solve(ptas, id++, &error);
   ASSERT_TRUE(outcome) << error;
@@ -342,8 +342,8 @@ TEST(SvcLoopback, ConcurrentClientsStayDeterministic) {
         const std::size_t index =
             static_cast<std::size_t>(c) * 100 + static_cast<std::size_t>(i);
         SolveRequest request = sample_request(index);
-        request.algo = (index % 2 == 0) ? engine::Algo::kBestOf
-                                        : engine::Algo::kGreedy;
+        request.spec = (index % 2 == 0) ? solver::BackendId::kBestOf
+                                        : solver::BackendId::kGreedy;
         std::string error;
         const auto outcome = client.solve(request, index, &error);
         if (!outcome || !outcome->result ||

@@ -41,7 +41,7 @@ namespace {
 
 SolveRequest sample_solve_request() {
   SolveRequest request;
-  request.algo = engine::Algo::kBestOf;
+  request.spec = solver::BackendId::kBestOf;
   request.instance = mixed_corpus_instance(1, 13);
   request.k = 4;
   request.deadline_ms = 5000;
@@ -50,15 +50,14 @@ SolveRequest sample_solve_request() {
 
 RebalanceResult sample_result() {
   const SolveRequest request = sample_solve_request();
-  return engine::solve_serial_reference(request.algo, request.instance,
-                                        request.k, request.ptas_budget,
-                                        request.ptas_eps);
+  return engine::solve_serial_reference(request.spec, request.instance,
+                                        request.k);
 }
 
 SessionOpenRequest sample_session_open() {
   SessionOpenRequest request;
   request.session_id = 7;
-  request.trigger.algo = engine::Algo::kBestOf;
+  request.trigger.spec = solver::BackendId::kBestOf;
   request.trigger.delta_count = 8;
   request.trigger.imbalance_ratio = 1.5;
   request.instance = mixed_corpus_instance(2, 13);

@@ -10,7 +10,9 @@
 //   --corpus FILE        read concatenated lrb-instance records
 //   --generate N (1000)  generate a mixed corpus of N instances instead
 //   --seed S (7)         corpus generation seed
-//   --algo greedy|m-partition|best-of|ptas (best-of)
+//   --algo NAME (best-of)  solver-registry backend (canonical name or
+//                          alias, docs/solvers.md): greedy, m-partition,
+//                          best-of, ptas, lpt, local-search
 //   --k-frac F (0.25)    per-instance move budget = max(1, floor(F * n))
 //   --workers LIST (1,0) comma-separated pool sizes to run; 0 = hardware
 //   --reps R (3)         timed repetitions per pool size (best rep reported)
@@ -18,7 +20,8 @@
 //   --min-speedup X      exit 1 unless best-config throughput >= X times
 //                        the 1-worker throughput (requires 1 in --workers)
 //   --json FILE          write lrb-engine-bench-v1 results
-//   --ptas-eps E (1.0)   --ptas-budget B (unlimited)   (--algo ptas only)
+//   --ptas-eps E (1.0)   --ptas-budget B (unlimited)   solver parameters
+//                        (only read by backends that use them, e.g. ptas)
 //
 // Results must be byte-identical across every worker configuration; the
 // tool exits 1 (and says so) whenever they are not.
@@ -35,6 +38,7 @@
 #include "core/generators.h"
 #include "core/io.h"
 #include "engine/batch_solver.h"
+#include "solver/registry.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/version.h"
@@ -88,16 +92,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  engine::Algo algo = engine::Algo::kBestOf;
-  if (!engine::parse_algo(flags.get_or("algo", "best-of"), &algo)) {
-    return fail("unknown --algo (want greedy|m-partition|best-of|ptas)");
+  solver::SolverSpec spec;
+  if (!solver::parse_backend(flags.get_or("algo", "best-of"),
+                             &spec.backend)) {
+    return fail("unknown --algo (want " + solver::backend_list() + ")");
   }
   const double k_frac = flags.get_double("k-frac", 0.25);
   if (k_frac < 0.0) return fail("--k-frac must be >= 0");
   const auto reps = static_cast<std::size_t>(flags.get_int("reps", 3));
   if (reps == 0) return fail("--reps must be >= 1");
-  const double ptas_eps = flags.get_double("ptas-eps", 1.0);
-  const Cost ptas_budget = flags.get_int("ptas-budget", kInfCost);
+  spec.params.eps = flags.get_double("ptas-eps", 1.0);
+  spec.params.budget = flags.get_int("ptas-budget", kInfCost);
+  if (const auto problem = solver::validate_spec(spec)) {
+    return fail(*problem);
+  }
 
   // ---- Corpus. ----
   std::vector<Instance> instances;
@@ -149,9 +157,7 @@ int main(int argc, char** argv) {
   for (const std::size_t requested : worker_list) {
     engine::BatchOptions options;
     options.workers = requested;
-    options.algo = algo;
-    options.ptas_eps = ptas_eps;
-    options.ptas_budget = ptas_budget;
+    options.spec = spec;
     engine::BatchSolver solver(options);
 
     RunRecord record;
@@ -205,8 +211,8 @@ int main(int argc, char** argv) {
   std::size_t check_mismatches = 0;
   if (flags.has("check")) {
     for (std::size_t i = 0; i < instances.size(); ++i) {
-      const RebalanceResult serial = engine::solve_serial_reference(
-          algo, instances[i], ks[i], ptas_budget, ptas_eps);
+      const RebalanceResult serial =
+          engine::solve_serial_reference(spec, instances[i], ks[i]);
       if (!results_equal(serial, reference[i])) {
         ++check_mismatches;
         if (check_mismatches <= 10) {
@@ -246,7 +252,7 @@ int main(int argc, char** argv) {
     if (!out) return fail("cannot write '" + *path + "'");
     out << "{\n";
     out << "  \"schema\": \"" << kEngineBenchSchema << "\",\n";
-    out << "  \"algo\": \"" << engine::algo_name(algo) << "\",\n";
+    out << "  \"algo\": \"" << solver::backend_name(spec.backend) << "\",\n";
     out << "  \"corpus\": {\"instances\": " << instances.size()
         << ", \"source\": \"" << corpus_source << "\", \"seed\": " << seed
         << ", \"k_frac\": " << fmt(k_frac) << "},\n";

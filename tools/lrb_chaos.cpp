@@ -24,7 +24,9 @@
 //   --campaign-index I (0) first campaign index (for replaying one seed)
 //   --clients N (2)        resilient clients per campaign
 //   --requests N (8)       solve requests per client
-//   --algo NAME (best-of)  greedy | m-partition | best-of
+//   --algo NAME (best-of)  solver-registry backend (canonical name or
+//                          alias, docs/solvers.md): greedy, m-partition,
+//                          best-of, ptas, lpt, local-search
 //   --reactors N (1)       reactor shards in the server under test
 //   --tick-workers N (1)   engine tick workers in the server under test
 //   --stream               streaming-session campaigns instead of one-shot
@@ -51,7 +53,7 @@
 #include <string>
 #include <vector>
 
-#include "engine/batch_solver.h"
+#include "solver/registry.h"
 #include "svc/fault/chaos.h"
 #include "util/flags.h"
 #include "util/version.h"
@@ -118,10 +120,11 @@ int main(int argc, char** argv) {
   if (restart_every < 0) return fail("--restart-every must be >= 0");
   if (first_index < 0) return fail("--campaign-index must be >= 0");
 
-  engine::Algo algo = engine::Algo::kBestOf;
+  solver::SolverSpec spec;
   const std::string algo_text = flags.get_or("algo", "best-of");
-  if (!engine::parse_algo(algo_text, &algo)) {
-    return fail("unknown --algo '" + algo_text + "'");
+  if (!solver::parse_backend(algo_text, &spec.backend)) {
+    return fail("unknown --algo '" + algo_text + "' (want " +
+                solver::backend_list() + ")");
   }
 
   std::vector<std::uint64_t> seeds;
@@ -144,7 +147,7 @@ int main(int argc, char** argv) {
     options.seed = seeds[i];
     options.clients = static_cast<std::size_t>(clients);
     options.requests_per_client = static_cast<std::size_t>(requests);
-    options.algo = algo;
+    options.solver = spec;
     options.reactors = static_cast<std::size_t>(reactors);
     options.tick_workers = static_cast<std::size_t>(tick_workers);
     options.check = flags.has("check");

@@ -40,6 +40,14 @@
 //                         acceptance, cost, state count, and reconstructed
 //                         assignment, and the full serial / scratch-reuse /
 //                         wave-parallel solves must be bit-identical.
+//                         A registry backend name ("lpt", "local-search")
+//                         instead fuzzes that backend through the solver
+//                         registry: the registry solve must be
+//                         bit-identical to the direct algorithm entry
+//                         point AND to the scratch/pool-context solve, and
+//                         the result must pass its roster certificate
+//                         (check/certify). Violations are shrunk and
+//                         written to the corpus like every other mode.
 //   --cache               cache differential mode: every drawn case is
 //                         solved through one process-long cache-enabled
 //                         BatchSolver twice (cold-ish, then warm) plus once
@@ -59,8 +67,11 @@
 #include <string>
 #include <vector>
 
+#include "algo/local_search.h"
+#include "algo/lpt.h"
 #include "algo/m_partition.h"
 #include "algo/ptas.h"
+#include "check/certify.h"
 #include "check/differential.h"
 #include "check/ptas_reference.h"
 #include "check/shrink.h"
@@ -68,6 +79,7 @@
 #include "core/io.h"
 #include "engine/batch_solver.h"
 #include "obs/metrics.h"
+#include "solver/registry.h"
 #include "util/flags.h"
 #include "util/version.h"
 #include "util/rng.h"
@@ -326,9 +338,7 @@ std::string ptas_divergence(const Instance& instance, double eps, Cost budget,
 struct CacheCase {
   Instance instance;
   std::int64_t k = 0;
-  engine::Algo algo = engine::Algo::kBestOf;
-  Cost budget = kInfCost;
-  double eps = 1.0;
+  solver::SolverSpec spec;
   std::uint64_t relabel_seed = 0;
   std::string family;
 };
@@ -345,15 +355,16 @@ CacheCase draw_cache_case(Rng& rng, std::int64_t max_jobs,
   if (roll >= 9 && out.instance.num_jobs() <= 10) {
     // The PTAS tier stays tiny: the DP is exponential in 1/eps and runs
     // (at least) twice per case here.
-    out.algo = engine::Algo::kPtas;
+    out.spec.backend = solver::BackendId::kPtas;
     const double eps_choices[] = {0.4, 1.0, 2.0};
-    out.eps = eps_choices[rng.uniform_int(0, 2)];
-    if (rng.bernoulli(0.5)) out.budget = fuzz_case.options.budget;
+    out.spec.params.eps = eps_choices[rng.uniform_int(0, 2)];
+    if (rng.bernoulli(0.5)) out.spec.params.budget = fuzz_case.options.budget;
   } else {
-    const engine::Algo algos[] = {engine::Algo::kGreedy,
-                                  engine::Algo::kMPartition,
-                                  engine::Algo::kBestOf};
-    out.algo = algos[rng.uniform_int(0, 2)];
+    const solver::BackendId backends[] = {
+        solver::BackendId::kGreedy, solver::BackendId::kMPartition,
+        solver::BackendId::kBestOf, solver::BackendId::kLpt,
+        solver::BackendId::kLocalSearch};
+    out.spec.backend = backends[rng.uniform_int(0, 4)];
   }
   return out;
 }
@@ -400,14 +411,11 @@ std::string cache_reply_mismatch(const RebalanceResult& got,
 std::string cache_divergence(engine::BatchSolver& solver,
                              const CacheCase& fuzz_case) {
   const RebalanceResult want = engine::cached_serial_reference(
-      fuzz_case.algo, fuzz_case.instance, fuzz_case.k, fuzz_case.budget,
-      fuzz_case.eps);
+      fuzz_case.spec, fuzz_case.instance, fuzz_case.k);
   engine::BatchSolver::TickItem item;
   item.instance = &fuzz_case.instance;
   item.k = fuzz_case.k;
-  item.algo = fuzz_case.algo;
-  item.ptas_budget = fuzz_case.budget;
-  item.ptas_eps = fuzz_case.eps;
+  item.spec = fuzz_case.spec;
   const char* pass_names[] = {"first", "warm"};
   for (int pass = 0; pass < 2; ++pass) {
     const auto got = solver.solve_items({&item, 1});
@@ -418,7 +426,7 @@ std::string cache_divergence(engine::BatchSolver& solver,
   const Instance shuffled =
       relabel_instance(fuzz_case.instance, fuzz_case.relabel_seed);
   const RebalanceResult shuffled_want = engine::cached_serial_reference(
-      fuzz_case.algo, shuffled, fuzz_case.k, fuzz_case.budget, fuzz_case.eps);
+      fuzz_case.spec, shuffled, fuzz_case.k);
   engine::BatchSolver::TickItem shuffled_item = item;
   shuffled_item.instance = &shuffled;
   const auto got = solver.solve_items({&shuffled_item, 1});
@@ -440,6 +448,56 @@ std::string cache_divergence_fresh(const CacheCase& fuzz_case) {
   options.metrics = &registry;
   engine::BatchSolver solver(options);
   return cache_divergence(solver, fuzz_case);
+}
+
+// ---- registry backend differential mode (--algo lpt|local-search) ---------
+
+/// Empty string iff the registry's solve of `spec` is bit-identical to the
+/// backend's direct algorithm entry point AND to the registry solve under a
+/// scratch/pool context (forced intra-parallel threshold), and the result
+/// passes the backend's roster certificate. The differential target here is
+/// the registry seam itself: dispatch, context plumbing and normalization
+/// must not change results.
+std::string backend_divergence(const solver::SolverSpec& spec,
+                               const Instance& instance, std::int64_t k,
+                               ThreadPool& pool) {
+  const RebalanceResult got = solver::solve_serial(spec, instance, k);
+  RebalanceResult direct;
+  const char* roster_name = nullptr;
+  switch (spec.backend) {
+    case solver::BackendId::kLpt:
+      direct = lpt_schedule(instance);
+      roster_name = "lpt-full";
+      break;
+    case solver::BackendId::kLocalSearch:
+      direct = m_partition_ls_rebalance(instance, k);
+      roster_name = "mp-ls";
+      break;
+    default:
+      return "backend has no direct differential reference";
+  }
+  if (got.assignment != direct.assignment || got.makespan != direct.makespan ||
+      got.moves != direct.moves || got.cost != direct.cost ||
+      got.threshold != direct.threshold) {
+    return "registry solve differs from the direct entry point";
+  }
+  MPartitionScratch m_partition_scratch;
+  PtasScratch ptas_scratch;
+  solver::SolveContext ctx;
+  ctx.pool = &pool;
+  ctx.intra_parallel_min_jobs = 2;  // force the parallel scan paths
+  ctx.m_partition = &m_partition_scratch;
+  ctx.ptas = &ptas_scratch;
+  const RebalanceResult accelerated = solver::solve(spec, instance, k, ctx);
+  if (got.assignment != accelerated.assignment ||
+      got.makespan != accelerated.makespan || got.moves != accelerated.moves ||
+      got.cost != accelerated.cost || got.threshold != accelerated.threshold) {
+    return "context/parallel solve diverges from the serial solve";
+  }
+  const auto certificate = certify_solution(
+      instance, got, roster_certify_options(roster_name, instance, k, got));
+  if (!certificate.ok()) return certificate.to_string();
+  return {};
 }
 
 void write_repro(const std::filesystem::path& path, const Instance& instance,
@@ -501,8 +559,19 @@ int main(int argc, char** argv) {
   if (jobs_raw < 1 || jobs_raw > 256) return fail("--jobs must be in [1, 256]");
   const auto jobs = static_cast<std::size_t>(jobs_raw);
   const std::string algo = flags.get_or("algo", "roster");
-  if (algo != "roster" && algo != "ptas") {
-    return fail("--algo must be 'roster' or 'ptas'");
+  solver::SolverSpec backend_spec;
+  const bool backend_mode =
+      algo != "roster" && algo != "ptas" &&
+      solver::parse_backend(algo, &backend_spec.backend);
+  if (backend_mode && backend_spec.backend != solver::BackendId::kLpt &&
+      backend_spec.backend != solver::BackendId::kLocalSearch) {
+    return fail("--algo " + algo +
+                " has no registry differential mode (use 'roster', 'ptas', "
+                "'lpt' or 'local-search')");
+  }
+  if (algo != "roster" && algo != "ptas" && !backend_mode) {
+    return fail("--algo must be 'roster', 'ptas', or a registry backend "
+                "(lpt|local-search)");
   }
   const bool cache_mode = flags.has("cache");
   if (cache_mode && algo != "roster") {
@@ -585,6 +654,76 @@ int main(int argc, char** argv) {
     return violations == 0 ? 0 : 1;
   }
 
+  if (backend_mode) {
+    // Registry backend differential mode: registry dispatch vs the direct
+    // algorithm entry point vs the context-accelerated solve, plus the
+    // backend's roster certificate, one case per iteration.
+    ThreadPool backend_pool(pool != nullptr ? jobs : 2);
+    const std::string backend_name =
+        solver::backend_name(backend_spec.backend);
+    for (;;) {
+      if (iters > 0 && iteration >= static_cast<std::uint64_t>(iters)) break;
+      if (time_budget > 0.0 && timer.millis() >= time_budget * 1000.0) break;
+      const std::uint64_t it = iteration++;
+      std::uint64_t stream = seed;
+      (void)splitmix64(stream);
+      Rng rng(stream ^ (it * 0x9e3779b97f4a7c15ULL));
+      auto fuzz_case = draw_case(rng, max_jobs, max_procs);
+      const std::int64_t k = fuzz_case.options.k;
+      const auto divergence =
+          backend_divergence(backend_spec, fuzz_case.instance, k,
+                             backend_pool);
+      if (divergence.empty()) continue;
+
+      ++violations;
+      std::cerr << "lrb_fuzz: " << backend_name
+                << " divergence at iteration " << it << " ("
+                << fuzz_case.family << ", n=" << fuzz_case.instance.num_jobs()
+                << ", m=" << fuzz_case.instance.num_procs << ", k=" << k
+                << "): " << divergence << "\n";
+      const auto still_diverges = [&](const Instance& candidate) {
+        return !backend_divergence(backend_spec, candidate, k, backend_pool)
+                    .empty();
+      };
+      ShrinkOptions shrink_options;
+      shrink_options.max_evaluations = 2'000;
+      const auto minimized =
+          shrink_instance(fuzz_case.instance, still_diverges, shrink_options);
+      largest_repro = std::max(largest_repro, minimized.instance.num_jobs());
+      if (!ensure_corpus_dir(corpus, corpus_ready)) {
+        return fail("cannot create corpus dir " + corpus);
+      }
+      const auto path =
+          std::filesystem::path(corpus) /
+          ("repro_" + std::to_string(it) + "_" + backend_name + ".lrb");
+      std::ofstream out(path);
+      out << "# lrb_fuzz minimized repro (" << backend_name
+          << " registry differential: registry vs direct entry point)\n"
+          << "# seed=" << seed << " iteration=" << it
+          << " family=" << fuzz_case.family << "\n"
+          << "# k=" << k << "\n"
+          << "# divergence: "
+          << backend_divergence(backend_spec, minimized.instance, k,
+                                backend_pool)
+          << "\n";
+      write_instance(out, minimized.instance);
+      std::cerr << "lrb_fuzz: minimized to n=" << minimized.instance.num_jobs()
+                << ", m=" << minimized.instance.num_procs << " -> "
+                << path.string() << "\n";
+    }
+    std::cout << "lrb_fuzz: " << iteration << " " << backend_name
+              << " iterations, " << violations << " violation(s) in "
+              << timer.millis() / 1000.0 << " s\n";
+    if (expect_violation) {
+      if (violations == 0) {
+        std::cerr << "lrb_fuzz: expected a violation but found none\n";
+        return 1;
+      }
+      return 0;
+    }
+    return violations == 0 ? 0 : 1;
+  }
+
   if (cache_mode) {
     // Cache differential mode: one process-long cache-enabled solver, so
     // later iterations run against a cache warmed (and evicted) by earlier
@@ -613,8 +752,8 @@ int main(int argc, char** argv) {
                 << fuzz_case.family << ", n=" << fuzz_case.instance.num_jobs()
                 << ", m=" << fuzz_case.instance.num_procs
                 << ", k=" << fuzz_case.k << ", algo="
-                << engine::algo_name(fuzz_case.algo) << "): " << divergence
-                << "\n";
+                << solver::backend_name(fuzz_case.spec.backend)
+                << "): " << divergence << "\n";
       const auto still_diverges = [&](const Instance& candidate) {
         CacheCase shrunk = fuzz_case;
         shrunk.instance = candidate;
@@ -638,9 +777,12 @@ int main(int argc, char** argv) {
           << "# seed=" << seed << " iteration=" << it
           << " family=" << fuzz_case.family << "\n"
           << "# k=" << fuzz_case.k << " algo="
-          << engine::algo_name(fuzz_case.algo) << " eps=" << fuzz_case.eps
+          << solver::backend_name(fuzz_case.spec.backend)
+          << " eps=" << fuzz_case.spec.params.eps
           << " relabel-seed=" << fuzz_case.relabel_seed;
-      if (fuzz_case.budget != kInfCost) out << " budget=" << fuzz_case.budget;
+      if (fuzz_case.spec.params.budget != kInfCost) {
+        out << " budget=" << fuzz_case.spec.params.budget;
+      }
       out << "\n# divergence: " << cache_divergence_fresh(minimized_case)
           << "\n";
       write_instance(out, minimized.instance);

@@ -32,7 +32,9 @@
 //                          echoed request id, so one generator thread can
 //                          saturate a multi-reactor server without waiting
 //                          a full round-trip per request
-//   --algo NAME (best-of)  greedy | m-partition | best-of | ptas
+//   --algo NAME (best-of)  solver-registry backend (canonical name or
+//                          alias, docs/solvers.md): greedy, m-partition,
+//                          best-of, ptas, lpt, local-search
 //   --k-frac F (0.25)      move budget as a fraction of num_jobs
 //   --deadline-ms N (0)    per-request deadline sent to the server; 0 = none
 //   --seed N (1)           corpus seed
@@ -77,6 +79,7 @@
 
 #include "core/generators.h"
 #include "engine/batch_solver.h"
+#include "solver/registry.h"
 #include "stream/delta_log.h"
 #include "svc/client.h"
 #include "svc/session_client.h"
@@ -97,7 +100,7 @@ struct LoadConfig {
   std::size_t requests = 64;
   double duration_s = 0.0;
   double rate = 0.0;
-  lrb::engine::Algo algo = lrb::engine::Algo::kBestOf;
+  lrb::solver::SolverSpec spec;
   double k_frac = 0.25;
   std::uint32_t deadline_ms = 0;
   std::uint64_t seed = 1;
@@ -150,7 +153,7 @@ std::size_t instance_index(const LoadConfig& config, std::size_t conn,
 lrb::svc::SolveRequest make_request(const LoadConfig& config,
                                     std::size_t index) {
   lrb::svc::SolveRequest request;
-  request.algo = config.algo;
+  request.spec = config.spec;
   request.deadline_ms = config.deadline_ms;
   request.instance = lrb::mixed_corpus_instance(index, config.seed);
   request.k = std::max<std::int64_t>(
@@ -168,12 +171,10 @@ bool reply_matches_reference(const LoadConfig& config, std::size_t index,
   const lrb::svc::SolveRequest request = make_request(config, index);
   const auto reference =
       config.cache
-          ? lrb::engine::cached_serial_reference(
-                request.algo, request.instance, request.k,
-                request.ptas_budget, request.ptas_eps)
-          : lrb::engine::solve_serial_reference(
-                request.algo, request.instance, request.k,
-                request.ptas_budget, request.ptas_eps);
+          ? lrb::engine::cached_serial_reference(request.spec,
+                                                 request.instance, request.k)
+          : lrb::engine::solve_serial_reference(request.spec,
+                                                request.instance, request.k);
   return raw_payload == lrb::svc::encode_solve_reply_payload(reference);
 }
 
@@ -436,8 +437,9 @@ int main(int argc, char** argv) {
   config.cache = flags.has("cache");
   const double min_throughput = flags.get_double("min-throughput", 0.0);
   const std::string algo_text = flags.get_or("algo", "best-of");
-  if (!engine::parse_algo(algo_text, &config.algo)) {
-    return fail("unknown --algo '" + algo_text + "'");
+  if (!solver::parse_backend(algo_text, &config.spec.backend)) {
+    return fail("unknown --algo '" + algo_text + "' (want " +
+                solver::backend_list() + ")");
   }
   if (config.connections < 1) return fail("--connections must be >= 1");
   if (config.rate < 0.0) return fail("--rate must be >= 0");
@@ -576,7 +578,8 @@ int main(int argc, char** argv) {
         << "    \"requests_per_connection\": " << config.requests << ",\n"
         << "    \"duration_s\": " << config.duration_s << ",\n"
         << "    \"rate\": " << config.rate << ",\n"
-        << "    \"algo\": \"" << engine::algo_name(config.algo) << "\",\n"
+        << "    \"algo\": \"" << solver::backend_name(config.spec.backend)
+        << "\",\n"
         << "    \"k_frac\": " << config.k_frac << ",\n"
         << "    \"deadline_ms\": " << config.deadline_ms << ",\n"
         << "    \"seed\": " << config.seed << ",\n"

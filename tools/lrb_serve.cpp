@@ -34,6 +34,7 @@
 #include <iostream>
 #include <string>
 
+#include "solver/registry.h"
 #include "svc/server.h"
 #include "util/flags.h"
 #include "util/version.h"
@@ -70,6 +71,25 @@ void print_help() {
       "  --cache-mb N          solution cache budget in MiB; 0 = off (0)\n"
       "  --metrics-json FILE   dump the final metrics snapshot on exit\n"
       "  --help | --version    this text / version and schema info\n"
+      "\n"
+      "solvers (docs/solvers.md):\n"
+      "  Each Solve / SessionOpen frame names its backend by the solver\n"
+      "  registry's stable wire id; unknown ids get a BadRequest reply.\n"
+      "  Registered backends (wire id: name, accepted aliases):\n";
+  for (const auto& backend : lrb::solver::all_backends()) {
+    std::cout << "    " << static_cast<int>(backend.wire_id) << ": "
+              << backend.name;
+    if (!backend.aliases.empty()) {
+      std::cout << " (";
+      for (std::size_t i = 0; i < backend.aliases.size(); ++i) {
+        if (i > 0) std::cout << ", ";
+        std::cout << backend.aliases[i];
+      }
+      std::cout << ")";
+    }
+    std::cout << "\n";
+  }
+  std::cout <<
       "\n"
       "stats:\n"
       "  The Stats reply and --metrics-json both carry schema \""

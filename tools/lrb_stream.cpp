@@ -20,7 +20,9 @@
 //   --sessions N (4)       concurrent sessions, one client thread each
 //   --deltas N (200)       deltas per session (trace events)
 //   --frame N (16)         deltas per SessionDelta frame
-//   --algo NAME (best-of)  replan algorithm: greedy|m-partition|best-of|ptas
+//   --algo NAME (best-of)  replan backend (solver registry, canonical name
+//                          or alias, docs/solvers.md): greedy, m-partition,
+//                          best-of, ptas, lpt, local-search
 //   --move-frac F (0.25)   replan move budget as a fraction of live jobs
 //   --imbalance R (1.5)    imbalance trigger ratio (0 disables)
 //   --every N (32)         delta-count trigger (0 disables)
@@ -57,6 +59,7 @@
 
 #include "core/generators.h"
 #include "online/trace.h"
+#include "solver/registry.h"
 #include "stream/delta_log.h"
 #include "stream/replay.h"
 #include "svc/server.h"
@@ -111,8 +114,9 @@ int main(int argc, char** argv) {
 
   stream::TriggerConfig trigger;
   const std::string algo_text = flags.get_or("algo", "best-of");
-  if (!engine::parse_algo(algo_text, &trigger.algo)) {
-    return fail("unknown --algo '" + algo_text + "'");
+  if (!solver::parse_backend(algo_text, &trigger.spec.backend)) {
+    return fail("unknown --algo '" + algo_text + "' (want " +
+                solver::backend_list() + ")");
   }
   trigger.move_frac = flags.get_double("move-frac", 0.25);
   trigger.imbalance_ratio = flags.get_double("imbalance", 1.5);
